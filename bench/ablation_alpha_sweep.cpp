@@ -1,0 +1,79 @@
+// ABL-A — ablation of the laxity parameter α (§IV-A: eligible nodes must
+// keep laxity ≤ C·(1−α); "imposed to avoid significant timing overhead and
+// to increase the scheduling freedom for the operations in the domain
+// which results in strengthened authorship proof").
+//
+// Sweeps α on MediaBench-profile regions (large enough for the eligibility
+// pool to respond) and reports the constraints embedded, the per-edge and
+// total proof strength, and the dummy-op realization's cycle overhead on
+// the paper's VLIW.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pc.h"
+#include "core/sched_wm.h"
+#include "sched/timeframes.h"
+#include "vliw/vliw_scheduler.h"
+#include "workloads/mediabench.h"
+
+int main() {
+  using namespace locwm;
+  bench::banner("ABL-A  eligibility bound alpha vs proof strength/overhead",
+                "design-choice ablation for §IV-A (Table I's alpha = 0.2/0.5)");
+
+  const vliw::VliwMachine machine = vliw::VliwMachine::paperMachine();
+
+  std::printf("\n%-8s %-6s | %4s %10s %12s %8s\n", "app", "alpha", "K",
+              "log10 Pc", "Pc/edge", "ovhd%");
+  bench::rule(64);
+
+  for (const std::size_t app : {0u, 2u, 4u}) {
+    const auto profile = workloads::mediaBenchProfiles()[app];
+    const cdfg::Cdfg original = workloads::buildMediaBench(profile);
+    const std::uint32_t base = vliw::vliwSchedule(original, machine).cycles;
+    const sched::TimeFrames dep(original, machine.latency);
+    const std::uint32_t deadline =
+        dep.criticalPathSteps() + std::max(4u, dep.criticalPathSteps() / 8);
+
+    for (const double alpha : {0.0, 0.2, 0.5, 0.8}) {
+      cdfg::Cdfg g = workloads::buildMediaBench(profile);
+      wm::SchedulingWatermarker marker({"alice", profile.name});
+      wm::SchedWmParams params;
+      params.alpha = alpha;
+      params.k_fraction = 0.2;
+      params.locality.min_size = 10;
+      params.locality.max_distance = 8;
+      params.min_eligible = 6;
+      params.latency = machine.latency;
+      params.deadline = deadline;
+      const auto marks = marker.embedMany(g, 4, params);
+
+      std::vector<sched::ExtraEdge> edges;
+      for (const auto& m : marks) {
+        for (const cdfg::EdgeId e : m.added_edges) {
+          edges.push_back({g.edge(e).src, g.edge(e).dst});
+        }
+      }
+      if (edges.empty()) {
+        std::printf("%-8s %-6.1f | %4s %10s %12s %8s\n", profile.name.c_str(),
+                    alpha, "-", "-", "-", "-");
+        continue;
+      }
+      const auto pc = wm::approxSchedulingPc(original, edges,
+                                             machine.latency, deadline);
+      const cdfg::Cdfg realized = wm::realizeWithDummyOps(g);
+      const std::uint32_t cycles =
+          vliw::vliwSchedule(realized, machine).cycles;
+      std::printf("%-8s %-6.1f | %4zu %10.2f %12.3f %7.2f%%\n",
+                  profile.name.c_str(), alpha, edges.size(), pc.log10_pc,
+                  pc.log10_pc / static_cast<double>(edges.size()),
+                  100.0 * (static_cast<double>(cycles) - base) / base);
+    }
+  }
+  std::printf(
+      "\nexpected shape: larger alpha restricts the pool to freer nodes —\n"
+      "fewer constraints fit, but each is harder to satisfy by chance\n"
+      "(Pc/edge closer to log10(1/2) or better), echoing the paper's\n"
+      "'increased scheduling freedom strengthens the proof' remark.\n");
+  return 0;
+}

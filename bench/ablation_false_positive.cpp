@@ -1,0 +1,114 @@
+// ABL-FP — detection specificity: how often does a certificate "fire" when
+// it should not?  The protocol's value rests on three negative controls:
+//
+//   1. unrelated designs: the locality fingerprint should not occur;
+//   2. the right design + the WRONG key: the re-derived carve should not
+//      reproduce the certificate's locality (except for trivially small
+//      localities with no carve choices);
+//   3. the right design + right key, but an UNMARKED schedule: the shape
+//      matches (it must), and the constraints should only partially hold —
+//      the residual rate is exactly what Pc quantifies.
+//
+// The sweep reports all three rates as the minimum locality size grows —
+// the practical guidance for choosing parameters.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cdfg/random_dfg.h"
+#include "core/sched_wm.h"
+#include "sched/force_directed.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+#include "workloads/mediabench.h"
+
+int main() {
+  using namespace locwm;
+  bench::banner("ABL-FP  detection specificity (false-positive controls)",
+                "negative controls behind the paper's 1-Pc authorship proof");
+
+  std::printf("\n%-8s | %14s %14s %16s %16s\n", "min|T|", "unrelated-hit",
+              "wrongkey-hit", "unmarked-Pc-hat", "resynth-Pc-hat");
+  bench::rule(78);
+
+  for (const std::size_t min_size : {4u, 6u, 8u, 10u}) {
+    std::size_t unrelated_hits = 0;
+    std::size_t unrelated_total = 0;
+    std::size_t wrongkey_hits = 0;
+    std::size_t wrongkey_total = 0;
+    std::size_t coincidences = 0;
+    std::size_t coincidence_total = 0;
+    std::size_t resynth = 0;
+    std::size_t resynth_total = 0;
+
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      cdfg::RandomDfgOptions o;
+      o.operations = 120;
+      o.inputs = 6;
+      cdfg::Cdfg g = cdfg::randomDfg(o, seed);
+      wm::SchedulingWatermarker marker({"alice", std::to_string(seed)});
+      wm::SchedWmParams params;
+      params.locality.min_size = min_size;
+      params.min_eligible = 3;
+      params.k_fraction = 0.5;
+      const sched::TimeFrames tf(g, params.latency);
+      params.deadline = tf.criticalPathSteps() + 3;
+      const auto r = marker.embed(g, params);
+      if (!r) {
+        continue;
+      }
+      const cdfg::Cdfg published = g.stripTemporalEdges();
+
+      // Control 1: certificate scanned over unrelated designs.
+      for (std::uint64_t other = 101; other <= 103; ++other) {
+        const cdfg::Cdfg alien = cdfg::randomDfg(o, other);
+        const sched::Schedule as = sched::listSchedule(alien);
+        const auto det = marker.detect(alien, as, r->certificate);
+        unrelated_hits += det.shape_matches > 0;
+        ++unrelated_total;
+      }
+      // Control 2: right design, wrong keys.
+      for (int k = 0; k < 3; ++k) {
+        wm::SchedulingWatermarker thief(
+            {"mallory" + std::to_string(k), std::to_string(seed)});
+        const sched::Schedule s = sched::listSchedule(g);
+        const auto det = thief.detect(published, s, r->certificate);
+        wrongkey_hits += det.found;
+        ++wrongkey_total;
+      }
+      // Control 3: right design + key, unmarked schedule.
+      {
+        const sched::Schedule s = sched::listSchedule(published);
+        const auto det = marker.detect(published, s, r->certificate);
+        coincidences += det.satisfied;
+        coincidence_total += det.total;
+      }
+      // Control 4: the strongest honest adversary — a full re-synthesis
+      // of the published design with a *different* scheduler (FDS).
+      {
+        sched::ForceDirectedOptions fd;
+        fd.deadline = params.deadline;
+        const sched::Schedule s = sched::forceDirectedSchedule(published, fd);
+        const auto det = marker.detect(published, s, r->certificate);
+        resynth += det.satisfied;
+        resynth_total += det.total;
+      }
+    }
+
+    auto pct = [](std::size_t a, std::size_t b) {
+      return b == 0 ? 0.0 : 100.0 * static_cast<double>(a) /
+                                static_cast<double>(b);
+    };
+    std::printf("%-8zu | %12.1f%% %12.1f%% %15.1f%% %15.1f%%\n", min_size,
+                pct(unrelated_hits, unrelated_total),
+                pct(wrongkey_hits, wrongkey_total),
+                pct(coincidences, coincidence_total),
+                pct(resynth, resynth_total));
+  }
+  std::printf(
+      "\nexpected shape: unrelated and wrong-key hits vanish once the\n"
+      "locality has real carve entropy; the unmarked-schedule coincidence\n"
+      "rate hovers near the per-edge window probability (the Pc model's\n"
+      "per-constraint factor), never near 100%%.\n");
+  return 0;
+}

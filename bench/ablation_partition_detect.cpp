@@ -1,0 +1,126 @@
+// ABL-CUT — the paper's headline differentiator (§I, §III): local
+// watermarks stay detectable when the protected design is (a) embedded
+// into a larger system or (b) cut into partitions, the two scenarios where
+// global watermarks fail.
+//
+// We watermark a core with several local marks, then:
+//   1. embed the published core into hosts of growing size and run
+//      detection on the combined design;
+//   2. cut partitions of shrinking radius out of the published core and
+//      run detection on each fragment;
+// reporting how many marks survive each scenario.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cdfg/subgraph.h"
+#include "core/global_wm.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+#include "workloads/mediabench.h"
+
+int main() {
+  using namespace locwm;
+  bench::banner("ABL-CUT  detection under embedding and partition cutting",
+                "the §I/§III motivation for *local* watermarks");
+
+  // Protect the core.
+  cdfg::Cdfg core = workloads::waveFilter(10);
+  const sched::TimeFrames tf(core, sched::LatencyModel::unit());
+  wm::SchedulingWatermarker marker({"alice", "core"});
+  wm::SchedWmParams params;
+  params.locality.min_size = 5;
+  params.min_eligible = 3;
+  params.k_fraction = 0.5;
+  params.deadline = tf.criticalPathSteps() + 3;
+  const auto marks = marker.embedMany(core, 4, params);
+
+  // Baseline: ONE global watermark over the same design (prior art).
+  wm::GlobalWatermarker global_marker({"alice", "core"});
+  wm::GlobalWmParams gp;
+  gp.deadline = params.deadline;
+  const auto global_mark = global_marker.embed(core, gp);
+  std::printf("\nprotected core: %zu nodes, %zu local watermarks + 1 "
+              "global baseline\n",
+              core.nodeCount(), marks.size());
+
+  const sched::Schedule core_sched = sched::listSchedule(core);
+  const cdfg::Cdfg published = core.stripTemporalEdges();
+
+  // --- Scenario 1: embedding into hosts of growing size. ---
+  std::printf("\nscenario 1: core embedded into a host design\n");
+  std::printf("  %-28s %12s %16s %8s\n", "host", "total nodes",
+              "local detected", "global");
+  for (const std::size_t host_ops : {100u, 400u, 1600u}) {
+    workloads::MediaBenchProfile hp;
+    hp.name = "host";
+    hp.operations = host_ops;
+    hp.seed = host_ops;
+    cdfg::Cdfg host = workloads::buildMediaBench(hp);
+    // Stitch through the core's input ports (the module boundary).
+    std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> stitches;
+    for (const cdfg::NodeId v : published.allNodes()) {
+      if (published.node(v).kind == cdfg::OpKind::kInput) {
+        stitches.push_back({cdfg::NodeId(0), v});
+      }
+    }
+    const cdfg::NodeMap map = cdfg::embed(host, published, stitches);
+
+    const sched::Schedule host_sched = sched::listSchedule(host);
+    sched::Schedule combined(host.nodeCount());
+    for (const cdfg::NodeId v : host.allNodes()) {
+      combined.set(v, host_sched.at(v));
+    }
+    // The thief reuses the stolen schedule inside the core, offset to sit
+    // after the stitched inputs become available.
+    for (const cdfg::NodeId v : published.allNodes()) {
+      combined.set(map.at(v), core_sched.at(v) + 2);
+    }
+    std::size_t found = 0;
+    for (const auto& m : marks) {
+      found += marker.detect(host, combined, m.certificate).found;
+    }
+    const bool gfound =
+        global_mark &&
+        global_marker.detect(host, combined, global_mark->certificate).found;
+    char label[64];
+    std::snprintf(label, sizeof label, "%zu-op synthetic SoC", host_ops);
+    std::printf("  %-28s %12zu %11zu/%zu %8s\n", label, host.nodeCount(),
+                found, marks.size(), gfound ? "yes" : "LOST");
+  }
+
+  // --- Scenario 2: cutting partitions out of the core. ---
+  std::printf("\nscenario 2: partitions cut out of the published core\n");
+  std::printf("  %-28s %12s %16s %8s\n", "cut radius", "cut nodes",
+              "local detected", "global");
+  for (const std::uint32_t radius : {30u, 12u, 6u, 3u}) {
+    // Cut around one of the watermark roots (the valuable block).
+    const cdfg::NodeId seed = marks.empty()
+                                  ? cdfg::NodeId(0)
+                                  : marks.front().locality.root;
+    cdfg::NodeMap map;
+    const cdfg::Cdfg cut = cdfg::cutPartition(published, seed, radius, &map);
+    sched::Schedule cut_sched(cut.nodeCount());
+    for (const auto& [orig, local] : map) {
+      cut_sched.set(local, core_sched.at(orig));
+    }
+    std::size_t found = 0;
+    for (const auto& m : marks) {
+      found += marker.detect(cut, cut_sched, m.certificate).found;
+    }
+    const bool gfound =
+        global_mark &&
+        global_marker.detect(cut, cut_sched, global_mark->certificate).found;
+    char label[64];
+    std::snprintf(label, sizeof label, "radius %u", radius);
+    std::printf("  %-28s %12zu %11zu/%zu %8s\n", label, cut.nodeCount(),
+                found, marks.size(), gfound ? "yes" : "LOST");
+  }
+  std::printf(
+      "\nexpected shape: embedding never hides the LOCAL marks (the\n"
+      "locality derivation is host-invariant) while the global baseline is\n"
+      "lost the moment the design stops being exactly itself; cutting\n"
+      "loses only the local marks whose locality the cut dismembers.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// ABL-STRUCT — structural laundering attacks on the published design:
+//
+//   * copy insertion (edge splitting with register moves): free for the
+//     attacker but transparent to detection, because identification
+//     contracts copy chains;
+//   * real-operation insertion (x -> x+0 rewrites): changes structure for
+//     good, killing the localities it touches — the paper's argument for
+//     embedding *many* local marks (a global mark dies at the first such
+//     edit anywhere).
+//
+// The sweep inserts growing numbers of each edit and reports surviving
+// marks, alongside the attacker's area cost (extra operations).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cdfg/prng.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/mediabench.h"
+
+namespace {
+
+using namespace locwm;
+using cdfg::Cdfg;
+using cdfg::EdgeKind;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+/// Splits `count` random data edges of `g` with nodes of `kind`; returns
+/// the attacked graph plus a dilated schedule consistent with it.
+struct Attacked {
+  Cdfg graph;
+  sched::Schedule schedule;
+};
+
+Attacked splitEdges(const Cdfg& g, const sched::Schedule& s,
+                    std::size_t count, OpKind kind, std::uint64_t seed) {
+  cdfg::SplitMix64 rng(seed);
+  std::vector<bool> split(g.edgeCount(), false);
+  std::vector<std::uint32_t> data_edges;
+  for (const cdfg::EdgeId e : g.allEdges()) {
+    if (g.edge(e).kind == EdgeKind::kData &&
+        !cdfg::isPseudoOp(g.node(g.edge(e).src).kind)) {
+      data_edges.push_back(e.value());
+    }
+  }
+  for (std::size_t i = 0; i < count && !data_edges.empty(); ++i) {
+    split[data_edges[rng.below(data_edges.size())]] = true;
+  }
+  Attacked out{Cdfg{}, sched::Schedule{}};
+  for (const NodeId v : g.allNodes()) {
+    out.graph.addNode(g.node(v).kind, g.node(v).name);
+  }
+  std::vector<NodeId> inserted;
+  for (const cdfg::EdgeId e : g.allEdges()) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (split[e.value()]) {
+      const NodeId mid = out.graph.addNode(kind);
+      out.graph.addEdge(ed.src, mid, EdgeKind::kData);
+      out.graph.addEdge(mid, ed.dst, EdgeKind::kData);
+      inserted.push_back(mid);
+    } else {
+      out.graph.addEdge(ed.src, ed.dst, ed.kind);
+    }
+  }
+  out.schedule = sched::Schedule(out.graph.nodeCount());
+  for (const NodeId v : g.allNodes()) {
+    out.schedule.set(v, s.at(v) * 2);
+  }
+  for (const NodeId mid : inserted) {
+    out.schedule.set(
+        mid, out.schedule.at(out.graph.dataPredecessors(mid).front()) + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-STRUCT  structural laundering vs local watermarks",
+                "copy transparency + the many-small-marks argument (§I)");
+
+  workloads::MediaBenchProfile profile = workloads::mediaBenchProfiles()[0];
+  Cdfg g = workloads::buildMediaBench(profile);
+  wm::SchedulingWatermarker marker({"alice", profile.name});
+  wm::SchedWmParams params;
+  params.locality.min_size = 8;
+  params.min_eligible = 4;
+  const sched::TimeFrames tf(g, params.latency);
+  params.deadline = tf.criticalPathSteps() + 4;
+  const auto marks = marker.embedMany(g, 6, params);
+  const sched::Schedule s = sched::listSchedule(g);
+  const Cdfg published = g.stripTemporalEdges();
+  std::printf("\ncore: %zu ops, %zu local watermarks\n", profile.operations,
+              marks.size());
+
+  std::printf("\n%-10s %8s | %16s %16s\n", "edit", "count", "copies: alive",
+              "real ops: alive");
+  bench::rule(60);
+  for (const std::size_t count : {0u, 10u, 40u, 160u, 640u}) {
+    std::size_t alive_copy = 0;
+    std::size_t alive_real = 0;
+    {
+      const Attacked a = splitEdges(published, s, count, OpKind::kCopy, count + 1);
+      for (const auto& m : marks) {
+        alive_copy += marker.detect(a.graph, a.schedule, m.certificate).found;
+      }
+    }
+    {
+      const Attacked a = splitEdges(published, s, count, OpKind::kAdd, count + 1);
+      for (const auto& m : marks) {
+        alive_real += marker.detect(a.graph, a.schedule, m.certificate).found;
+      }
+    }
+    std::printf("%-10s %8zu | %13zu/%zu %13zu/%zu\n", "split", count,
+                alive_copy, marks.size(), alive_real, marks.size());
+  }
+  // Second dimension: the identification radius Δ trades uniqueness for
+  // edit-robustness — a smaller context ball is hit by fewer random edits.
+  std::printf("\nradius ablation (40 real-op splits):\n");
+  std::printf("%-10s | %12s\n", "Δ", "marks alive");
+  bench::rule(28);
+  for (const std::uint32_t delta : {3u, 4u, 6u, 8u}) {
+    Cdfg g2 = workloads::buildMediaBench(profile);
+    wm::SchedWmParams p2 = params;
+    p2.locality.max_distance = delta;
+    const auto marks2 = marker.embedMany(g2, 6, p2);
+    const sched::Schedule s2 = sched::listSchedule(g2);
+    const Cdfg pub2 = g2.stripTemporalEdges();
+    const Attacked a = splitEdges(pub2, s2, 40, OpKind::kAdd, 7);
+    std::size_t alive = 0;
+    for (const auto& m : marks2) {
+      alive += marker.detect(a.graph, a.schedule, m.certificate).found;
+    }
+    std::printf("%-10u | %9zu/%zu\n", delta, alive, marks2.size());
+  }
+
+  std::printf(
+      "\nexpected shape: copy insertion never erases a mark (identification\n"
+      "contracts copies); real-op insertion erodes marks roughly with the\n"
+      "fraction of localities hit — at the cost of real area/latency, and\n"
+      "several independent marks keep the proof alive far longer than one\n"
+      "global mark would survive.  Smaller identification radii localize\n"
+      "the damage further.\n");
+  return 0;
+}

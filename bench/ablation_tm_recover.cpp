@@ -1,0 +1,62 @@
+// ABL-TMR — the re-covering attack on template watermarks: the adversary
+// discards the shipped cover and re-runs template selection from scratch
+// (greedy and exact, with and without knowing nothing of the PPOs).  The
+// enforced matchings coincide with the attacker's fresh cover only at the
+// Solutions(m)-governed rate — the §IV-B security argument, measured.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pc.h"
+#include "core/tm_wm.h"
+#include "tm/cover.h"
+#include "workloads/hyper.h"
+
+int main() {
+  using namespace locwm;
+  bench::banner("ABL-TMR  re-covering attack on template watermarks",
+                "the §IV-B tamper-resistance argument for matchings");
+
+  const tm::TemplateLibrary lib = tm::TemplateLibrary::basicDsp();
+
+  std::printf("\n%-7s %3s | %12s %12s | %10s\n", "design", "Z",
+              "greedy-hit", "exact-hit", "Pc");
+  bench::rule(64);
+
+  for (const auto& design : workloads::hyperSuite()) {
+    const cdfg::Cdfg& g = design.graph;
+    wm::TemplateWatermarker marker({"alice", design.name}, lib);
+    wm::TmWmParams params;
+    params.whole_design = true;
+    params.beta = 0.0;
+    params.z_fraction = 0.07;
+    const auto r = marker.embed(g, params);
+    if (!r) {
+      std::printf("%-7s %3s | %12s %12s | %10s\n", design.name.c_str(), "-",
+                  "-", "-", "-");
+      continue;
+    }
+    const auto all = tm::enumerateMatchings(g, lib, {});
+
+    // Attacker 1: greedy re-cover, no watermark knowledge.
+    const auto greedy = tm::cover(g, lib, all, {});
+    const auto d1 = marker.detect(g, greedy.chosen, r->certificate);
+    // Attacker 2: exact (minimum-module) re-cover.
+    tm::CoverOptions exact;
+    exact.exact = true;
+    const auto best = tm::cover(g, lib, all, exact);
+    const auto d2 = marker.detect(g, best.chosen, r->certificate);
+
+    const auto pc = wm::templatePc(r->solutions);
+    std::printf("%-7s %3zu | %9zu/%-2zu %9zu/%-2zu | %10s\n",
+                design.name.c_str(), r->forced.size(), d1.present, d1.total,
+                d2.present, d2.total,
+                bench::pcString(pc.log10_pc).c_str());
+  }
+  std::printf(
+      "\nexpected shape: fresh covers reproduce only a fraction of the\n"
+      "enforced matchings; full coincidence is as rare as Pc predicts.\n"
+      "(Full hits on simple designs mean the enforced matching was the\n"
+      "unique best choice — those contribute Solutions(m)=1-ish factors\n"
+      "and correspondingly weak per-matching proof, which Pc reports.)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Small shared helpers for the reproduction benches: fixed-width table
+// printing and common formatting, so every binary emits the same style of
+// rows the paper's tables use.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace locwm::bench {
+
+/// Prints a horizontal rule of the given width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::fputc('-', stdout);
+  }
+  std::fputc('\n', stdout);
+}
+
+/// Prints a bench header banner.
+inline void banner(const std::string& title, const std::string& source) {
+  rule(78);
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", source.c_str());
+  rule(78);
+}
+
+/// Formats a log10 probability as "1e<exp>" the way the paper quotes Pc.
+inline std::string pcString(double log10_pc) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "1e%.1f", log10_pc);
+  return buf;
+}
+
+}  // namespace locwm::bench

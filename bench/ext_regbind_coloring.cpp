@@ -1,0 +1,62 @@
+// EXT-REG — the generic methodology on a third task (the paper's §III
+// graph-coloring sketch, instantiated as register binding).
+//
+// Per design: values to bind, registers without/with the watermark's
+// alias constraints, number of constrained pairs K, detection on the
+// constrained binding, accidental sharing in the unconstrained binding,
+// and the Pc model (1/R)^K.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/reg_wm.h"
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+#include "sched/list_scheduler.h"
+#include "workloads/hyper.h"
+
+int main() {
+  using namespace locwm;
+  bench::banner("EXT-REG  local watermarks on register binding (coloring)",
+                "instantiates the generic §III protocol on a third task");
+
+  std::printf("\n%-7s %6s %6s | %3s %9s %9s | %12s %9s\n", "design", "vals",
+              "regs", "K", "reg+wm", "detected", "ctrl-shared", "Pc");
+  bench::rule(80);
+
+  for (const auto& design : workloads::hyperSuite()) {
+    const cdfg::Cdfg& g = design.graph;
+    const sched::Schedule s = sched::listSchedule(g);
+    const auto table = regbind::computeLifetimes(g, s);
+    const auto plain = regbind::bindRegisters(table, {});
+
+    wm::RegisterWatermarker marker({"alice", design.name});
+    wm::RegWmParams params;
+    params.locality.min_size = 5;
+    params.k_fraction = 0.4;
+    const auto r = marker.embed(g, s, params);
+    if (!r) {
+      std::printf("%-7s %6zu %6u | %3s %9s %9s | %12s %9s\n",
+                  design.name.c_str(), table.values.size(),
+                  plain.register_count, "-", "-", "-", "-", "-");
+      continue;
+    }
+    regbind::BindOptions bo;
+    bo.aliases = r->aliases;
+    const auto marked = regbind::bindRegisters(table, bo);
+    const auto det = marker.detect(g, table, marked, r->certificate);
+    const auto ctrl = marker.detect(g, table, plain, r->certificate);
+    std::printf("%-7s %6zu %6u | %3zu %9u %6zu/%zu | %9zu/%zu %9s\n",
+                design.name.c_str(), table.values.size(),
+                plain.register_count, r->aliases.size(),
+                marked.register_count, det.shared, det.total, ctrl.shared,
+                ctrl.total,
+                bench::pcString(wm::approxBindingLog10Pc(
+                                    det.total, plain.register_count))
+                    .c_str());
+  }
+  std::printf(
+      "\nexpected shape: the alias constraints cost zero-to-one registers,\n"
+      "detection finds every constrained pair, and an unconstrained binder\n"
+      "co-locates only a fraction by accident (Pc ~ (1/R)^K).\n");
+  return 0;
+}

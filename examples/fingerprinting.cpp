@@ -1,0 +1,73 @@
+// fingerprinting — per-recipient watermarks (the fingerprinting use case
+// of the IPP literature the paper builds on): the same core is sold to
+// several buyers, each copy marked with a buyer-specific nonce.  When a
+// copy leaks, detection against each buyer's certificate set identifies
+// the source.
+//
+// Build & run:  ./build/examples/fingerprinting
+#include <cstdio>
+#include <vector>
+
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+int main() {
+  using namespace locwm;
+
+  const std::vector<std::string> buyers = {"buyer-ascorp", "buyer-bitmill",
+                                           "buyer-cypher"};
+  struct Copy {
+    std::string buyer;
+    cdfg::Cdfg published;
+    sched::Schedule schedule;
+    std::vector<wm::SchedEmbedResult> marks;
+  };
+  std::vector<Copy> copies;
+
+  // Vendor: produce one marked copy per buyer.  The identity is the
+  // vendor; the nonce carries the buyer, so every copy's marks differ.
+  for (const std::string& buyer : buyers) {
+    cdfg::Cdfg design = workloads::waveFilter(10);
+    wm::SchedulingWatermarker marker({"Acme DSP Cores, Inc.", buyer});
+    wm::SchedWmParams params;
+    params.locality.min_size = 6;
+    params.min_eligible = 3;
+    params.k_fraction = 1.0;
+    const sched::TimeFrames tf(design, params.latency);
+    params.deadline = tf.criticalPathSteps() + 3;
+    auto marks = marker.embedMany(design, 5, params);
+    Copy copy;
+    copy.buyer = buyer;
+    copy.schedule = sched::listSchedule(design);
+    copy.published = design.stripTemporalEdges();
+    copy.marks = std::move(marks);
+    copies.push_back(std::move(copy));
+    std::printf("shipped copy for %-14s (%zu marks)\n", buyer.c_str(),
+                copies.back().marks.size());
+  }
+
+  // A copy leaks — say bitmill's.  The vendor tests the leak against every
+  // buyer's certificates.
+  const Copy& leak = copies[1];
+  std::printf("\nleaked copy analysis:\n");
+  for (const Copy& candidate : copies) {
+    wm::SchedulingWatermarker marker(
+        {"Acme DSP Cores, Inc.", candidate.buyer});
+    std::size_t found = 0;
+    for (const auto& m : candidate.marks) {
+      found += marker
+                   .detect(leak.published, leak.schedule, m.certificate)
+                   .found;
+    }
+    std::printf("  %-14s : %zu/%zu marks present%s\n",
+                candidate.buyer.c_str(), found, candidate.marks.size(),
+                found == candidate.marks.size() ? "   <== the leaker" : "");
+  }
+  std::printf(
+      "\n(partial matches occur by chance on this small core — the ASAP\n"
+      "scheduler satisfies many generic orderings; the *complete* mark set\n"
+      "is what identifies the copy, and Pc quantifies the gap.)\n");
+  return 0;
+}

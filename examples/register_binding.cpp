@@ -1,0 +1,63 @@
+// register_binding — the generic local-watermark methodology instantiated
+// for a third synthesis task: register binding (coloring), as §III
+// sketches for graph coloring.
+//
+//   1. schedule a design,
+//   2. embed: the signature picks pairs of lifetime-disjoint values inside
+//      a locality and constrains each pair to share one register,
+//   3. bind registers under those alias constraints,
+//   4. detect the sharing pattern in a suspect binding.
+//
+// Build & run:  ./build/examples/register_binding
+#include <cstdio>
+
+#include "core/reg_wm.h"
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+#include "sched/list_scheduler.h"
+#include "workloads/hyper.h"
+
+int main() {
+  using namespace locwm;
+
+  const cdfg::Cdfg design = workloads::waveFilter(10);
+  const sched::Schedule schedule = sched::listSchedule(design);
+  const auto table = regbind::computeLifetimes(design, schedule);
+  std::printf("design: wave filter, %zu values to bind (max %u live)\n",
+              table.values.size(), regbind::maxLive(table));
+
+  const crypto::AuthorSignature me{"Jane Doe <jane@example.com>", "wdf-v1"};
+  wm::RegisterWatermarker marker(me);
+  wm::RegWmParams params;
+  params.locality.min_size = 5;
+  params.k_fraction = 0.4;
+  const auto mark = marker.embed(design, schedule, params);
+  if (!mark) {
+    std::printf("embedding failed\n");
+    return 1;
+  }
+  std::printf("constrained %zu value pairs to share registers\n",
+              mark->aliases.size());
+
+  // Bind with and without the watermark.
+  regbind::BindOptions with;
+  with.aliases = mark->aliases;
+  const auto marked = regbind::bindRegisters(table, with);
+  const auto plain = regbind::bindRegisters(table, {});
+  std::printf("registers: %u with the watermark vs %u without (+%d)\n",
+              marked.register_count, plain.register_count,
+              static_cast<int>(marked.register_count) -
+                  static_cast<int>(plain.register_count));
+
+  // Detection in the marked binding; the plain binding is the control.
+  const auto det = marker.detect(design, table, marked, mark->certificate);
+  const auto control = marker.detect(design, table, plain, mark->certificate);
+  std::printf("detection (marked):  %s (%zu/%zu pairs)\n",
+              det.found ? "FOUND" : "not found", det.shared, det.total);
+  std::printf("detection (control): %zu/%zu pairs shared by accident\n",
+              control.shared, control.total);
+  std::printf("coincidence likelihood ~ 1e%.1f (R = %u)\n",
+              wm::approxBindingLog10Pc(det.total, plain.register_count),
+              plain.register_count);
+  return det.found ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full validation cycle: configure, build, test, and regenerate every
+# reproduced table/figure.  This is the command DESIGN.md's process step 4
+# iterates; CI should run exactly this.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "==================================================================="
+    "$b"
+  fi
+done

@@ -1,0 +1,115 @@
+#include "cdfg/analysis.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace locwm::cdfg {
+
+namespace {
+
+/// Weight a node contributes to paths: pseudo-ops are free.
+std::uint32_t nodeWeight(const Cdfg& g, NodeId n) {
+  return isPseudoOp(g.node(n).kind) ? 0u : 1u;
+}
+
+}  // namespace
+
+StructuralAnalysis::StructuralAnalysis(const Cdfg& graph) : graph_(&graph) {
+  const std::size_t n = graph.nodeCount();
+  level_.assign(n, 0);
+  height_.assign(n, 0);
+
+  const std::vector<NodeId> topo = graph.topologicalOrder(/*includeTemporal=*/false);
+
+  for (const NodeId v : topo) {
+    std::uint32_t best = 0;
+    for (const NodeId p : graph.predecessors(v)) {
+      best = std::max(best, level_[p.value()]);
+    }
+    level_[v.value()] = best + nodeWeight(graph, v);
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint32_t best = 0;
+    for (const NodeId s : graph.successors(v)) {
+      best = std::max(best, height_[s.value()]);
+    }
+    height_[v.value()] = best + nodeWeight(graph, v);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    critical_path_ = std::max(critical_path_, level_[i]);
+  }
+}
+
+std::uint32_t StructuralAnalysis::level(NodeId n) const {
+  detail::check<GraphError>(n.isValid() && n.value() < level_.size(),
+                            "level(): node id out of range");
+  return level_[n.value()];
+}
+
+std::uint32_t StructuralAnalysis::height(NodeId n) const {
+  detail::check<GraphError>(n.isValid() && n.value() < height_.size(),
+                            "height(): node id out of range");
+  return height_[n.value()];
+}
+
+std::uint32_t StructuralAnalysis::laxity(NodeId n) const {
+  // level() already counts the node itself (when real); height() counts it
+  // again, so subtract one node weight to avoid double counting.
+  return level(n) + height(n) - nodeWeight(*graph_, n);
+}
+
+std::uint32_t StructuralAnalysis::slack(NodeId n) const {
+  const std::uint32_t lax = laxity(n);
+  return critical_path_ >= lax ? critical_path_ - lax : 0u;
+}
+
+std::size_t StructuralAnalysis::transitiveFaninCount(NodeId n,
+                                                     std::uint32_t dist) const {
+  return faninTree(n, dist).size() - 1;  // exclude n itself
+}
+
+std::vector<NodeId> StructuralAnalysis::faninTree(NodeId n,
+                                                  std::uint32_t dist) const {
+  detail::check<GraphError>(n.isValid() && n.value() < graph_->nodeCount(),
+                            "faninTree(): node id out of range");
+  std::vector<bool> seen(graph_->nodeCount(), false);
+  std::vector<NodeId> result;
+  // Frontier-by-frontier BFS so distances are exact; within a frontier,
+  // nodes are visited in ascending id order for determinism.
+  std::vector<NodeId> frontier{n};
+  seen[n.value()] = true;
+  result.push_back(n);
+  for (std::uint32_t d = 0; d < dist && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      for (const NodeId p : graph_->predecessors(v)) {
+        if (!seen[p.value()]) {
+          seen[p.value()] = true;
+          next.push_back(p);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    result.insert(result.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> StructuralAnalysis::functionalitySignature(
+    NodeId n, std::uint32_t dist) const {
+  const std::vector<NodeId> tree = faninTree(n, dist);
+  std::vector<std::uint8_t> sig;
+  sig.reserve(tree.size());
+  for (const NodeId v : tree) {
+    if (v == n) {
+      continue;
+    }
+    sig.push_back(functionalityId(graph_->node(v).kind));
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,49 @@
+#include "cdfg/dot.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace locwm::cdfg {
+
+void writeDot(std::ostream& os, const Cdfg& g, const DotOptions& options) {
+  std::unordered_set<NodeId> marked(options.highlight.begin(),
+                                    options.highlight.end());
+  os << "digraph " << options.name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+  for (const NodeId v : g.allNodes()) {
+    const Node& n = g.node(v);
+    os << "  n" << v.value() << " [label=\"";
+    if (!n.name.empty()) {
+      os << n.name << "\\n";
+    }
+    os << opName(n.kind) << "\"";
+    if (marked.contains(v)) {
+      os << ", style=filled, fillcolor=lightgoldenrod";
+    }
+    os << "];\n";
+  }
+  for (const EdgeId e : g.allEdges()) {
+    const Edge& ed = g.edge(e);
+    os << "  n" << ed.src.value() << " -> n" << ed.dst.value();
+    switch (ed.kind) {
+      case EdgeKind::kData:
+        break;
+      case EdgeKind::kControl:
+        os << " [style=dotted]";
+        break;
+      case EdgeKind::kTemporal:
+        os << " [style=dashed, color=red, constraint=true]";
+        break;
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string toDot(const Cdfg& g, const DotOptions& options) {
+  std::ostringstream os;
+  writeDot(os, g, options);
+  return os.str();
+}
+
+}  // namespace locwm::cdfg

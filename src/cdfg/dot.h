@@ -1,0 +1,30 @@
+// Graphviz DOT export for CDFGs.
+//
+// Purely diagnostic: lets a user eyeball a workload, a selected watermark
+// locality, or the temporal edges a watermark added (rendered dashed red).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace locwm::cdfg {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  /// Nodes to highlight (e.g. the watermark locality), drawn filled.
+  std::vector<NodeId> highlight;
+  /// Graph name used in the `digraph` header.
+  std::string name = "cdfg";
+};
+
+/// Writes `g` to `os` in Graphviz DOT syntax.  Temporal edges are rendered
+/// dashed red; control edges dotted; data edges solid.
+void writeDot(std::ostream& os, const Cdfg& g, const DotOptions& options = {});
+
+/// Convenience: renders to a string.
+[[nodiscard]] std::string toDot(const Cdfg& g, const DotOptions& options = {});
+
+}  // namespace locwm::cdfg

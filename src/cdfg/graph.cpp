@@ -1,0 +1,226 @@
+#include "cdfg/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace locwm::cdfg {
+
+std::string_view edgeKindName(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kData:
+      return "data";
+    case EdgeKind::kControl:
+      return "control";
+    case EdgeKind::kTemporal:
+      return "temporal";
+  }
+  return "?";
+}
+
+NodeId Cdfg::addNode(OpKind kind, std::string name) {
+  const auto id = NodeId(static_cast<NodeId::value_type>(nodes_.size()));
+  nodes_.push_back(Node{kind, std::move(name)});
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+EdgeId Cdfg::addEdge(NodeId src, NodeId dst, EdgeKind kind) {
+  checkNode(src);
+  checkNode(dst);
+  detail::check<GraphError>(src != dst, "self-edge is not allowed");
+  if (kind == EdgeKind::kTemporal) {
+    detail::check<GraphError>(!hasEdge(src, dst, EdgeKind::kTemporal),
+                              "duplicate temporal edge");
+  }
+  const auto id = EdgeId(static_cast<EdgeId::value_type>(edges_.size()));
+  edges_.push_back(Edge{src, dst, kind});
+  out_[src.value()].push_back(id);
+  in_[dst.value()].push_back(id);
+  return id;
+}
+
+const Node& Cdfg::node(NodeId id) const {
+  checkNode(id);
+  return nodes_[id.value()];
+}
+
+const Edge& Cdfg::edge(EdgeId id) const {
+  detail::check<GraphError>(id.isValid() && id.value() < edges_.size(),
+                            "edge id out of range");
+  return edges_[id.value()];
+}
+
+void Cdfg::setNodeName(NodeId id, std::string name) {
+  checkNode(id);
+  nodes_[id.value()].name = std::move(name);
+}
+
+const std::vector<EdgeId>& Cdfg::inEdges(NodeId id) const {
+  checkNode(id);
+  return in_[id.value()];
+}
+
+const std::vector<EdgeId>& Cdfg::outEdges(NodeId id) const {
+  checkNode(id);
+  return out_[id.value()];
+}
+
+std::vector<NodeId> Cdfg::predecessors(NodeId id, bool includeTemporal) const {
+  std::vector<NodeId> result;
+  for (const EdgeId e : inEdges(id)) {
+    const Edge& ed = edges_[e.value()];
+    if (ed.kind == EdgeKind::kTemporal && !includeTemporal) {
+      continue;
+    }
+    result.push_back(ed.src);
+  }
+  return result;
+}
+
+std::vector<NodeId> Cdfg::successors(NodeId id, bool includeTemporal) const {
+  std::vector<NodeId> result;
+  for (const EdgeId e : outEdges(id)) {
+    const Edge& ed = edges_[e.value()];
+    if (ed.kind == EdgeKind::kTemporal && !includeTemporal) {
+      continue;
+    }
+    result.push_back(ed.dst);
+  }
+  return result;
+}
+
+std::vector<NodeId> Cdfg::dataPredecessors(NodeId id) const {
+  std::vector<NodeId> result;
+  for (const EdgeId e : inEdges(id)) {
+    const Edge& ed = edges_[e.value()];
+    if (ed.kind == EdgeKind::kData) {
+      result.push_back(ed.src);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Cdfg::dataSuccessors(NodeId id) const {
+  std::vector<NodeId> result;
+  for (const EdgeId e : outEdges(id)) {
+    const Edge& ed = edges_[e.value()];
+    if (ed.kind == EdgeKind::kData) {
+      result.push_back(ed.dst);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Cdfg::allNodes() const {
+  std::vector<NodeId> result;
+  result.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    result.emplace_back(static_cast<NodeId::value_type>(i));
+  }
+  return result;
+}
+
+std::vector<EdgeId> Cdfg::allEdges() const {
+  std::vector<EdgeId> result;
+  result.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    result.emplace_back(static_cast<EdgeId::value_type>(i));
+  }
+  return result;
+}
+
+std::vector<EdgeId> Cdfg::temporalEdges() const {
+  std::vector<EdgeId> result;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].kind == EdgeKind::kTemporal) {
+      result.emplace_back(static_cast<EdgeId::value_type>(i));
+    }
+  }
+  return result;
+}
+
+bool Cdfg::hasEdge(NodeId src, NodeId dst, EdgeKind kind) const {
+  checkNode(src);
+  checkNode(dst);
+  const auto& outs = out_[src.value()];
+  return std::any_of(outs.begin(), outs.end(), [&](EdgeId e) {
+    const Edge& ed = edges_[e.value()];
+    return ed.dst == dst && ed.kind == kind;
+  });
+}
+
+NodeId Cdfg::findByName(std::string_view name) const {
+  NodeId found = NodeId::invalid();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) {
+      if (found.isValid()) {
+        return NodeId::invalid();  // ambiguous
+      }
+      found = NodeId(static_cast<NodeId::value_type>(i));
+    }
+  }
+  return found;
+}
+
+Cdfg Cdfg::stripTemporalEdges() const {
+  Cdfg out;
+  for (const Node& n : nodes_) {
+    out.addNode(n.kind, n.name);
+  }
+  for (const Edge& e : edges_) {
+    if (e.kind != EdgeKind::kTemporal) {
+      out.addEdge(e.src, e.dst, e.kind);
+    }
+  }
+  return out;
+}
+
+void Cdfg::checkAcyclic() const {
+  (void)topologicalOrder(/*includeTemporal=*/true);
+}
+
+std::vector<NodeId> Cdfg::topologicalOrder(bool includeTemporal) const {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const Edge& e : edges_) {
+    if (e.kind == EdgeKind::kTemporal && !includeTemporal) {
+      continue;
+    }
+    ++indegree[e.dst.value()];
+  }
+  // Deterministic Kahn's algorithm: lowest node id first.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) {
+      ready.push(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.top();
+    ready.pop();
+    order.emplace_back(v);
+    for (const EdgeId e : out_[v]) {
+      const Edge& ed = edges_[e.value()];
+      if (ed.kind == EdgeKind::kTemporal && !includeTemporal) {
+        continue;
+      }
+      if (--indegree[ed.dst.value()] == 0) {
+        ready.push(ed.dst.value());
+      }
+    }
+  }
+  detail::check<GraphError>(order.size() == nodes_.size(),
+                            "CDFG contains a dependence cycle");
+  return order;
+}
+
+void Cdfg::checkNode(NodeId id) const {
+  detail::check<GraphError>(id.isValid() && id.value() < nodes_.size(),
+                            "node id out of range");
+}
+
+}  // namespace locwm::cdfg

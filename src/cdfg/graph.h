@@ -1,0 +1,137 @@
+// Control-data flow graph (CDFG) — the computational model of the paper.
+//
+// A Cdfg is a directed acyclic multigraph whose nodes are operations and
+// whose edges come in three kinds:
+//
+//   * data edges      — value flow; they imply both a dependence and a
+//                       variable (the source's output feeding the sink);
+//   * control edges   — sequencing imposed by the control structure of the
+//                       specification (loop/branch skeleton);
+//   * temporal edges  — *additional* precedence constraints.  These are the
+//                       carrier of the scheduling watermark (§IV-A): a
+//                       temporal edge forces its source operation to be
+//                       scheduled strictly before its destination.
+//
+// The graph owns its nodes and edges; ids are dense indices and remain valid
+// for the lifetime of the graph (no removal — watermark "removal" is
+// modelled by constructing a new graph without the temporal edges, see
+// stripTemporalEdges()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "cdfg/ids.h"
+#include "cdfg/operation.h"
+
+namespace locwm::cdfg {
+
+/// Kind of a CDFG edge.  See file comment.
+enum class EdgeKind : std::uint8_t {
+  kData = 0,
+  kControl = 1,
+  kTemporal = 2,
+};
+
+/// Stable mnemonic ("data" / "control" / "temporal").
+[[nodiscard]] std::string_view edgeKindName(EdgeKind kind) noexcept;
+
+/// One operation of the computation.
+struct Node {
+  OpKind kind = OpKind::kAdd;
+  /// Human-readable label ("A5", "C3", ...).  Not used by any algorithm —
+  /// identification is structural (see ordering.h) — but kept for reports
+  /// and DOT output.
+  std::string name;
+};
+
+/// One dependence between two operations.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  EdgeKind kind = EdgeKind::kData;
+};
+
+/// The control-data flow graph.
+class Cdfg {
+ public:
+  Cdfg() = default;
+
+  /// Adds a node; returns its id.  Ids are dense: the i-th added node has
+  /// id value i.
+  NodeId addNode(OpKind kind, std::string name = {});
+
+  /// Adds an edge of the given kind.  Both endpoints must exist and be
+  /// distinct.  Duplicate edges of the same kind are permitted for data
+  /// (an operation may consume the same value twice) but rejected for
+  /// temporal edges (a watermark constraint is a set).
+  EdgeId addEdge(NodeId src, NodeId dst, EdgeKind kind = EdgeKind::kData);
+
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// Renames a node (labels only; no structural effect).
+  void setNodeName(NodeId id, std::string name);
+
+  /// All edges entering `id`, in insertion order.
+  [[nodiscard]] const std::vector<EdgeId>& inEdges(NodeId id) const;
+  /// All edges leaving `id`, in insertion order.
+  [[nodiscard]] const std::vector<EdgeId>& outEdges(NodeId id) const;
+
+  /// Predecessors of `id` over edges whose kind passes `includeTemporal`
+  /// selection.  Data and control edges are always included; temporal edges
+  /// only when requested.  Duplicates (multi-edges) are preserved.
+  [[nodiscard]] std::vector<NodeId> predecessors(NodeId id,
+                                                 bool includeTemporal = false) const;
+  [[nodiscard]] std::vector<NodeId> successors(NodeId id,
+                                               bool includeTemporal = false) const;
+
+  /// Predecessors over *data* edges only (the operand producers).
+  [[nodiscard]] std::vector<NodeId> dataPredecessors(NodeId id) const;
+  /// Successors over *data* edges only (the value consumers).
+  [[nodiscard]] std::vector<NodeId> dataSuccessors(NodeId id) const;
+
+  /// Iteration over all node ids [0, nodeCount).
+  [[nodiscard]] std::vector<NodeId> allNodes() const;
+  /// Iteration over all edge ids [0, edgeCount).
+  [[nodiscard]] std::vector<EdgeId> allEdges() const;
+  /// Ids of all temporal edges, in insertion order.
+  [[nodiscard]] std::vector<EdgeId> temporalEdges() const;
+
+  /// True if an edge (src, dst) of the given kind exists.
+  [[nodiscard]] bool hasEdge(NodeId src, NodeId dst, EdgeKind kind) const;
+
+  /// Looks a node up by label.  Returns NodeId::invalid() when absent or
+  /// ambiguous.  Intended for tests and workload construction.
+  [[nodiscard]] NodeId findByName(std::string_view name) const;
+
+  /// A copy of this graph with every temporal edge removed — the published
+  /// design after the watermarking constraints are stripped (Fig. 1's final
+  /// step removes the *constraints*; the schedule that honoured them is what
+  /// carries the mark).
+  [[nodiscard]] Cdfg stripTemporalEdges() const;
+
+  /// Verifies that the graph is acyclic over data+control+temporal edges.
+  /// Throws GraphError when a cycle exists.  Cheap enough to call after
+  /// construction and after watermark embedding.
+  void checkAcyclic() const;
+
+  /// Topological order over data+control (+optionally temporal) edges.
+  /// Throws GraphError on a cycle.
+  [[nodiscard]] std::vector<NodeId> topologicalOrder(bool includeTemporal = true) const;
+
+ private:
+  void checkNode(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,161 @@
+#include "cdfg/hierarchy.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+#include "cdfg/subgraph.h"
+
+namespace locwm::cdfg {
+
+HierarchicalCdfg::HierarchicalCdfg(Cdfg body) {
+  body.checkAcyclic();
+  Region root;
+  root.region_kind = RegionKind::kBody;
+  root.graph = std::move(body);
+  regions_.push_back(std::move(root));
+}
+
+RegionId HierarchicalCdfg::addRegion(RegionId parent, RegionKind kind,
+                                     Cdfg body,
+                                     std::vector<PortBinding> bindings,
+                                     std::vector<PortBinding> carried) {
+  checkRegion(parent);
+  body.checkAcyclic();
+  for (const PortBinding& b : bindings) {
+    detail::check<GraphError>(
+        b.from.isValid() &&
+            b.from.value() < regions_[parent.value()].graph.nodeCount(),
+        "addRegion: binding source outside the parent region");
+    detail::check<GraphError>(
+        b.to.isValid() && b.to.value() < body.nodeCount() &&
+            body.node(b.to).kind == OpKind::kInput,
+        "addRegion: binding target must be a child input port");
+  }
+  detail::check<GraphError>(kind == RegionKind::kLoop || carried.empty(),
+                            "addRegion: carried values only make sense for "
+                            "loops");
+  for (const PortBinding& c : carried) {
+    detail::check<GraphError>(
+        c.from.isValid() && c.from.value() < body.nodeCount() &&
+            c.to.isValid() && c.to.value() < body.nodeCount() &&
+            body.node(c.to).kind == OpKind::kInput,
+        "addRegion: carried pair must map a body value to a body input");
+  }
+  Region region;
+  region.region_kind = kind;
+  region.graph = std::move(body);
+  region.parent = parent;
+  region.bindings = std::move(bindings);
+  region.carried = std::move(carried);
+  regions_.push_back(std::move(region));
+  return RegionId(static_cast<RegionId::value_type>(regions_.size() - 1));
+}
+
+const Cdfg& HierarchicalCdfg::body(RegionId r) const {
+  checkRegion(r);
+  return regions_[r.value()].graph;
+}
+
+RegionKind HierarchicalCdfg::kind(RegionId r) const {
+  checkRegion(r);
+  return regions_[r.value()].region_kind;
+}
+
+std::vector<RegionId> HierarchicalCdfg::children(RegionId r) const {
+  checkRegion(r);
+  std::vector<RegionId> result;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].parent == r) {
+      result.emplace_back(static_cast<RegionId::value_type>(i));
+    }
+  }
+  return result;
+}
+
+std::size_t HierarchicalCdfg::totalOperations() const {
+  std::size_t total = 0;
+  for (const Region& region : regions_) {
+    for (const NodeId v : region.graph.allNodes()) {
+      total += !isPseudoOp(region.graph.node(v).kind);
+    }
+  }
+  return total;
+}
+
+void HierarchicalCdfg::checkRegion(RegionId r) const {
+  detail::check<GraphError>(r.isValid() && r.value() < regions_.size(),
+                            "region id out of range");
+}
+
+Cdfg HierarchicalCdfg::flatten(std::uint32_t unroll,
+                               std::vector<NodeMap>* firstInstanceMap) const {
+  detail::check<GraphError>(unroll >= 1, "flatten: unroll must be >= 1");
+  Cdfg flat;
+  std::vector<NodeMap> first(regions_.size());
+
+  // Instantiate the root once, then each region in declaration order
+  // (parents precede children by construction).
+  std::vector<std::vector<NodeMap>> instances(regions_.size());
+
+  for (std::size_t ri = 0; ri < regions_.size(); ++ri) {
+    const Region& region = regions_[ri];
+    const std::uint32_t copies =
+        region.region_kind == RegionKind::kLoop ? unroll : 1;
+    for (std::uint32_t c = 0; c < copies; ++c) {
+      NodeMap map;
+      for (const NodeId v : region.graph.allNodes()) {
+        const Node& n = region.graph.node(v);
+        std::string name = n.name;
+        if (!name.empty() && (copies > 1 || ri > 0)) {
+          name += "@r" + std::to_string(ri);
+          if (copies > 1) {
+            name += "i" + std::to_string(c);
+          }
+        }
+        map.emplace(v, flat.addNode(n.kind, std::move(name)));
+      }
+      for (const EdgeId e : region.graph.allEdges()) {
+        const Edge& ed = region.graph.edge(e);
+        flat.addEdge(map.at(ed.src), map.at(ed.dst), ed.kind);
+      }
+      instances[ri].push_back(std::move(map));
+    }
+    first[ri] = instances[ri].front();
+
+    if (ri == 0) {
+      continue;
+    }
+    // Wire the region to its parent's FIRST instance: parent values feed
+    // the child's input ports (pseudo-op boundary preserved).
+    const NodeMap& parent_map = instances[region.parent.value()].front();
+    for (const PortBinding& b : region.bindings) {
+      flat.addEdge(parent_map.at(b.from), instances[ri].front().at(b.to),
+                   EdgeKind::kData);
+    }
+    // Chain loop iterations: copy c's carried outputs feed copy c+1's
+    // input ports; non-carried bindings repeat from the parent.
+    for (std::uint32_t c = 1; c < instances[ri].size(); ++c) {
+      for (const PortBinding& b : region.bindings) {
+        bool carried_port = false;
+        for (const PortBinding& cv : region.carried) {
+          carried_port |= cv.to == b.to;
+        }
+        if (!carried_port) {
+          flat.addEdge(parent_map.at(b.from), instances[ri][c].at(b.to),
+                       EdgeKind::kData);
+        }
+      }
+      for (const PortBinding& cv : region.carried) {
+        flat.addEdge(instances[ri][c - 1].at(cv.from),
+                     instances[ri][c].at(cv.to), EdgeKind::kData);
+      }
+    }
+  }
+  flat.checkAcyclic();
+  if (firstInstanceMap != nullptr) {
+    *firstInstanceMap = std::move(first);
+  }
+  return flat;
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,94 @@
+// Hierarchical CDFG — the paper's §II syntax: "the targeted computation is
+// defined as a hierarchical control-data flow graph (CDFG)" (HYPER [9]).
+//
+// A hierarchical design is a tree of *regions*: the root straight-line
+// body plus nested loop and conditional bodies, each an ordinary Cdfg.
+// Region boundaries pass values through the child region's kInput nodes
+// and consume its outputs — the same pseudo-op port convention the
+// watermark locality derivation treats as an uncrossable boundary, so a
+// watermark embedded in a region body is derived from that body alone and
+// survives however the region is composed, unrolled, or inlined.
+//
+// flatten() lowers the hierarchy into one schedulable Cdfg: each loop body
+// is instantiated `unroll` times (iterations chained through the loop's
+// carried values); conditional bodies are inlined once, speculatively —
+// the HLS convention of scheduling both-sides-then-select, with the
+// select itself belonging to the parent body.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "cdfg/ids.h"
+#include "cdfg/subgraph.h"
+
+namespace locwm::cdfg {
+
+/// Kind of a region.
+enum class RegionKind : std::uint8_t {
+  kBody = 0,  ///< straight-line body (the root, or a sub-block)
+  kLoop = 1,  ///< iterated body with loop-carried values
+  kCond = 2,  ///< conditionally-executed body (inlined speculatively)
+};
+
+/// Identifies a region within one HierarchicalCdfg.
+using RegionId = detail::StrongId<struct RegionIdTag>;
+
+/// One port connection between a parent region and a child region: the
+/// parent's value `from` feeds the child's primary input `to` (an
+/// OpKind::kInput node of the child's graph).
+struct PortBinding {
+  NodeId from;  ///< node in the parent region's graph
+  NodeId to;    ///< kInput node in the child region's graph
+};
+
+/// A hierarchical design.
+class HierarchicalCdfg {
+ public:
+  /// Creates the root region from `body`.
+  explicit HierarchicalCdfg(Cdfg body);
+
+  /// Adds a child region under `parent`.  `bindings` wire parent values to
+  /// the child's input ports.  For kLoop, `carried` pairs each loop-output
+  /// (node in the child graph) with the loop-input port it feeds on the
+  /// next iteration.
+  RegionId addRegion(RegionId parent, RegionKind kind, Cdfg body,
+                     std::vector<PortBinding> bindings,
+                     std::vector<PortBinding> carried = {});
+
+  [[nodiscard]] std::size_t regionCount() const noexcept {
+    return regions_.size();
+  }
+  [[nodiscard]] static RegionId root() { return RegionId(0); }
+  [[nodiscard]] const Cdfg& body(RegionId r) const;
+  [[nodiscard]] RegionKind kind(RegionId r) const;
+  [[nodiscard]] std::vector<RegionId> children(RegionId r) const;
+
+  /// Total operations across all regions (each loop body counted once).
+  [[nodiscard]] std::size_t totalOperations() const;
+
+  /// Lowers the hierarchy into one flat Cdfg.  Loop bodies are cloned
+  /// `unroll` times with carried values chained between the copies;
+  /// conditional arms are both instantiated.  Returns the flat graph and,
+  /// via `firstInstanceMap` (optional), the mapping from each region's
+  /// node ids to their first-instance ids in the flat graph.
+  [[nodiscard]] Cdfg flatten(
+      std::uint32_t unroll = 1,
+      std::vector<NodeMap>* firstInstanceMap = nullptr) const;
+
+ private:
+  struct Region {
+    RegionKind region_kind = RegionKind::kBody;
+    Cdfg graph;
+    RegionId parent = RegionId::invalid();
+    std::vector<PortBinding> bindings;
+    std::vector<PortBinding> carried;
+  };
+  void checkRegion(RegionId r) const;
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace locwm::cdfg

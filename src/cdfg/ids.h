@@ -1,0 +1,85 @@
+// Strong identifier types used throughout the library.
+//
+// Node/edge identifiers are thin wrappers around uint32_t so that the type
+// system prevents mixing a node index with an edge index or a control step.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace locwm {
+
+namespace detail {
+
+/// CRTP-free strong id: a tagged 32-bit index with an explicit invalid
+/// sentinel.  Tag is an empty struct used only to distinguish id families.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  /// Sentinel distinct from every valid id.
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId(std::numeric_limits<value_type>::max());
+  }
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool isValid() const {
+    return value_ != std::numeric_limits<value_type>::max();
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  value_type value_ = std::numeric_limits<value_type>::max();
+};
+
+}  // namespace detail
+
+struct NodeIdTag {};
+struct EdgeIdTag {};
+struct TemplateIdTag {};
+struct MatchIdTag {};
+
+/// Identifies a CDFG node (operation).
+using NodeId = detail::StrongId<NodeIdTag>;
+/// Identifies a CDFG edge (data, control, or temporal).
+using EdgeId = detail::StrongId<EdgeIdTag>;
+/// Identifies a template (module) in a template library.
+using TemplateId = detail::StrongId<TemplateIdTag>;
+/// Identifies one enumerated matching in a matching list.
+using MatchId = detail::StrongId<MatchIdTag>;
+
+/// The id family is shared across all sub-namespaces; re-export them where
+/// client code qualifies through the module namespace.
+namespace cdfg {
+using locwm::EdgeId;
+using locwm::MatchId;
+using locwm::NodeId;
+using locwm::TemplateId;
+}  // namespace cdfg
+
+}  // namespace locwm
+
+namespace std {
+
+template <typename Tag>
+struct hash<locwm::detail::StrongId<Tag>> {
+  size_t operator()(locwm::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,116 @@
+#include "cdfg/io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace locwm::cdfg {
+
+void print(std::ostream& os, const Cdfg& g) {
+  os << "cdfg v1\n";
+  for (const NodeId v : g.allNodes()) {
+    const Node& n = g.node(v);
+    os << "node " << v.value() << ' ' << opName(n.kind);
+    if (!n.name.empty()) {
+      os << ' ' << n.name;
+    }
+    os << '\n';
+  }
+  for (const EdgeId e : g.allEdges()) {
+    const Edge& ed = g.edge(e);
+    os << "edge " << ed.src.value() << ' ' << ed.dst.value() << ' '
+       << edgeKindName(ed.kind) << '\n';
+  }
+}
+
+std::string printToString(const Cdfg& g) {
+  std::ostringstream os;
+  print(os, g);
+  return os.str();
+}
+
+Cdfg parse(std::istream& is) {
+  Cdfg g;
+  std::string line;
+  std::size_t lineno = 0;
+  bool sawHeader = false;
+  auto fail = [&](const std::string& why) -> void {
+    throw ParseError("cdfg parse error at line " + std::to_string(lineno) +
+                     ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;  // blank
+    }
+    if (word == "cdfg") {
+      std::string version;
+      if (!(ls >> version) || version != "v1") {
+        fail("unsupported version");
+      }
+      sawHeader = true;
+    } else if (word == "node") {
+      if (!sawHeader) {
+        fail("missing 'cdfg v1' header");
+      }
+      std::uint32_t index = 0;
+      std::string op;
+      std::string label;
+      if (!(ls >> index >> op)) {
+        fail("malformed node line");
+      }
+      ls >> label;  // optional
+      if (index != g.nodeCount()) {
+        fail("node indices must be dense and ascending");
+      }
+      const auto kind = opFromName(op);
+      if (!kind) {
+        fail("unknown operation '" + op + "'");
+      }
+      g.addNode(*kind, label);
+    } else if (word == "edge") {
+      if (!sawHeader) {
+        fail("missing 'cdfg v1' header");
+      }
+      std::uint32_t src = 0;
+      std::uint32_t dst = 0;
+      std::string kindName;
+      if (!(ls >> src >> dst >> kindName)) {
+        fail("malformed edge line");
+      }
+      EdgeKind kind = EdgeKind::kData;
+      if (kindName == "data") {
+        kind = EdgeKind::kData;
+      } else if (kindName == "control") {
+        kind = EdgeKind::kControl;
+      } else if (kindName == "temporal") {
+        kind = EdgeKind::kTemporal;
+      } else {
+        fail("unknown edge kind '" + kindName + "'");
+      }
+      if (src >= g.nodeCount() || dst >= g.nodeCount()) {
+        fail("edge references undeclared node");
+      }
+      g.addEdge(NodeId(src), NodeId(dst), kind);
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!sawHeader) {
+    throw ParseError("cdfg parse error: empty input");
+  }
+  g.checkAcyclic();
+  return g;
+}
+
+Cdfg parseString(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+}  // namespace locwm::cdfg

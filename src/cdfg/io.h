@@ -1,0 +1,34 @@
+// Plain-text serialization of CDFGs.
+//
+// Format (line oriented, '#' comments):
+//
+//   cdfg v1
+//   node <index> <opname> [label]
+//   edge <src-index> <dst-index> <data|control|temporal>
+//
+// Node indices must be dense and ascending.  The format round-trips
+// exactly: parse(print(g)) is structurally identical to g.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "cdfg/graph.h"
+
+namespace locwm::cdfg {
+
+/// Writes `g` in the text format described above.
+void print(std::ostream& os, const Cdfg& g);
+
+/// Renders `g` to a string.
+[[nodiscard]] std::string printToString(const Cdfg& g);
+
+/// Parses a graph from the text format.  Throws ParseError on malformed
+/// input.
+[[nodiscard]] Cdfg parse(std::istream& is);
+
+/// Parses a graph from a string.
+[[nodiscard]] Cdfg parseString(const std::string& text);
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,80 @@
+#include "cdfg/operation.h"
+
+#include <array>
+
+namespace locwm::cdfg {
+
+namespace {
+
+constexpr std::array<std::string_view, kOpKindCount> kNames = {
+    "input",  "add",   "mul",   "sub",   "cmul",  "shift", "and",
+    "or",     "xor",   "not",   "neg",   "cmp",   "mux",   "load",
+    "store",  "branch", "div",  "const", "copy",  "output",
+};
+
+constexpr std::array<FuClass, kOpKindCount> kFuClasses = {
+    /*input*/ FuClass::kNone, /*add*/ FuClass::kAlu,
+    /*mul*/ FuClass::kMul,    /*sub*/ FuClass::kAlu,
+    /*cmul*/ FuClass::kMul,   /*shift*/ FuClass::kAlu,
+    /*and*/ FuClass::kAlu,    /*or*/ FuClass::kAlu,
+    /*xor*/ FuClass::kAlu,    /*not*/ FuClass::kAlu,
+    /*neg*/ FuClass::kAlu,    /*cmp*/ FuClass::kAlu,
+    /*mux*/ FuClass::kAlu,    /*load*/ FuClass::kMem,
+    /*store*/ FuClass::kMem,  /*branch*/ FuClass::kBranch,
+    /*div*/ FuClass::kMul,    /*const*/ FuClass::kNone,
+    /*copy*/ FuClass::kAlu,   /*output*/ FuClass::kNone,
+};
+
+}  // namespace
+
+std::string_view opName(OpKind kind) noexcept {
+  return kNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<OpKind> opFromName(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) {
+      return static_cast<OpKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+FuClass fuClass(OpKind kind) noexcept {
+  return kFuClasses[static_cast<std::size_t>(kind)];
+}
+
+std::string_view fuClassName(FuClass fu) noexcept {
+  switch (fu) {
+    case FuClass::kNone:
+      return "none";
+    case FuClass::kAlu:
+      return "alu";
+    case FuClass::kMul:
+      return "mul";
+    case FuClass::kMem:
+      return "mem";
+    case FuClass::kBranch:
+      return "branch";
+  }
+  return "?";
+}
+
+bool isPseudoOp(OpKind kind) noexcept {
+  return fuClass(kind) == FuClass::kNone;
+}
+
+bool isCommutative(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,88 @@
+// Operation vocabulary of the CDFG computational model.
+//
+// The paper restricts attention to homogeneous synchronous data flow: every
+// node consumes and produces exactly one sample per invocation.  Nodes carry
+// an operation kind drawn from the vocabulary below, which covers the DSP /
+// communications domain of the paper's benchmarks (HYPER-style datapath ops)
+// plus the memory/branch operations needed by the VLIW Table I platform.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace locwm::cdfg {
+
+/// Operation performed by a CDFG node.
+///
+/// The integral values are the "unique identifiers for the functionality
+/// performed by a node" referenced by ordering criterion C3 of the paper
+/// (addition = 1, multiplication = 2, ...).  They are part of the detection
+/// protocol and must therefore stay stable across versions.
+enum class OpKind : std::uint8_t {
+  kInput = 0,    ///< primary input (source node)
+  kAdd = 1,      ///< addition (paper: functionality id 1)
+  kMul = 2,      ///< multiplication (paper: functionality id 2)
+  kSub = 3,      ///< subtraction
+  kConstMul = 4, ///< multiplication by a compile-time constant
+  kShift = 5,    ///< barrel shift
+  kAnd = 6,
+  kOr = 7,
+  kXor = 8,
+  kNot = 9,
+  kNeg = 10,
+  kCmp = 11,     ///< comparison producing a control value
+  kMux = 12,     ///< 2:1 data selector
+  kLoad = 13,    ///< memory read (VLIW memory unit)
+  kStore = 14,   ///< memory write (VLIW memory unit)
+  kBranch = 15,  ///< control transfer (VLIW branch unit)
+  kDiv = 16,
+  kConst = 17,   ///< compile-time constant (source node)
+  kCopy = 18,    ///< register-to-register move
+  kOutput = 19,  ///< primary output (sink node)
+};
+
+/// Number of distinct OpKind values; kinds are dense in [0, kOpKindCount).
+inline constexpr std::size_t kOpKindCount = 20;
+
+/// Functional-unit class an operation executes on.  Used by the
+/// resource-constrained schedulers and the VLIW machine model.
+enum class FuClass : std::uint8_t {
+  kNone = 0,   ///< pseudo-ops (inputs, outputs, constants) occupy no unit
+  kAlu = 1,    ///< add/sub/logic/compare/shift/mux/copy
+  kMul = 2,    ///< multiplier (divider shares the unit in our model)
+  kMem = 3,    ///< load/store unit
+  kBranch = 4, ///< branch unit
+};
+
+/// Number of distinct FuClass values.
+inline constexpr std::size_t kFuClassCount = 5;
+
+/// Stable mnemonic for an operation kind ("add", "mul", ...).
+[[nodiscard]] std::string_view opName(OpKind kind) noexcept;
+
+/// Inverse of opName.  Returns nullopt for unknown names.
+[[nodiscard]] std::optional<OpKind> opFromName(std::string_view name) noexcept;
+
+/// Functional-unit class the operation kind executes on.
+[[nodiscard]] FuClass fuClass(OpKind kind) noexcept;
+
+/// Stable mnemonic for a functional-unit class ("alu", "mul", ...).
+[[nodiscard]] std::string_view fuClassName(FuClass fu) noexcept;
+
+/// True for pseudo-operations that take no control step of their own
+/// (primary inputs/outputs and constants).
+[[nodiscard]] bool isPseudoOp(OpKind kind) noexcept;
+
+/// True when the operation's inputs may be swapped without changing the
+/// computed value.  Used by the template matcher.
+[[nodiscard]] bool isCommutative(OpKind kind) noexcept;
+
+/// The paper's C3 functionality identifier: a stable small integer per
+/// distinct operation ("addition is identified with 1, multiplication with
+/// 2, etc.").  Equals the underlying enum value.
+[[nodiscard]] constexpr std::uint8_t functionalityId(OpKind kind) noexcept {
+  return static_cast<std::uint8_t>(kind);
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,154 @@
+#include "cdfg/ordering.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace locwm::cdfg {
+
+namespace {
+
+/// Refinement key of one node in one round: its current rank plus the
+/// sorted multisets of its predecessor and successor ranks (within the
+/// ordered node set).  Rank vectors are ordinal, so the keys — and the
+/// ranks derived from them — are identical on any isomorphic copy of the
+/// structure, which is what detection-by-re-derivation requires.
+struct RefineKey {
+  std::uint32_t own = 0;
+  std::vector<std::uint32_t> preds;
+  std::vector<std::uint32_t> succs;
+
+  friend bool operator<(const RefineKey& a, const RefineKey& b) {
+    return std::tie(a.own, a.preds, a.succs) <
+           std::tie(b.own, b.preds, b.succs);
+  }
+  friend bool operator==(const RefineKey& a, const RefineKey& b) {
+    return a.own == b.own && a.preds == b.preds && a.succs == b.succs;
+  }
+};
+
+}  // namespace
+
+NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
+                             const std::vector<NodeId>& nodes,
+                             std::uint32_t maxDepth) {
+  // The base colour implements the paper's first criteria directly:
+  // C1 (level) refined by the node's own functionality (the D0 signature).
+  // The iterative colour refinement below then subsumes the C2/C3
+  // neighbourhood deepening — each round folds the ranks of all fanin
+  // nodes one step further away — and additionally folds in fanout
+  // structure, which fanin-only criteria cannot see (two taps feeding the
+  // same adder are separated by *who consumes them*, not by their inputs).
+  const auto& g = analysis.graph();
+  NodeOrdering result;
+  result.ordered = nodes;
+  const std::size_t n = nodes.size();
+
+  // Membership map: graph node value -> index in `nodes`, or npos.
+  constexpr std::uint32_t kOutside = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index_of(g.nodeCount(), kOutside);
+  for (std::size_t i = 0; i < n; ++i) {
+    index_of[nodes[i].value()] = static_cast<std::uint32_t>(i);
+  }
+
+  // ranks[i] = current colour of nodes[i].
+  std::vector<std::uint32_t> ranks(n, 0);
+  {
+    std::vector<std::pair<std::pair<std::uint32_t, std::uint8_t>,
+                          std::size_t>>
+        base;
+    base.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      base.push_back({{analysis.level(nodes[i]),
+                       functionalityId(g.node(nodes[i]).kind)},
+                      i});
+    }
+    std::sort(base.begin(), base.end());
+    std::uint32_t r = 0;
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      if (k > 0 && base[k].first != base[k - 1].first) {
+        ++r;
+      }
+      ranks[base[k].second] = r;
+    }
+  }
+
+  auto classCount = [&]() {
+    return ranks.empty()
+               ? std::size_t{0}
+               : static_cast<std::size_t>(
+                     *std::max_element(ranks.begin(), ranks.end())) +
+                     1;
+  };
+
+  std::uint32_t depth = 0;
+  std::size_t classes = classCount();
+  while (classes < n && depth < maxDepth) {
+    ++depth;
+    std::vector<std::pair<RefineKey, std::size_t>> keyed;
+    keyed.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      RefineKey key;
+      key.own = ranks[i];
+      for (const NodeId p : g.predecessors(nodes[i])) {
+        const std::uint32_t j = index_of[p.value()];
+        if (j != kOutside) {
+          key.preds.push_back(ranks[j]);
+        }
+      }
+      for (const NodeId s : g.successors(nodes[i])) {
+        const std::uint32_t j = index_of[s.value()];
+        if (j != kOutside) {
+          key.succs.push_back(ranks[j]);
+        }
+      }
+      std::sort(key.preds.begin(), key.preds.end());
+      std::sort(key.succs.begin(), key.succs.end());
+      keyed.push_back({std::move(key), i});
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint32_t r = 0;
+    for (std::size_t k = 0; k < keyed.size(); ++k) {
+      if (k > 0 && !(keyed[k].first == keyed[k - 1].first)) {
+        ++r;
+      }
+      ranks[keyed[k].second] = r;
+    }
+    const std::size_t now = classCount();
+    if (now == classes) {
+      break;  // refinement converged; remaining ties are automorphic
+    }
+    classes = now;
+  }
+
+  // Order nodes by final rank; ties (automorphic nodes) fall back to node
+  // id, which keeps the output deterministic but NOT canonical — callers
+  // must consult `ranks`/`unique` before relying on tied positions.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (ranks[a] != ranks[b]) {
+      return ranks[a] < ranks[b];
+    }
+    return nodes[a] < nodes[b];
+  });
+  NodeOrdering out;
+  out.ordered.reserve(n);
+  out.ranks.reserve(n);
+  for (const std::size_t i : perm) {
+    out.ordered.push_back(nodes[i]);
+    out.ranks.push_back(ranks[i]);
+  }
+  out.unique = classes == n;
+  out.max_depth_used = depth;
+  return out;
+}
+
+NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
+                             std::uint32_t maxDepth) {
+  return computeOrdering(analysis, analysis.graph().allNodes(), maxDepth);
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,51 @@
+// Small deterministic PRNG for workload generation.
+//
+// Workload generators must be bit-reproducible across platforms and
+// standard-library versions (std::mt19937's distributions are not), so we
+// carry our own SplitMix64 generator.  This PRNG is for *benchmark
+// synthesis only* — all watermarking randomness comes from the RC4 keyed
+// bitstream in crypto/, never from here.
+#pragma once
+
+#include <cstdint>
+
+namespace locwm::cdfg {
+
+/// SplitMix64 — tiny, fast, and statistically solid for the sizes we need.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 raw bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection sampling over the top bits to avoid modulo bias.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,123 @@
+#include "cdfg/random_dfg.h"
+
+#include <array>
+#include <vector>
+
+#include "cdfg/prng.h"
+
+namespace locwm::cdfg {
+
+namespace {
+
+OpKind drawOp(const RandomDfgOptions& o, SplitMix64& rng) {
+  struct Entry {
+    double weight;
+    OpKind kind;
+  };
+  const std::array<Entry, 11> entries = {{
+      {o.w_add, OpKind::kAdd},
+      {o.w_sub, OpKind::kSub},
+      {o.w_mul, OpKind::kMul},
+      {o.w_shift, OpKind::kShift},
+      {o.w_logic / 3.0, OpKind::kAnd},
+      {o.w_logic / 3.0, OpKind::kOr},
+      {o.w_logic / 3.0, OpKind::kXor},
+      {o.w_cmp, OpKind::kCmp},
+      {o.w_load, OpKind::kLoad},
+      {o.w_store, OpKind::kStore},
+      {o.w_branch, OpKind::kBranch},
+  }};
+  double total = 0;
+  for (const Entry& e : entries) {
+    total += e.weight;
+  }
+  detail::check<GraphError>(total > 0, "randomDfg(): all op weights zero");
+  double pick = rng.unit() * total;
+  for (const Entry& e : entries) {
+    pick -= e.weight;
+    if (pick <= 0) {
+      return e.kind;
+    }
+  }
+  return OpKind::kAdd;
+}
+
+/// Number of data operands an operation consumes.
+std::size_t arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNot:
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+    case OpKind::kLoad:
+    case OpKind::kShift:
+    case OpKind::kConstMul:
+      return 1;
+    case OpKind::kBranch:
+      return 1;
+    case OpKind::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+Cdfg randomDfg(const RandomDfgOptions& options, std::uint64_t seed) {
+  detail::check<GraphError>(options.operations > 0 && options.inputs > 0 &&
+                                options.width > 0,
+                            "randomDfg(): sizes must be positive");
+  SplitMix64 rng(seed);
+  Cdfg g;
+
+  // Layer 0: primary inputs.
+  std::vector<std::vector<NodeId>> layers(1);
+  for (std::size_t i = 0; i < options.inputs; ++i) {
+    layers[0].push_back(g.addNode(OpKind::kInput, "in" + std::to_string(i)));
+  }
+
+  std::size_t made = 0;
+  while (made < options.operations) {
+    const std::size_t remaining = options.operations - made;
+    const std::size_t layer_size =
+        std::min(remaining, 1 + rng.below(2 * options.width));
+    std::vector<NodeId> layer;
+    layer.reserve(layer_size);
+    for (std::size_t i = 0; i < layer_size; ++i) {
+      const OpKind kind = drawOp(options, rng);
+      const NodeId v = g.addNode(kind, "op" + std::to_string(made + i));
+      // Wire operands: mostly from the previous layer, sometimes long-range.
+      const std::size_t nin = arity(kind);
+      for (std::size_t a = 0; a < nin; ++a) {
+        std::size_t src_layer = layers.size() - 1;
+        if (layers.size() > 1 && rng.chance(options.long_edge_prob)) {
+          src_layer = rng.below(layers.size());
+        }
+        const auto& pool = layers[src_layer];
+        const NodeId src = pool[rng.below(pool.size())];
+        g.addEdge(src, v, EdgeKind::kData);
+      }
+      layer.push_back(v);
+    }
+    made += layer_size;
+    layers.push_back(std::move(layer));
+  }
+
+  // Export a fraction of the last layer (and any fanout-free values) as
+  // primary outputs so the graph has proper sinks.
+  std::size_t out_index = 0;
+  for (const NodeId v : layers.back()) {
+    if (rng.chance(options.output_fraction)) {
+      const NodeId o =
+          g.addNode(OpKind::kOutput, "out" + std::to_string(out_index++));
+      g.addEdge(v, o, EdgeKind::kData);
+    }
+  }
+  if (out_index == 0 && !layers.back().empty()) {
+    const NodeId o = g.addNode(OpKind::kOutput, "out0");
+    g.addEdge(layers.back().front(), o, EdgeKind::kData);
+  }
+  return g;
+}
+
+}  // namespace locwm::cdfg

@@ -1,0 +1,46 @@
+// Parameterized random DFG generator.
+//
+// Produces layered, DSP-flavoured data-flow graphs used by the property
+// tests (invariants must hold on arbitrary graphs) and by the
+// MediaBench-profile workload builder (see workloads/mediabench.h), which
+// instantiates it with per-application operation mixes.
+#pragma once
+
+#include <cstdint>
+
+#include "cdfg/graph.h"
+
+namespace locwm::cdfg {
+
+/// Knobs of the generator.  Defaults give a mid-size arithmetic DFG.
+struct RandomDfgOptions {
+  /// Number of real (non-pseudo) operations to generate.
+  std::size_t operations = 50;
+  /// Number of primary inputs feeding the first layer.
+  std::size_t inputs = 8;
+  /// Approximate operations per scheduling layer; controls parallelism vs
+  /// depth.  Larger → wider/shallower graph.
+  std::size_t width = 8;
+  /// Probability that an operand comes from a non-adjacent earlier layer
+  /// (long-range dependence) instead of the previous layer.
+  double long_edge_prob = 0.25;
+  /// Operation mix, as relative weights.  Order:
+  /// add, sub, mul, shift, logic(and/or/xor), cmp, load, store, branch.
+  double w_add = 4.0;
+  double w_sub = 2.0;
+  double w_mul = 2.0;
+  double w_shift = 1.0;
+  double w_logic = 1.0;
+  double w_cmp = 0.5;
+  double w_load = 0.0;
+  double w_store = 0.0;
+  double w_branch = 0.0;
+  /// Fraction of final-layer values exported through output nodes.
+  double output_fraction = 0.5;
+};
+
+/// Generates a random acyclic data-flow graph.  Deterministic in `seed`.
+[[nodiscard]] Cdfg randomDfg(const RandomDfgOptions& options,
+                             std::uint64_t seed);
+
+}  // namespace locwm::cdfg

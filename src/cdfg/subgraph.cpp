@@ -1,0 +1,118 @@
+#include "cdfg/subgraph.h"
+
+#include <algorithm>
+
+namespace locwm::cdfg {
+
+Cdfg inducedSubgraph(const Cdfg& g, const std::vector<NodeId>& nodes,
+                     NodeMap* outMap) {
+  Cdfg sub;
+  NodeMap map;
+  map.reserve(nodes.size());
+  for (const NodeId v : nodes) {
+    detail::check<GraphError>(!map.contains(v),
+                              "inducedSubgraph(): duplicate node in set");
+    map.emplace(v, sub.addNode(g.node(v).kind, g.node(v).name));
+  }
+  for (const EdgeId e : g.allEdges()) {
+    const Edge& ed = g.edge(e);
+    const auto s = map.find(ed.src);
+    const auto d = map.find(ed.dst);
+    if (s != map.end() && d != map.end()) {
+      sub.addEdge(s->second, d->second, ed.kind);
+    }
+  }
+  if (outMap != nullptr) {
+    *outMap = std::move(map);
+  }
+  return sub;
+}
+
+NodeMap embed(Cdfg& host, const Cdfg& part,
+              const std::vector<std::pair<NodeId, NodeId>>& stitches) {
+  NodeMap map;
+  map.reserve(part.nodeCount());
+  for (const NodeId v : part.allNodes()) {
+    map.emplace(v, host.addNode(part.node(v).kind, part.node(v).name));
+  }
+  for (const EdgeId e : part.allEdges()) {
+    const Edge& ed = part.edge(e);
+    host.addEdge(map.at(ed.src), map.at(ed.dst), ed.kind);
+  }
+  for (const auto& [hostNode, partNode] : stitches) {
+    host.addEdge(hostNode, map.at(partNode), EdgeKind::kData);
+  }
+  return map;
+}
+
+Cdfg cutPartition(const Cdfg& g, NodeId seed, std::uint32_t radius,
+                  NodeMap* outMap) {
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::vector<NodeId> keep;
+  std::vector<NodeId> frontier{seed};
+  seen[seed.value()] = true;
+  keep.push_back(seed);
+  for (std::uint32_t d = 0; d < radius && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      auto visit = [&](NodeId u) {
+        if (!seen[u.value()]) {
+          seen[u.value()] = true;
+          next.push_back(u);
+        }
+      };
+      for (const NodeId p : g.predecessors(v, /*includeTemporal=*/true)) {
+        visit(p);
+      }
+      for (const NodeId s : g.successors(v, /*includeTemporal=*/true)) {
+        visit(s);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    keep.insert(keep.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  std::sort(keep.begin(), keep.end());
+  return inducedSubgraph(g, keep, outMap);
+}
+
+Cdfg relabel(const Cdfg& g, const std::vector<std::uint32_t>& permutation,
+             NodeMap* outMap) {
+  detail::check<GraphError>(permutation.size() == g.nodeCount(),
+                            "relabel(): permutation size mismatch");
+  std::vector<std::uint32_t> inverse(permutation.size());
+  std::vector<bool> hit(permutation.size(), false);
+  for (std::size_t i = 0; i < permutation.size(); ++i) {
+    const std::uint32_t p = permutation[i];
+    detail::check<GraphError>(p < permutation.size() && !hit[p],
+                              "relabel(): not a permutation");
+    hit[p] = true;
+    inverse[p] = static_cast<std::uint32_t>(i);
+  }
+  Cdfg out;
+  NodeMap map;
+  for (std::size_t pos = 0; pos < inverse.size(); ++pos) {
+    const NodeId old(inverse[pos]);
+    map.emplace(old, out.addNode(g.node(old).kind, /*name=*/{}));
+  }
+  // Edge insertion order is also permuted (sorted by new endpoints) so the
+  // relabeled graph shares no incidental ordering with the original.
+  std::vector<Edge> edges;
+  edges.reserve(g.edgeCount());
+  for (const EdgeId e : g.allEdges()) {
+    const Edge& ed = g.edge(e);
+    edges.push_back(Edge{map.at(ed.src), map.at(ed.dst), ed.kind});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst, a.kind) < std::tie(b.src, b.dst, b.kind);
+  });
+  for (const Edge& ed : edges) {
+    out.addEdge(ed.src, ed.dst, ed.kind);
+  }
+  if (outMap != nullptr) {
+    *outMap = std::move(map);
+  }
+  return out;
+}
+
+}  // namespace locwm::cdfg

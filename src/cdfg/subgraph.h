@@ -1,0 +1,50 @@
+// Subgraph extraction, embedding, and cutting.
+//
+// These model the adversarial/design scenarios of the paper's introduction:
+// a protected core being *embedded* into a larger system-on-chip design, or
+// a valuable *partition* being cut out of a protected design.  Local
+// watermark detection must survive both, which the benches exercise.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "cdfg/ids.h"
+
+namespace locwm::cdfg {
+
+/// Mapping from node ids of one graph to node ids of another.
+using NodeMap = std::unordered_map<NodeId, NodeId>;
+
+/// Returns the subgraph of `g` induced by `nodes` (edges with both
+/// endpoints in the set are kept, all kinds).  `outMap`, when non-null,
+/// receives the old→new node mapping.
+[[nodiscard]] Cdfg inducedSubgraph(const Cdfg& g,
+                                   const std::vector<NodeId>& nodes,
+                                   NodeMap* outMap = nullptr);
+
+/// Copies every node and edge of `part` into `host`, returning the
+/// part→host node mapping.  Optionally stitches the embedded part into the
+/// host: each (hostNode → partNode) pair in `stitches` adds a data edge
+/// from an existing host node to an embedded node, modelling the part
+/// consuming host signals.
+NodeMap embed(Cdfg& host, const Cdfg& part,
+              const std::vector<std::pair<NodeId, NodeId>>& stitches = {});
+
+/// Extracts the partition of `g` within (undirected) radius `radius` of
+/// `seed` — an adversary cutting a valuable block out of a larger design.
+/// `outMap` receives the old→new mapping when non-null.
+[[nodiscard]] Cdfg cutPartition(const Cdfg& g, NodeId seed,
+                                std::uint32_t radius,
+                                NodeMap* outMap = nullptr);
+
+/// Deterministically relabels `g`: node ids are permuted by `permutation`
+/// (permutation[i] = new position of old node i) and names are dropped.
+/// Models a reverse-engineered netlist in which the author's indices and
+/// labels are gone but structure is intact.
+[[nodiscard]] Cdfg relabel(const Cdfg& g,
+                           const std::vector<std::uint32_t>& permutation,
+                           NodeMap* outMap = nullptr);
+
+}  // namespace locwm::cdfg

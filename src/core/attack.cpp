@@ -1,0 +1,139 @@
+#include "core/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "cdfg/error.h"
+#include "cdfg/prng.h"
+
+namespace locwm::wm {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+PerturbResult perturbSchedule(const cdfg::Cdfg& g, const sched::Schedule& s,
+                              const PerturbOptions& options) {
+  cdfg::SplitMix64 rng(options.seed);
+  PerturbResult result;
+  result.schedule = s;
+  sched::Schedule& cur = result.schedule;
+
+  std::vector<NodeId> real_ops;
+  for (const NodeId v : g.allNodes()) {
+    if (options.latency.latency(g.node(v).kind) > 0) {
+      real_ops.push_back(v);
+    }
+  }
+  if (real_ops.empty()) {
+    return result;
+  }
+
+  std::unordered_set<NodeId> touched;
+  for (std::size_t i = 0; i < options.moves; ++i) {
+    ++result.attempted;
+    const NodeId v = real_ops[rng.below(real_ops.size())];
+
+    // Feasible window of v given the current steps of its functional
+    // neighbours.  The adversary sees data/control edges only.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = options.max_makespan > 0
+                           ? options.max_makespan -
+                                 options.latency.latency(g.node(v).kind)
+                           : cur.makespan(g, options.latency) + 2;
+    for (const EdgeId e : g.inEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal) {
+        continue;
+      }
+      const std::uint32_t gap =
+          options.latency.edgeGap(g.node(ed.src).kind, ed.kind);
+      lo = std::max(lo, cur.at(ed.src) + gap);
+    }
+    bool cornered = false;
+    for (const EdgeId e : g.outEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal) {
+        continue;
+      }
+      if (options.latency.latency(g.node(ed.dst).kind) == 0) {
+        continue;  // pseudo sinks (outputs) ride along; adjusted below
+      }
+      const std::uint32_t gap =
+          options.latency.edgeGap(g.node(v).kind, ed.kind);
+      const std::uint32_t succ = cur.at(ed.dst);
+      if (succ < gap) {
+        cornered = true;
+        break;
+      }
+      hi = std::min(hi, succ - gap);
+    }
+    if (cornered || lo > hi) {
+      continue;
+    }
+    const auto t = static_cast<std::uint32_t>(
+        lo + rng.below(static_cast<std::uint64_t>(hi) - lo + 1));
+    if (t != cur.at(v)) {
+      cur.set(v, t);
+      ++result.changed;
+      touched.insert(v);
+      // Pseudo sinks downstream follow their producers.
+      for (const EdgeId e : g.outEdges(v)) {
+        const cdfg::Edge& ed = g.edge(e);
+        if (ed.kind == cdfg::EdgeKind::kTemporal ||
+            options.latency.latency(g.node(ed.dst).kind) > 0) {
+          continue;
+        }
+        std::uint32_t at_least = 0;
+        for (const EdgeId pe : g.inEdges(ed.dst)) {
+          const cdfg::Edge& ped = g.edge(pe);
+          if (ped.kind == cdfg::EdgeKind::kTemporal) {
+            continue;
+          }
+          at_least = std::max(
+              at_least, cur.at(ped.src) + options.latency.edgeGap(
+                                              g.node(ped.src).kind, ped.kind));
+        }
+        cur.set(ed.dst, at_least);
+      }
+    }
+  }
+  result.ops_touched = touched.size();
+  return result;
+}
+
+double edgeSurvivalProbability(double f) {
+  detail::check(f >= 0.0 && f <= 1.0,
+                "edgeSurvivalProbability: f must be in [0,1]");
+  return (1.0 - f) * (1.0 - f);
+}
+
+double eraseProbability(std::size_t n_ops, std::size_t k_edges,
+                        std::size_t pairs) {
+  detail::check(n_ops > 0, "eraseProbability: empty design");
+  const double f =
+      std::min(1.0, 2.0 * static_cast<double>(pairs) /
+                        static_cast<double>(n_ops));
+  const double s = edgeSurvivalProbability(f);
+  // log-domain: (1-s)^K.
+  if (s >= 1.0) {
+    return k_edges == 0 ? 1.0 : 0.0;
+  }
+  return std::exp(static_cast<double>(k_edges) * std::log1p(-s));
+}
+
+std::size_t requiredAlterations(std::size_t n_ops, std::size_t k_edges,
+                                double target) {
+  detail::check(target > 0.0 && target < 1.0,
+                "requiredAlterations: target must be in (0,1)");
+  detail::check(k_edges > 0, "requiredAlterations: no edges to erase");
+  // Invert (1 - (1-f)^2)^K = target:
+  //   f* = 1 - sqrt(1 - target^(1/K)),  pairs = ceil(f*·n/2).
+  const double root =
+      std::exp(std::log(target) / static_cast<double>(k_edges));
+  const double f_star = 1.0 - std::sqrt(1.0 - root);
+  return static_cast<std::size_t>(
+      std::ceil(f_star * static_cast<double>(n_ops) / 2.0));
+}
+
+}  // namespace locwm::wm

@@ -1,0 +1,74 @@
+// Adversarial models: local tampering of scheduling solutions (§IV-A,
+// "second" property — resistance against tampering).
+//
+// Two complementary tools:
+//
+//  * perturbSchedule — a concrete adversary that repeatedly moves random
+//    operations to other feasible steps (honouring the *functional*
+//    dependences only; the adversary cannot see the watermark's temporal
+//    edges).  Running detection after increasing perturbation budgets
+//    yields the watermark-survival curve.
+//
+//  * the analytic tamper model behind the paper's 100k-op example: if a
+//    fraction f of operations have their execution order altered, a
+//    watermark edge survives with probability s = (1−f)², and the attacker
+//    erases ALL K edges with probability (1−s)^K.  The paper's numbers
+//    (alter ≥31,729 pairs ≈ 63% of a 100,000-op solution for a 1e−6 erase
+//    chance at K = 100) fall out of exactly this model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::wm {
+
+/// Options of the perturbation adversary.
+struct PerturbOptions {
+  /// Number of move attempts.
+  std::size_t moves = 100;
+  /// Deterministic seed of the adversary's randomness.
+  std::uint64_t seed = 1;
+  sched::LatencyModel latency = sched::LatencyModel::unit();
+  /// When set, moves never extend the schedule beyond this step count
+  /// (an adversary unwilling to pay latency for the attack).
+  std::uint32_t max_makespan = 0;  // 0 = unbounded
+};
+
+/// Result of a perturbation run.
+struct PerturbResult {
+  sched::Schedule schedule;
+  std::size_t attempted = 0;
+  /// Moves that actually changed a start step.
+  std::size_t changed = 0;
+  /// Distinct operations whose step changed at least once.
+  std::size_t ops_touched = 0;
+};
+
+/// Randomly re-schedules operations of `g` starting from `s`, respecting
+/// data/control edges only (the published design carries no temporal
+/// edges).  Deterministic in `options.seed`.
+[[nodiscard]] PerturbResult perturbSchedule(const cdfg::Cdfg& g,
+                                            const sched::Schedule& s,
+                                            const PerturbOptions& options);
+
+/// Probability one watermark edge survives when a fraction `f` of the
+/// operations had their order altered: (1−f)².
+[[nodiscard]] double edgeSurvivalProbability(double f);
+
+/// Probability an attacker altering `pairs` node pairs (2·pairs distinct
+/// ops) of an `n_ops` solution erases all `k_edges` watermark edges.
+[[nodiscard]] double eraseProbability(std::size_t n_ops, std::size_t k_edges,
+                                      std::size_t pairs);
+
+/// Minimum number of altered pairs for the erase probability to reach
+/// `target` (the paper's headline: n=100000, K=100, target=1e−6 →
+/// ≈31.7k pairs, 63% of the solution).
+[[nodiscard]] std::size_t requiredAlterations(std::size_t n_ops,
+                                              std::size_t k_edges,
+                                              double target);
+
+}  // namespace locwm::wm

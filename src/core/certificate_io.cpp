@@ -1,0 +1,353 @@
+#include "core/certificate_io.h"
+
+#include <sstream>
+
+#include "cdfg/error.h"
+#include "cdfg/io.h"
+
+namespace locwm::wm {
+
+namespace {
+
+void printParams(std::ostream& os, const LocalityParams& p) {
+  os << "params " << p.max_distance << ' ' << p.exclude_prob_256 << ' '
+     << p.min_size << '\n';
+}
+
+void printShape(std::ostream& os, const cdfg::Cdfg& shape) {
+  os << "shape-begin\n";
+  cdfg::print(os, shape);
+  os << "shape-end\n";
+}
+
+/// Shared line-oriented reader with context-aware failure messages.
+struct Reader {
+  std::istream& is;
+  std::size_t lineno = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("certificate parse error at line " +
+                     std::to_string(lineno) + ": " + why);
+  }
+
+  /// Next non-empty line; nullopt at end of stream.
+  std::optional<std::string> next() {
+    std::string line;
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (!line.empty()) {
+        return line;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+/// Parses the shared header; returns the kind word ("sched"/"tm").
+std::string parseHeader(Reader& r) {
+  const auto line = r.next();
+  if (!line) {
+    throw ParseError("certificate parse error: empty input");
+  }
+  std::istringstream ls(*line);
+  std::string magic;
+  std::string version;
+  std::string kind;
+  if (!(ls >> magic >> version >> kind) || magic != "locwm-cert" ||
+      version != "v1" ||
+      (kind != "sched" && kind != "tm" && kind != "reg")) {
+    r.fail("expected 'locwm-cert v1 sched|tm|reg' header");
+  }
+  return kind;
+}
+
+/// Reads the shape block: assumes "shape-begin" was already consumed.
+cdfg::Cdfg parseShape(Reader& r) {
+  std::string body;
+  for (;;) {
+    const auto line = r.next();
+    if (!line) {
+      r.fail("unterminated shape block");
+    }
+    if (*line == "shape-end") {
+      break;
+    }
+    body += *line;
+    body += '\n';
+  }
+  return cdfg::parseString(body);
+}
+
+}  // namespace
+
+void printCertificate(std::ostream& os, const WatermarkCertificate& cert) {
+  os << "locwm-cert v1 sched\n";
+  os << "context " << cert.context << '\n';
+  printParams(os, cert.locality_params);
+  os << "root-rank " << cert.root_rank << '\n';
+  for (const RankConstraint& c : cert.constraints) {
+    os << "constraint " << c.before_rank << ' ' << c.after_rank << '\n';
+  }
+  printShape(os, cert.shape);
+}
+
+void printCertificate(std::ostream& os, const TmCertificate& cert) {
+  os << "locwm-cert v1 tm\n";
+  os << "context " << cert.context << '\n';
+  printParams(os, cert.locality_params);
+  os << "whole-design " << (cert.whole_design ? 1 : 0) << '\n';
+  for (const EnforcedMatching& m : cert.matchings) {
+    os << "matching " << m.template_id.value();
+    for (const auto& [rank, op] : m.pairs) {
+      os << ' ' << rank << ':' << op;
+    }
+    os << '\n';
+  }
+  printShape(os, cert.shape);
+}
+
+void printCertificate(std::ostream& os, const RegCertificate& cert) {
+  os << "locwm-cert v1 reg\n";
+  os << "context " << cert.context << '\n';
+  printParams(os, cert.locality_params);
+  os << "root-rank " << cert.root_rank << '\n';
+  for (const RankConstraint& c : cert.pairs) {
+    os << "share " << c.before_rank << ' ' << c.after_rank << '\n';
+  }
+  printShape(os, cert.shape);
+}
+
+std::string certificateToString(const WatermarkCertificate& c) {
+  std::ostringstream os;
+  printCertificate(os, c);
+  return os.str();
+}
+
+std::string certificateToString(const TmCertificate& c) {
+  std::ostringstream os;
+  printCertificate(os, c);
+  return os.str();
+}
+
+std::string certificateToString(const RegCertificate& c) {
+  std::ostringstream os;
+  printCertificate(os, c);
+  return os.str();
+}
+
+WatermarkCertificate parseSchedCertificate(std::istream& is) {
+  Reader r{is};
+  if (parseHeader(r) != "sched") {
+    r.fail("not a scheduling-watermark certificate");
+  }
+  WatermarkCertificate cert;
+  bool have_shape = false;
+  for (;;) {
+    const auto line = r.next();
+    if (!line) {
+      break;
+    }
+    std::istringstream ls(*line);
+    std::string word;
+    ls >> word;
+    if (word == "context") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(rest.begin());
+      }
+      cert.context = rest;
+    } else if (word == "params") {
+      if (!(ls >> cert.locality_params.max_distance >>
+            cert.locality_params.exclude_prob_256 >>
+            cert.locality_params.min_size)) {
+        r.fail("malformed params");
+      }
+    } else if (word == "root-rank") {
+      if (!(ls >> cert.root_rank)) {
+        r.fail("malformed root-rank");
+      }
+    } else if (word == "constraint") {
+      RankConstraint c;
+      if (!(ls >> c.before_rank >> c.after_rank)) {
+        r.fail("malformed constraint");
+      }
+      cert.constraints.push_back(c);
+    } else if (word == "shape-begin") {
+      cert.shape = parseShape(r);
+      have_shape = true;
+    } else {
+      r.fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!have_shape) {
+    r.fail("certificate lacks a shape block");
+  }
+  for (const RankConstraint& c : cert.constraints) {
+    if (c.before_rank >= cert.shape.nodeCount() ||
+        c.after_rank >= cert.shape.nodeCount()) {
+      r.fail("constraint rank out of shape range");
+    }
+  }
+  if (cert.root_rank >= cert.shape.nodeCount()) {
+    r.fail("root-rank out of shape range");
+  }
+  return cert;
+}
+
+WatermarkCertificate parseSchedCertificate(const std::string& text) {
+  std::istringstream is(text);
+  return parseSchedCertificate(is);
+}
+
+TmCertificate parseTmCertificate(std::istream& is) {
+  Reader r{is};
+  if (parseHeader(r) != "tm") {
+    r.fail("not a template-watermark certificate");
+  }
+  TmCertificate cert;
+  bool have_shape = false;
+  for (;;) {
+    const auto line = r.next();
+    if (!line) {
+      break;
+    }
+    std::istringstream ls(*line);
+    std::string word;
+    ls >> word;
+    if (word == "context") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(rest.begin());
+      }
+      cert.context = rest;
+    } else if (word == "params") {
+      if (!(ls >> cert.locality_params.max_distance >>
+            cert.locality_params.exclude_prob_256 >>
+            cert.locality_params.min_size)) {
+        r.fail("malformed params");
+      }
+    } else if (word == "whole-design") {
+      int flag = 0;
+      if (!(ls >> flag) || (flag != 0 && flag != 1)) {
+        r.fail("malformed whole-design flag");
+      }
+      cert.whole_design = flag == 1;
+    } else if (word == "matching") {
+      EnforcedMatching m;
+      std::uint32_t tid = 0;
+      if (!(ls >> tid)) {
+        r.fail("malformed matching");
+      }
+      m.template_id = TemplateId(tid);
+      std::string pair;
+      while (ls >> pair) {
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          r.fail("malformed matching pair '" + pair + "'");
+        }
+        try {
+          const std::uint32_t rank = static_cast<std::uint32_t>(
+              std::stoul(pair.substr(0, colon)));
+          const std::size_t op = std::stoul(pair.substr(colon + 1));
+          m.pairs.emplace_back(rank, op);
+        } catch (const std::exception&) {
+          r.fail("malformed matching pair '" + pair + "'");
+        }
+      }
+      if (m.pairs.empty()) {
+        r.fail("matching without pairs");
+      }
+      cert.matchings.push_back(std::move(m));
+    } else if (word == "shape-begin") {
+      cert.shape = parseShape(r);
+      have_shape = true;
+    } else {
+      r.fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!have_shape) {
+    r.fail("certificate lacks a shape block");
+  }
+  for (const EnforcedMatching& m : cert.matchings) {
+    for (const auto& [rank, op] : m.pairs) {
+      if (rank >= cert.shape.nodeCount()) {
+        r.fail("matching rank out of shape range");
+      }
+    }
+  }
+  return cert;
+}
+
+TmCertificate parseTmCertificate(const std::string& text) {
+  std::istringstream is(text);
+  return parseTmCertificate(is);
+}
+
+RegCertificate parseRegCertificate(std::istream& is) {
+  Reader r{is};
+  if (parseHeader(r) != "reg") {
+    r.fail("not a register-binding-watermark certificate");
+  }
+  RegCertificate cert;
+  bool have_shape = false;
+  for (;;) {
+    const auto line = r.next();
+    if (!line) {
+      break;
+    }
+    std::istringstream ls(*line);
+    std::string word;
+    ls >> word;
+    if (word == "context") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(rest.begin());
+      }
+      cert.context = rest;
+    } else if (word == "params") {
+      if (!(ls >> cert.locality_params.max_distance >>
+            cert.locality_params.exclude_prob_256 >>
+            cert.locality_params.min_size)) {
+        r.fail("malformed params");
+      }
+    } else if (word == "root-rank") {
+      if (!(ls >> cert.root_rank)) {
+        r.fail("malformed root-rank");
+      }
+    } else if (word == "share") {
+      RankConstraint c;
+      if (!(ls >> c.before_rank >> c.after_rank)) {
+        r.fail("malformed share pair");
+      }
+      cert.pairs.push_back(c);
+    } else if (word == "shape-begin") {
+      cert.shape = parseShape(r);
+      have_shape = true;
+    } else {
+      r.fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!have_shape) {
+    r.fail("certificate lacks a shape block");
+  }
+  for (const RankConstraint& c : cert.pairs) {
+    if (c.before_rank >= cert.shape.nodeCount() ||
+        c.after_rank >= cert.shape.nodeCount()) {
+      r.fail("share rank out of shape range");
+    }
+  }
+  if (cert.root_rank >= cert.shape.nodeCount()) {
+    r.fail("root-rank out of shape range");
+  }
+  return cert;
+}
+
+RegCertificate parseRegCertificate(const std::string& text) {
+  std::istringstream is(text);
+  return parseRegCertificate(is);
+}
+
+}  // namespace locwm::wm

@@ -1,0 +1,58 @@
+// Text serialization of watermark certificates.
+//
+// A certificate is what the author must keep (alongside the signature) to
+// later prove authorship; it therefore needs a durable on-disk form.  The
+// format is line-oriented and embeds the locality shape in the cdfg/io.h
+// text format:
+//
+//   locwm-cert v1 sched|tm|reg
+//   context <string>
+//   params <max_distance> <exclude_prob_256> <min_size>
+//   root-rank <rank>              (sched/reg)
+//   whole-design 0|1              (tm only)
+//   constraint <before_rank> <after_rank>        (sched, repeated)
+//   matching <template_id> <rank>:<op> ...       (tm, repeated)
+//   share <rank> <rank>                          (reg, repeated)
+//   shape-begin
+//   <cdfg v1 text>
+//   shape-end
+//
+// Parsing is strict; malformed input throws ParseError.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/reg_wm.h"
+#include "core/sched_wm.h"
+#include "core/tm_wm.h"
+
+namespace locwm::wm {
+
+/// Writes a scheduling-watermark certificate.
+void printCertificate(std::ostream& os, const WatermarkCertificate& cert);
+/// Writes a template-watermark certificate.
+void printCertificate(std::ostream& os, const TmCertificate& cert);
+/// Writes a register-binding-watermark certificate.
+void printCertificate(std::ostream& os, const RegCertificate& cert);
+
+[[nodiscard]] std::string certificateToString(const WatermarkCertificate& c);
+[[nodiscard]] std::string certificateToString(const TmCertificate& c);
+[[nodiscard]] std::string certificateToString(const RegCertificate& c);
+
+/// Parses a scheduling-watermark certificate; throws ParseError on
+/// malformed input or on a tm certificate.
+[[nodiscard]] WatermarkCertificate parseSchedCertificate(std::istream& is);
+[[nodiscard]] WatermarkCertificate parseSchedCertificate(
+    const std::string& text);
+
+/// Parses a template-watermark certificate.
+[[nodiscard]] TmCertificate parseTmCertificate(std::istream& is);
+[[nodiscard]] TmCertificate parseTmCertificate(const std::string& text);
+
+/// Parses a register-binding-watermark certificate.
+[[nodiscard]] RegCertificate parseRegCertificate(std::istream& is);
+[[nodiscard]] RegCertificate parseRegCertificate(const std::string& text);
+
+}  // namespace locwm::wm

@@ -1,0 +1,133 @@
+#include "core/global_wm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/locality.h"
+#include "sched/timeframes.h"
+
+namespace locwm::wm {
+
+using cdfg::NodeId;
+
+namespace {
+
+bool reachesGlobal(const cdfg::Cdfg& g, NodeId from, NodeId to) {
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::vector<NodeId> stack{from};
+  seen[from.value()] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId s : g.successors(v, /*includeTemporal=*/true)) {
+      if (s == to) {
+        return true;
+      }
+      if (!seen[s.value()]) {
+        seen[s.value()] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<SchedEmbedResult> GlobalWatermarker::embed(
+    cdfg::Cdfg& g, const GlobalWmParams& params) const {
+  const std::string context = "global-wm";
+  const LocalityDeriver deriver(g);
+  std::optional<Locality> loc = deriver.wholeDesign(4);
+  if (!loc) {
+    return std::nullopt;
+  }
+
+  const sched::LatencyModel& lat = params.latency;
+  const std::uint32_t deadline = params.deadline.value_or(
+      sched::TimeFrames(g, lat, std::nullopt, true).criticalPathSteps());
+  sched::TimeFrames frames(g, lat, deadline, /*includeTemporal=*/true);
+
+  std::vector<std::uint32_t> eligible;
+  for (std::uint32_t r = 0; r < loc->nodes.size(); ++r) {
+    if (frames.mobility(loc->nodes[r]) >= 1) {
+      eligible.push_back(r);
+    }
+  }
+  if (eligible.size() < 2) {
+    return std::nullopt;
+  }
+  const std::size_t k = params.k_explicit.value_or(std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             params.k_fraction * static_cast<double>(eligible.size())))));
+
+  crypto::KeyedBitstream bits(signature_, context + "/encode");
+  SchedEmbedResult result;
+  std::vector<std::uint32_t> pool = eligible;
+  while (result.certificate.constraints.size() < k && !pool.empty()) {
+    const std::size_t idx = bits.below(pool.size());
+    const std::uint32_t r = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+    const NodeId ni = loc->nodes[r];
+    std::vector<std::uint32_t> partners;
+    for (const std::uint32_t other : eligible) {
+      if (other == r) {
+        continue;
+      }
+      const NodeId nk = loc->nodes[other];
+      if (!frames.lifetimesOverlap(ni, nk) ||
+          g.hasEdge(ni, nk, cdfg::EdgeKind::kTemporal) ||
+          reachesGlobal(g, nk, ni) || reachesGlobal(g, ni, nk) ||
+          frames.asap(ni) + 1 > frames.alap(nk)) {
+        continue;
+      }
+      partners.push_back(other);
+    }
+    if (partners.empty()) {
+      continue;
+    }
+    const std::uint32_t pick = partners[bits.below(partners.size())];
+    const NodeId nk = loc->nodes[pick];
+    result.added_edges.push_back(g.addEdge(ni, nk, cdfg::EdgeKind::kTemporal));
+    result.certificate.constraints.push_back(RankConstraint{r, pick});
+    frames = sched::TimeFrames(g, lat, deadline, /*includeTemporal=*/true);
+  }
+  if (result.certificate.constraints.empty()) {
+    return std::nullopt;
+  }
+  result.certificate.context = context;
+  result.certificate.locality_params = LocalityParams{};
+  result.certificate.shape = loc->shape;
+  result.locality = std::move(*loc);
+  return result;
+}
+
+SchedDetectResult GlobalWatermarker::detect(
+    const cdfg::Cdfg& suspect, const sched::Schedule& schedule,
+    const WatermarkCertificate& certificate) const {
+  SchedDetectResult det;
+  det.total = certificate.constraints.size();
+  det.root = NodeId::invalid();
+
+  const LocalityDeriver deriver(suspect);
+  const std::optional<Locality> loc = deriver.wholeDesign(4);
+  if (!loc || !shapeEquals(loc->shape, certificate.shape)) {
+    return det;  // the whole design no longer matches: detection fails
+  }
+  det.shape_matches = 1;
+  for (const RankConstraint& c : certificate.constraints) {
+    const NodeId before = loc->nodes[c.before_rank];
+    const NodeId after = loc->nodes[c.after_rank];
+    if (schedule.isSet(before) && schedule.isSet(after) &&
+        schedule.at(before) < schedule.at(after)) {
+      ++det.satisfied;
+    }
+  }
+  det.found = det.satisfied == det.total && det.total > 0;
+  return det;
+}
+
+}  // namespace locwm::wm

@@ -1,0 +1,59 @@
+// Global scheduling watermark — the baseline the paper argues against.
+//
+// Prior-art IPP techniques ([1]–[6] in the paper) encode one signature as
+// constraints spread over the ENTIRE design: identification covers every
+// component, so detection "requires unique identification of each
+// component of the design" and fails the moment the design is cut or
+// embedded into a larger system (§I).  This module implements that
+// baseline faithfully so the benches can compare it head-to-head with
+// local watermarks under the paper's adversarial scenarios:
+//
+//   * embedding: whole-design identification over all uniquely
+//     identifiable operations, K temporal edges drawn anywhere among the
+//     eligible pairs;
+//   * detection: a single whole-design comparison — the suspect must BE
+//     the marked design (same contracted identification graph); any
+//     extension or cut breaks the comparison by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cdfg/graph.h"
+#include "core/sched_wm.h"
+
+namespace locwm::wm {
+
+/// Parameters of the global baseline.
+struct GlobalWmParams {
+  /// Number of temporal edges as a fraction of the eligible node count.
+  double k_fraction = 0.2;
+  std::optional<std::size_t> k_explicit;
+  /// Scheduling deadline the marked design must still meet.
+  std::optional<std::uint32_t> deadline;
+  sched::LatencyModel latency = sched::LatencyModel::unit();
+};
+
+/// Embeds + detects the global baseline for one author signature.
+class GlobalWatermarker {
+ public:
+  explicit GlobalWatermarker(crypto::AuthorSignature signature)
+      : signature_(std::move(signature)) {}
+
+  /// Embeds one global watermark (adds temporal edges).  Returns nullopt
+  /// when the design has too few uniquely identifiable operations.
+  [[nodiscard]] std::optional<SchedEmbedResult> embed(
+      cdfg::Cdfg& g, const GlobalWmParams& params = {}) const;
+
+  /// Whole-design detection: succeeds only when the suspect's contracted
+  /// identification graph equals the certificate's shape exactly and the
+  /// schedule satisfies every constraint.
+  [[nodiscard]] SchedDetectResult detect(
+      const cdfg::Cdfg& suspect, const sched::Schedule& schedule,
+      const WatermarkCertificate& certificate) const;
+
+ private:
+  crypto::AuthorSignature signature_;
+};
+
+}  // namespace locwm::wm

@@ -1,0 +1,389 @@
+#include "core/locality.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cdfg/error.h"
+#include "cdfg/subgraph.h"
+
+namespace locwm::wm {
+
+using cdfg::NodeId;
+
+bool shapeEquals(const cdfg::Cdfg& a, const cdfg::Cdfg& b) {
+  if (a.nodeCount() != b.nodeCount() || a.edgeCount() != b.edgeCount()) {
+    return false;
+  }
+  for (const NodeId v : a.allNodes()) {
+    if (a.node(v).kind != b.node(v).kind) {
+      return false;
+    }
+  }
+  auto edgeSet = [](const cdfg::Cdfg& g) {
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, cdfg::EdgeKind>> set;
+    for (const cdfg::EdgeId e : g.allEdges()) {
+      const cdfg::Edge& ed = g.edge(e);
+      set.emplace_back(ed.src.value(), ed.dst.value(), ed.kind);
+    }
+    std::sort(set.begin(), set.end());
+    return set;
+  };
+  return edgeSet(a) == edgeSet(b);
+}
+
+bool Locality::sameShape(const Locality& other) const {
+  return shapeEquals(shape, other.shape);
+}
+
+namespace {
+
+/// True for nodes the identification treats as wires, not operations:
+/// pseudo-ops (the port boundary) and register-to-register copies.  Copy
+/// transparency makes the cheapest structural attack — splitting edges
+/// with no-op moves — a no-op against detection.
+bool isTransparent(const cdfg::Cdfg& g, NodeId v) {
+  return cdfg::isPseudoOp(g.node(v).kind) ||
+         g.node(v).kind == cdfg::OpKind::kCopy;
+}
+
+/// Real-operation predecessors (via data/control edges), walking *through*
+/// copy chains, deduplicated, ascending by id.  Pseudo-ops terminate the
+/// walk (they are the traversal boundary).
+std::vector<NodeId> realPreds(const cdfg::Cdfg& g, NodeId v) {
+  std::vector<NodeId> preds;
+  std::vector<NodeId> stack = g.predecessors(v, /*includeTemporal=*/false);
+  std::vector<bool> seen(g.nodeCount(), false);
+  while (!stack.empty()) {
+    const NodeId p = stack.back();
+    stack.pop_back();
+    if (seen[p.value()]) {
+      continue;
+    }
+    seen[p.value()] = true;
+    if (cdfg::isPseudoOp(g.node(p).kind)) {
+      continue;
+    }
+    if (g.node(p).kind == cdfg::OpKind::kCopy) {
+      for (const NodeId q : g.predecessors(p, /*includeTemporal=*/false)) {
+        stack.push_back(q);
+      }
+      continue;
+    }
+    preds.push_back(p);
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+/// Builds the *contracted* identification graph over `members` (sorted,
+/// all non-transparent): direct edges keep their kind; edges that pass
+/// through copy chains are contracted to data edges, preserving path
+/// multiplicity (x + x through a copy stays a double edge).  All
+/// identification — ordering, carving, shapes — happens on this graph, so
+/// splitting edges with copies cannot perturb detection.
+cdfg::Cdfg buildContracted(const cdfg::Cdfg& g,
+                           const std::vector<NodeId>& members,
+                           cdfg::NodeMap* map_out) {
+  cdfg::Cdfg c;
+  cdfg::NodeMap map;
+  map.reserve(members.size());
+  for (const NodeId v : members) {
+    map.emplace(v, c.addNode(g.node(v).kind));
+  }
+  for (const NodeId v : members) {
+    for (const cdfg::EdgeId e : g.outEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal) {
+        continue;
+      }
+      const auto direct = map.find(ed.dst);
+      if (direct != map.end()) {
+        c.addEdge(map.at(v), direct->second, ed.kind);
+        continue;
+      }
+      if (g.node(ed.dst).kind != cdfg::OpKind::kCopy) {
+        continue;  // boundary (pseudo-op or outside the member set)
+      }
+      // Expand the copy chain, preserving multiplicity (no dedup).
+      std::vector<NodeId> stack{ed.dst};
+      std::size_t guard = 0;
+      while (!stack.empty() && ++guard < 4096) {
+        const NodeId p = stack.back();
+        stack.pop_back();
+        for (const NodeId q : g.successors(p, /*includeTemporal=*/false)) {
+          if (g.node(q).kind == cdfg::OpKind::kCopy) {
+            stack.push_back(q);
+          } else if (const auto it = map.find(q); it != map.end()) {
+            c.addEdge(map.at(v), it->second, cdfg::EdgeKind::kData);
+          }
+        }
+      }
+    }
+  }
+  if (map_out != nullptr) {
+    *map_out = std::move(map);
+  }
+  return c;
+}
+
+/// Real-operation successors with the same copy transparency.
+std::vector<NodeId> realSuccs(const cdfg::Cdfg& g, NodeId v) {
+  std::vector<NodeId> succs;
+  std::vector<NodeId> stack = g.successors(v, /*includeTemporal=*/false);
+  std::vector<bool> seen(g.nodeCount(), false);
+  while (!stack.empty()) {
+    const NodeId p = stack.back();
+    stack.pop_back();
+    if (seen[p.value()]) {
+      continue;
+    }
+    seen[p.value()] = true;
+    if (cdfg::isPseudoOp(g.node(p).kind)) {
+      continue;
+    }
+    if (g.node(p).kind == cdfg::OpKind::kCopy) {
+      for (const NodeId q : g.successors(p, /*includeTemporal=*/false)) {
+        stack.push_back(q);
+      }
+      continue;
+    }
+    succs.push_back(p);
+  }
+  std::sort(succs.begin(), succs.end());
+  succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+  return succs;
+}
+
+}  // namespace
+
+std::optional<Locality> LocalityDeriver::derive(
+    NodeId root, const LocalityParams& params,
+    crypto::KeyedBitstream& bits) const {
+  const cdfg::Cdfg& g = *graph_;
+  if (isTransparent(g, root)) {
+    return std::nullopt;
+  }
+
+  auto realNeighbours = [&](const cdfg::Cdfg& graph, NodeId v,
+                            bool undirected) {
+    std::vector<NodeId> out = realPreds(graph, v);
+    if (undirected) {
+      const std::vector<NodeId> succs = realSuccs(graph, v);
+      out.insert(out.end(), succs.begin(), succs.end());
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+    return out;
+  };
+  auto ball = [&](std::uint32_t radius, bool undirected) {
+    std::vector<NodeId> members;
+    std::vector<bool> seen(g.nodeCount(), false);
+    std::vector<NodeId> frontier{root};
+    seen[root.value()] = true;
+    members.push_back(root);
+    for (std::uint32_t d = 0; d < radius && !frontier.empty(); ++d) {
+      std::vector<NodeId> next;
+      for (const NodeId v : frontier) {
+        for (const NodeId p : realNeighbours(g, v, undirected)) {
+          if (!seen[p.value()]) {
+            seen[p.value()] = true;
+            next.push_back(p);
+          }
+        }
+      }
+      std::sort(next.begin(), next.end());
+      members.insert(members.end(), next.begin(), next.end());
+      frontier = std::move(next);
+    }
+    std::sort(members.begin(), members.end());
+    return members;
+  };
+
+  // --- Step 1a: the fanin tree To of max-distance Δ, real ops only — the
+  // set the carve may select from (the paper's To).
+  const std::vector<NodeId> to_nodes = ball(params.max_distance,
+                                            /*undirected=*/false);
+  if (to_nodes.size() < params.min_size) {
+    return std::nullopt;
+  }
+  // --- Step 1b: the *identification context*: the undirected ball of the
+  // same radius.  Fanin-only context cannot tell symmetric taps apart
+  // (their difference lies in who consumes them); the undirected ball is
+  // still root-anchored and structural, so the detector re-derives it
+  // identically.  Pseudo-ops (the design's port boundary) are never
+  // crossed, keeping the context invariant under host embedding.
+  const std::vector<NodeId> ctx_nodes = ball(params.max_distance,
+                                             /*undirected=*/true);
+
+  // --- Step 2: canonical ordering of the context's induced subgraph. ---
+  // Automorphic nodes (tied ranks) cannot be identified reproducibly on a
+  // re-indexed copy, so they are barred from the carve; the root itself
+  // must be uniquely identified.
+  cdfg::NodeMap to_map;  // graph -> contracted (context coordinates)
+  const cdfg::Cdfg to_graph = buildContracted(g, ctx_nodes, &to_map);
+  const cdfg::StructuralAnalysis to_analysis(to_graph);
+  const cdfg::NodeOrdering ordering = cdfg::computeOrdering(to_analysis);
+  // rank_of[induced node value] = canonical rank; kTied marks automorphic
+  // nodes excluded from the locality.
+  constexpr std::uint32_t kTied = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> rank_of(to_graph.nodeCount(), kTied);
+  for (std::size_t i = 0; i < ordering.ordered.size(); ++i) {
+    const bool tied_prev =
+        i > 0 && ordering.ranks[i] == ordering.ranks[i - 1];
+    const bool tied_next = i + 1 < ordering.ranks.size() &&
+                           ordering.ranks[i] == ordering.ranks[i + 1];
+    if (!tied_prev && !tied_next) {
+      rank_of[ordering.ordered[i].value()] = ordering.ranks[i];
+    }
+  }
+  const NodeId root_in_to = to_map.at(root);
+  if (rank_of[root_in_to.value()] == kTied) {
+    return std::nullopt;
+  }
+
+  // --- Step 3: keyed breadth-first carve of T ⊆ To. ---
+  std::vector<bool> in_to(to_graph.nodeCount(), false);
+  for (const NodeId v : to_nodes) {
+    in_to[to_map.at(v).value()] = true;
+  }
+  const NodeId root_local = root_in_to;
+  std::vector<bool> carved(to_graph.nodeCount(), false);
+  carved[root_local.value()] = true;
+  std::vector<NodeId> frontier{root_local};
+  while (!frontier.empty()) {
+    // Deterministic frontier order: ascending canonical rank.
+    std::sort(frontier.begin(), frontier.end(), [&](NodeId a, NodeId b) {
+      return rank_of[a.value()] < rank_of[b.value()];
+    });
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      std::vector<NodeId> preds = realPreds(to_graph, v);
+      // Only fanin-tree members are selectable, and automorphic
+      // predecessors are invisible to the carve.
+      std::erase_if(preds, [&](NodeId p) {
+        return !in_to[p.value()] || rank_of[p.value()] == kTied;
+      });
+      std::sort(preds.begin(), preds.end(), [&](NodeId a, NodeId b) {
+        return rank_of[a.value()] < rank_of[b.value()];
+      });
+      if (preds.empty()) {
+        continue;
+      }
+      // At least one input is always included...
+      const std::size_t keep = bits.below(preds.size());
+      // ...each remaining input is excluded with a fixed probability.
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        bool include;
+        if (i == keep) {
+          include = true;
+        } else {
+          include = !bits.chance(params.exclude_prob_256, 256);
+        }
+        if (include && !carved[preds[i].value()]) {
+          carved[preds[i].value()] = true;
+          next.push_back(preds[i]);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // --- Step 4: assemble the locality in canonical-rank order. ---
+  std::vector<NodeId> carved_local;  // induced-graph ids, by ascending rank
+  for (const NodeId v : ordering.ordered) {
+    if (carved[v.value()]) {
+      carved_local.push_back(v);
+    }
+  }
+  if (carved_local.size() < params.min_size) {
+    return std::nullopt;
+  }
+
+  // Map induced ids back to source-graph ids.
+  std::unordered_map<NodeId, NodeId> inverse;  // induced -> graph
+  for (const auto& [orig, local] : to_map) {
+    inverse.emplace(local, orig);
+  }
+
+  Locality result;
+  result.root = root;
+  result.nodes.reserve(carved_local.size());
+  for (const NodeId v : carved_local) {
+    result.nodes.push_back(inverse.at(v));
+  }
+  // Shape: induced subgraph of T with node id == rank.  inducedSubgraph
+  // numbers nodes by position in the input vector, so passing the nodes in
+  // rank order yields exactly the rank numbering.  Temporal edges (from
+  // previously embedded watermarks) are stripped: the published design
+  // carries none, and the fingerprint must match it.
+  result.shape =
+      cdfg::inducedSubgraph(to_graph, carved_local).stripTemporalEdges();
+  // Scrub labels: shape identity must not leak source names.
+  for (const NodeId v : result.shape.allNodes()) {
+    result.shape.setNodeName(v, {});
+  }
+  return result;
+}
+
+std::optional<Locality> LocalityDeriver::wholeDesign(
+    std::size_t minSize) const {
+  const cdfg::Cdfg& g = *graph_;
+  std::vector<NodeId> real;
+  for (const NodeId v : g.allNodes()) {
+    if (!isTransparent(g, v)) {
+      real.push_back(v);
+    }
+  }
+  if (real.size() < minSize) {
+    return std::nullopt;
+  }
+  cdfg::NodeMap map;
+  const cdfg::Cdfg sub = buildContracted(g, real, &map);
+  const cdfg::StructuralAnalysis analysis(sub);
+  const cdfg::NodeOrdering ordering = cdfg::computeOrdering(analysis);
+
+  std::unordered_map<NodeId, NodeId> inverse;  // induced -> graph
+  for (const auto& [orig, local] : map) {
+    inverse.emplace(local, orig);
+  }
+  std::vector<NodeId> untied_local;
+  for (std::size_t i = 0; i < ordering.ordered.size(); ++i) {
+    const bool tied_prev =
+        i > 0 && ordering.ranks[i] == ordering.ranks[i - 1];
+    const bool tied_next = i + 1 < ordering.ranks.size() &&
+                           ordering.ranks[i] == ordering.ranks[i + 1];
+    if (!tied_prev && !tied_next) {
+      untied_local.push_back(ordering.ordered[i]);
+    }
+  }
+  if (untied_local.size() < minSize) {
+    return std::nullopt;
+  }
+  Locality result;
+  result.root = NodeId::invalid();
+  for (const NodeId v : untied_local) {
+    result.nodes.push_back(inverse.at(v));
+  }
+  result.shape =
+      cdfg::inducedSubgraph(sub, untied_local).stripTemporalEdges();
+  for (const NodeId v : result.shape.allNodes()) {
+    result.shape.setNodeName(v, {});
+  }
+  return result;
+}
+
+std::vector<NodeId> LocalityDeriver::candidateRoots() const {
+  std::vector<NodeId> roots;
+  for (const NodeId v : graph_->allNodes()) {
+    if (isTransparent(*graph_, v)) {
+      continue;
+    }
+    if (!realPreds(*graph_, v).empty()) {
+      roots.push_back(v);
+    }
+  }
+  return roots;
+}
+
+}  // namespace locwm::wm

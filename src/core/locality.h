@@ -1,0 +1,100 @@
+// Locality (domain) selection and identification — §III / §IV-A steps
+// "domain selection" and "domain identification".
+//
+// A local watermark lives in a *locality*: a signature-selected subtree T of
+// the fanin tree To of some root node.  Two properties make localities the
+// right carrier:
+//
+//  1. Derivation is purely structural.  Given a root, the carve depends
+//     only on the induced subgraph of the fanin tree (canonical node
+//     ordering, ordering.h) and on the author-keyed bitstream — never on
+//     node indices, labels, or the rest of the design.  A reverse-
+//     engineered, re-indexed, or host-embedded copy yields the same
+//     locality, which is what makes detection possible.
+//
+//  2. Derivation is root-anchored.  The detector can therefore scan every
+//     node of a suspect design as a candidate root and re-derive; a match
+//     of the memorized locality identifies the watermark even when the
+//     protected core is a small part of a large system (§I).
+//
+// Traversal walks data/control predecessors of *real* operations only;
+// pseudo-ops (primary inputs, constants) are the core's boundary and are
+// neither included nor crossed, so stitching the core's inputs into a host
+// design does not perturb derivation.  Temporal edges are never followed:
+// the locality must not depend on previously embedded watermarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "cdfg/ordering.h"
+#include "crypto/bitstream.h"
+
+namespace locwm::wm {
+
+/// Parameters of domain selection.
+struct LocalityParams {
+  /// Max fanin distance Δ of the initial subtree To around the root.
+  std::uint32_t max_distance = 6;
+  /// Probability (in 1/256ths) that an *optional* input is excluded during
+  /// the keyed breadth-first carve; one input per node is always kept.
+  std::uint32_t exclude_prob_256 = 96;  // ~0.375
+  /// Minimum acceptable carved size |T|; derivation fails below this.
+  std::size_t min_size = 4;
+};
+
+/// A derived locality.
+struct Locality {
+  /// Root node, in the coordinates of the graph derived from.
+  cdfg::NodeId root;
+  /// The carved nodes T in canonical-rank order: nodes[i] has rank i.
+  std::vector<cdfg::NodeId> nodes;
+  /// Induced subgraph of T, *renumbered so node id == rank*.  This is the
+  /// structural fingerprint compared during detection.
+  cdfg::Cdfg shape;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+
+  /// True when `other` is structurally identical (same shape graph:
+  /// node kinds and edge set under rank numbering).
+  [[nodiscard]] bool sameShape(const Locality& other) const;
+};
+
+/// True when two rank-numbered shape graphs are identical: same node kinds
+/// per rank and same (src, dst, kind) edge multiset.
+[[nodiscard]] bool shapeEquals(const cdfg::Cdfg& a, const cdfg::Cdfg& b);
+
+/// Derives localities from a graph.
+class LocalityDeriver {
+ public:
+  explicit LocalityDeriver(const cdfg::Cdfg& graph) : graph_(&graph) {}
+
+  /// Derives the locality anchored at `root`, consuming carve decisions
+  /// from `bits`.  Returns nullopt when the fanin tree cannot be uniquely
+  /// ordered (automorphic nodes) or the carve is smaller than
+  /// params.min_size.  The number of bits consumed is identical for
+  /// identical structures — the detection replay guarantee.
+  [[nodiscard]] std::optional<Locality> derive(
+      cdfg::NodeId root, const LocalityParams& params,
+      crypto::KeyedBitstream& bits) const;
+
+  /// All plausible roots: real operations with at least one real
+  /// predecessor (a root with an empty fanin tree carries no watermark).
+  [[nodiscard]] std::vector<cdfg::NodeId> candidateRoots() const;
+
+  /// The degenerate "T = CDFG" locality the paper's Table II uses: every
+  /// uniquely-identifiable real operation of the whole design, in
+  /// canonical-rank order (root is invalid — there is no anchor; detection
+  /// compares against the whole suspect design).  Returns nullopt when
+  /// fewer than `minSize` nodes are uniquely identifiable.
+  [[nodiscard]] std::optional<Locality> wholeDesign(
+      std::size_t minSize = 2) const;
+
+ private:
+  const cdfg::Cdfg* graph_;
+};
+
+}  // namespace locwm::wm

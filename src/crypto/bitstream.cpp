@@ -1,0 +1,90 @@
+#include "crypto/bitstream.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace locwm::crypto {
+
+namespace {
+
+Sha256Digest deriveKey(const AuthorSignature& signature,
+                       std::string_view context) {
+  Sha256 h;
+  h.update(signature.identity);
+  const std::uint8_t sep = 0;
+  h.update(std::span<const std::uint8_t>(&sep, 1));
+  h.update(signature.nonce);
+  h.update(std::span<const std::uint8_t>(&sep, 1));
+  h.update(context);
+  return h.finish();
+}
+
+}  // namespace
+
+Sha256Digest AuthorSignature::keyMaterial() const {
+  Sha256 h;
+  h.update(identity);
+  const std::uint8_t sep = 0;
+  h.update(std::span<const std::uint8_t>(&sep, 1));
+  h.update(nonce);
+  return h.finish();
+}
+
+KeyedBitstream::KeyedBitstream(const AuthorSignature& signature,
+                               std::string_view context)
+    : rc4_(
+          [&] {
+            if (signature.identity.empty()) {
+              throw std::invalid_argument(
+                  "author signature identity must not be empty");
+            }
+            return deriveKey(signature, context);
+          }(),
+          /*drop=*/256) {}
+
+bool KeyedBitstream::nextBit() {
+  if (bits_left_ == 0) {
+    current_ = rc4_.nextByte();
+    bits_left_ = 8;
+  }
+  --bits_left_;
+  ++bits_consumed_;
+  return ((current_ >> bits_left_) & 1u) != 0;
+}
+
+std::uint64_t KeyedBitstream::nextBits(unsigned count) {
+  if (count > 64) {
+    throw std::invalid_argument("nextBits: count > 64");
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    value = (value << 1) | (nextBit() ? 1u : 0u);
+  }
+  return value;
+}
+
+std::uint64_t KeyedBitstream::below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("below: bound must be positive");
+  }
+  if (bound == 1) {
+    return 0;
+  }
+  const unsigned bits = static_cast<unsigned>(std::bit_width(bound - 1));
+  for (;;) {
+    const std::uint64_t draw = nextBits(bits);
+    if (draw < bound) {
+      return draw;
+    }
+  }
+}
+
+bool KeyedBitstream::chance(std::uint64_t numerator,
+                            std::uint64_t denominator) {
+  if (denominator == 0) {
+    throw std::invalid_argument("chance: zero denominator");
+  }
+  return below(denominator) < numerator;
+}
+
+}  // namespace locwm::crypto

@@ -1,0 +1,64 @@
+// Keyed pseudorandom bitstream — the single randomness source of the
+// watermarking protocols.
+//
+// Every pseudorandom decision in the paper's protocols (root selection,
+// BFS include/exclude bits, K-node selection, temporal-edge endpoints,
+// matching picks) is drawn from this stream.  Because the stream is a pure
+// function of the author signature (plus a per-purpose context string),
+// the *detector* can replay the embedding decisions exactly — which is how
+// detection works at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/rc4.h"
+#include "crypto/sha256.h"
+
+namespace locwm::crypto {
+
+/// An author's signature: free-form identity text plus an optional
+/// per-design nonce so one author can mark many designs differently.
+struct AuthorSignature {
+  std::string identity;  ///< e.g. "Jane Doe <jane@example.com>"
+  std::string nonce;     ///< e.g. design name or release tag
+
+  /// Key material: SHA-256(identity || 0x00 || nonce).
+  [[nodiscard]] Sha256Digest keyMaterial() const;
+};
+
+/// Deterministic bit/integer source keyed by an author signature.
+class KeyedBitstream {
+ public:
+  /// `context` domain-separates independent uses (e.g. "sched-wm" vs
+  /// "tm-wm") so protocols never share bits.  The first 256 keystream
+  /// bytes are dropped (RC4-drop hardening).
+  KeyedBitstream(const AuthorSignature& signature, std::string_view context);
+
+  /// Next pseudorandom bit (MSB-first through the keystream bytes).
+  [[nodiscard]] bool nextBit();
+
+  /// Next `count` bits packed big-endian into an integer; count <= 64.
+  [[nodiscard]] std::uint64_t nextBits(unsigned count);
+
+  /// Uniform integer in [0, bound) via rejection sampling (unbiased).
+  /// bound must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Bernoulli draw with probability numerator/denominator.
+  [[nodiscard]] bool chance(std::uint64_t numerator, std::uint64_t denominator);
+
+  /// Number of bits consumed so far (diagnostics / strength reporting).
+  [[nodiscard]] std::uint64_t bitsConsumed() const noexcept {
+    return bits_consumed_;
+  }
+
+ private:
+  Rc4 rc4_;
+  std::uint8_t current_ = 0;
+  unsigned bits_left_ = 0;
+  std::uint64_t bits_consumed_ = 0;
+};
+
+}  // namespace locwm::crypto

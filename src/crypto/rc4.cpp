@@ -1,0 +1,38 @@
+#include "crypto/rc4.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace locwm::crypto {
+
+Rc4::Rc4(std::span<const std::uint8_t> key, std::size_t drop) {
+  if (key.empty() || key.size() > 256) {
+    throw std::invalid_argument("RC4 key must be 1..256 bytes");
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    s_[i] = static_cast<std::uint8_t>(i);
+  }
+  std::uint8_t j = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+  for (std::size_t k = 0; k < drop; ++k) {
+    (void)nextByte();
+  }
+}
+
+std::uint8_t Rc4::nextByte() noexcept {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::crypt(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& byte : data) {
+    byte ^= nextByte();
+  }
+}
+
+}  // namespace locwm::crypto

@@ -1,0 +1,42 @@
+// RC4 stream cipher (KSA + PRGA), implemented from scratch.
+//
+// The paper keys its pseudorandom constraint selection with "the RC4 stream
+// cipher by iteratively encrypting a certain standard seed number keyed
+// with the author's digital signature" (§IV-A).  We reproduce exactly that
+// construction: the author signature is digested (SHA-256) into the RC4
+// key, and the keystream drives every pseudorandom decision of the
+// watermarking protocols.
+//
+// RC4 is cryptographically retired for confidentiality, but here it serves
+// the paper's role — a keyed one-way bit source — and its early-keystream
+// biases are mitigated by discarding a configurable prefix (RC4-drop).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace locwm::crypto {
+
+/// RC4 keystream generator.
+class Rc4 {
+ public:
+  /// Key-schedules with `key` (1..256 bytes) and discards the first
+  /// `drop` keystream bytes (conventional hardening; 0 reproduces the
+  /// textbook cipher and its published test vectors).
+  explicit Rc4(std::span<const std::uint8_t> key, std::size_t drop = 0);
+
+  /// Next keystream byte (PRGA step).
+  [[nodiscard]] std::uint8_t nextByte() noexcept;
+
+  /// XOR-encrypts `data` in place with the keystream (provided for
+  /// completeness; the watermarking protocols use the raw keystream).
+  void crypt(std::span<std::uint8_t> data) noexcept;
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace locwm::crypto

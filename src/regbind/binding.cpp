@@ -1,0 +1,146 @@
+#include "regbind/binding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cdfg/error.h"
+
+namespace locwm::regbind {
+
+namespace {
+
+/// Tiny union-find over value indices.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+Binding bindRegisters(const LifetimeTable& table, const BindOptions& options) {
+  const std::size_t n = table.values.size();
+  UnionFind uf(n);
+  for (const auto& [a, b] : options.aliases) {
+    detail::check<WatermarkError>(table.produces(a) && table.produces(b),
+                                  "bindRegisters: alias on a non-value node");
+    uf.unite(table.index_of[a.value()], table.index_of[b.value()]);
+  }
+
+  // Groups of aliased values, keyed by representative.
+  std::vector<std::vector<std::size_t>> group_members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_members[uf.find(i)].push_back(i);
+  }
+  // Internal conflict check: every pair within a group must be compatible.
+  for (std::size_t rep = 0; rep < n; ++rep) {
+    const auto& members = group_members[rep];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        detail::check<WatermarkError>(
+            !table.values[members[i]].overlaps(table.values[members[j]]),
+            "bindRegisters: alias constraint merges conflicting values");
+      }
+    }
+  }
+
+  // Left-edge over groups: ascending earliest definition; each group takes
+  // the smallest register compatible with everything already placed there.
+  std::vector<std::size_t> reps;
+  for (std::size_t rep = 0; rep < n; ++rep) {
+    if (!group_members[rep].empty()) {
+      reps.push_back(rep);
+    }
+  }
+  std::sort(reps.begin(), reps.end(), [&](std::size_t a, std::size_t b) {
+    std::uint32_t da = 0xFFFFFFFFu;
+    std::uint32_t db = 0xFFFFFFFFu;
+    for (const std::size_t m : group_members[a]) {
+      da = std::min(da, table.values[m].def);
+    }
+    for (const std::size_t m : group_members[b]) {
+      db = std::min(db, table.values[m].def);
+    }
+    return std::tie(da, a) < std::tie(db, b);
+  });
+
+  Binding binding;
+  binding.reg_of.assign(n, 0);
+  std::vector<std::vector<std::size_t>> per_register;  // value indices
+  for (const std::size_t rep : reps) {
+    std::uint32_t reg = 0;
+    for (; reg < per_register.size(); ++reg) {
+      bool ok = true;
+      for (const std::size_t placed : per_register[reg]) {
+        for (const std::size_t m : group_members[rep]) {
+          if (table.values[placed].overlaps(table.values[m])) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          break;
+        }
+      }
+      if (ok) {
+        break;
+      }
+    }
+    if (reg == per_register.size()) {
+      per_register.emplace_back();
+    }
+    for (const std::size_t m : group_members[rep]) {
+      binding.reg_of[m] = reg;
+      per_register[reg].push_back(m);
+    }
+  }
+  binding.register_count = static_cast<std::uint32_t>(per_register.size());
+  return binding;
+}
+
+bool isValidBinding(const LifetimeTable& table, const Binding& binding) {
+  const std::size_t n = table.values.size();
+  if (binding.reg_of.size() != n) {
+    return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (binding.reg_of[i] == binding.reg_of[j] &&
+          table.values[i].overlaps(table.values[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t maxLive(const LifetimeTable& table) {
+  // Sweep definition/death events.  Live-out values never die.
+  std::vector<std::pair<std::uint32_t, int>> events;
+  for (const Lifetime& life : table.values) {
+    events.push_back({life.def, +1});
+    if (!life.live_out) {
+      events.push_back({life.last + 1, -1});
+    }
+  }
+  std::sort(events.begin(), events.end());
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (const auto& [step, delta] : events) {
+    live += delta;
+    peak = std::max(peak, live);
+  }
+  return static_cast<std::uint32_t>(peak);
+}
+
+}  // namespace locwm::regbind

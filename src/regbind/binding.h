@@ -1,0 +1,58 @@
+// Register binding: coloring the value-conflict relation.
+//
+// The behavioral-synthesis coloring task the paper's §III sketches as
+// another carrier for local watermarks ("while uniquely marking a solution
+// to graph coloring, a local watermark is embedded in a random subgraph").
+// Values whose lifetimes overlap conflict; a binding assigns every value a
+// register such that conflicting values differ.  The left-edge algorithm
+// gives an optimal binding for interval conflicts; alias constraints (the
+// watermark's "these two values share one register") are honoured by
+// merging the aliased values before coloring.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "regbind/lifetime.h"
+
+namespace locwm::regbind {
+
+/// A register assignment for every value in a LifetimeTable (parallel to
+/// LifetimeTable::values).
+struct Binding {
+  std::vector<std::uint32_t> reg_of;
+  std::uint32_t register_count = 0;
+
+  [[nodiscard]] std::uint32_t of(const LifetimeTable& table,
+                                 cdfg::NodeId producer) const {
+    return reg_of[table.index_of[producer.value()]];
+  }
+};
+
+/// Alias constraint: the two producers' values must share one register.
+/// Only meaningful for non-conflicting values.
+using AliasPair = std::pair<cdfg::NodeId, cdfg::NodeId>;
+
+/// Options of the binder.
+struct BindOptions {
+  /// Watermark constraints; aliased values are merged before coloring.
+  /// Throws WatermarkError if an alias pair conflicts (directly or through
+  /// the transitive closure of the aliases).
+  std::vector<AliasPair> aliases;
+};
+
+/// Left-edge register binding.  Deterministic; optimal register count for
+/// pure interval conflicts (without live-out values or aliases).
+[[nodiscard]] Binding bindRegisters(const LifetimeTable& table,
+                                    const BindOptions& options = {});
+
+/// Validates a binding: no two conflicting values share a register.
+[[nodiscard]] bool isValidBinding(const LifetimeTable& table,
+                                  const Binding& binding);
+
+/// Lower bound on registers: the maximum number of simultaneously live
+/// values (the clique number of the interval conflict graph).
+[[nodiscard]] std::uint32_t maxLive(const LifetimeTable& table);
+
+}  // namespace locwm::regbind

@@ -1,0 +1,64 @@
+#include "regbind/lifetime.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::regbind {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+namespace {
+
+/// True when the node's result is a register value.  Outputs are sinks;
+/// stores and branches produce no value; constants/inputs do produce one
+/// (they occupy a register or port, and bind like any other value).
+bool producesValue(const cdfg::Cdfg& g, NodeId n) {
+  switch (g.node(n).kind) {
+    case OpKind::kOutput:
+    case OpKind::kStore:
+    case OpKind::kBranch:
+      return false;
+    default:
+      return !g.dataSuccessors(n).empty() ||
+             g.node(n).kind != OpKind::kConst;
+  }
+}
+
+}  // namespace
+
+LifetimeTable computeLifetimes(const cdfg::Cdfg& g, const sched::Schedule& s,
+                               const sched::LatencyModel& lat) {
+  detail::check(!sched::validate(g, s, lat, /*checkTemporal=*/false),
+                "computeLifetimes: schedule is invalid");
+  LifetimeTable table;
+  table.index_of.assign(g.nodeCount(), LifetimeTable::npos);
+
+  for (const NodeId v : g.allNodes()) {
+    if (!producesValue(g, v)) {
+      continue;
+    }
+    Lifetime life;
+    life.producer = v;
+    life.def = s.at(v) + lat.latency(g.node(v).kind);
+    life.last = life.def;
+    for (const EdgeId e : g.outEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind != cdfg::EdgeKind::kData) {
+        continue;
+      }
+      if (g.node(ed.dst).kind == OpKind::kOutput) {
+        life.live_out = true;
+        continue;
+      }
+      life.last = std::max(life.last, s.at(ed.dst));
+    }
+    table.index_of[v.value()] = table.values.size();
+    table.values.push_back(life);
+  }
+  return table;
+}
+
+}  // namespace locwm::regbind

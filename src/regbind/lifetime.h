@@ -1,0 +1,59 @@
+// Variable lifetimes — the input to register binding.
+//
+// After scheduling, every value (the output of a real operation or a
+// primary input) lives from the step its producer completes until the
+// start step of its last consumer.  Two values whose lifetimes overlap
+// cannot share a register; binding is a coloring of that conflict
+// relation.  This module derives the lifetimes from a schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::regbind {
+
+/// Lifetime of one value, in control steps.
+struct Lifetime {
+  cdfg::NodeId producer;   ///< node whose output is the value
+  std::uint32_t def = 0;   ///< step the value becomes available
+  std::uint32_t last = 0;  ///< start step of the last consumer (>= def)
+  bool live_out = false;   ///< value feeds a primary output (never dies)
+
+  /// Two values conflict when both are live in some step.  A live-out
+  /// value conflicts with everything born after its definition.
+  [[nodiscard]] bool overlaps(const Lifetime& other) const noexcept {
+    const std::uint32_t my_end = live_out ? 0xFFFFFFFFu : last;
+    const std::uint32_t other_end = other.live_out ? 0xFFFFFFFFu : other.last;
+    return def <= other_end && other.def <= my_end;
+  }
+};
+
+/// Computes the lifetime of every value in `g` under schedule `s`.
+/// Returned in producer-node order (index by NodeId::value of producers
+/// via the `index_of` map below).  Values with no consumers die
+/// immediately (last == def).
+struct LifetimeTable {
+  std::vector<Lifetime> values;
+  /// index_of[node value] = index into `values`, or npos for non-producers
+  /// (outputs, stores, branches produce no register value).
+  std::vector<std::size_t> index_of;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool produces(cdfg::NodeId n) const {
+    return n.value() < index_of.size() && index_of[n.value()] != npos;
+  }
+  [[nodiscard]] const Lifetime& of(cdfg::NodeId n) const {
+    return values[index_of[n.value()]];
+  }
+};
+
+/// Derives the lifetime table.  The schedule must be complete and valid.
+[[nodiscard]] LifetimeTable computeLifetimes(
+    const cdfg::Cdfg& g, const sched::Schedule& s,
+    const sched::LatencyModel& lat = sched::LatencyModel::unit());
+
+}  // namespace locwm::regbind

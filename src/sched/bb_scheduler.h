@@ -1,0 +1,46 @@
+// Exact branch-and-bound scheduler — stand-in for the ILP formulation [15].
+//
+// Minimizes the functional-unit cost of a time-constrained schedule by
+// exhaustive search with pruning.  Exponential in the worst case; intended
+// for the small designs of Table II and for validating the heuristic
+// schedulers in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::sched {
+
+/// Options of the exact scheduler.
+struct BranchBoundOptions {
+  LatencyModel latency = LatencyModel::unit();
+  /// Deadline in control steps; nullopt = critical path.
+  std::optional<std::uint32_t> deadline;
+  bool honor_temporal = true;
+  /// Relative cost of one unit of each class (ALU, MUL, MEM, BRANCH);
+  /// multipliers are typically much larger than adders.
+  std::array<double, cdfg::kFuClassCount> unit_cost = {0.0, 1.0, 8.0, 2.0,
+                                                       2.0};
+  /// Search-effort cap: maximum number of branch steps before giving up
+  /// and returning the incumbent (which is always feasible).
+  std::uint64_t max_steps = 50'000'000;
+};
+
+/// Result of the exact search.
+struct BranchBoundResult {
+  Schedule schedule;
+  double cost = 0;         ///< unit-cost-weighted sum of per-class peaks
+  bool proven_optimal = false;
+  std::uint64_t steps_explored = 0;
+};
+
+/// Runs the search.  Throws ScheduleError when the deadline is infeasible.
+[[nodiscard]] BranchBoundResult branchBoundSchedule(
+    const cdfg::Cdfg& g, const BranchBoundOptions& options = {});
+
+}  // namespace locwm::sched

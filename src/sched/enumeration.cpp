@@ -1,0 +1,200 @@
+#include "sched/enumeration.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "sched/timeframes.h"
+
+namespace locwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+namespace {
+
+struct Enumerator {
+  const cdfg::Cdfg* g = nullptr;
+  const EnumerationOptions* options = nullptr;
+  std::vector<NodeId> order;        // real ops in topo order
+  std::vector<std::uint32_t> alap;  // static upper bound per node value
+  std::vector<std::uint32_t> start;
+  // before[v] / after[v]: extra-edge partners of v, by node value.
+  std::vector<std::vector<NodeId>> extra_before;  // u in extra_before[v]: u -> v
+  std::vector<std::uint32_t> window_lo;           // explicit lower bounds
+  std::uint64_t steps = 0;
+  bool budget_hit = false;
+  std::uint64_t count = 0;
+  const std::function<bool(const Schedule&)>* visit = nullptr;
+  bool stop_requested = false;
+
+  void run(std::size_t index) {
+    if (budget_hit || stop_requested) {
+      return;
+    }
+    if (++steps > options->max_steps) {
+      budget_hit = true;
+      return;
+    }
+    if (index == order.size()) {
+      ++count;
+      if (visit != nullptr) {
+        Schedule s(g->nodeCount());
+        for (const NodeId v : order) {
+          s.set(v, start[v.value()]);
+        }
+        // Pin pseudo-ops for the callback's benefit.
+        for (const NodeId v : g->topologicalOrder(options->honor_temporal)) {
+          if (s.isSet(v)) {
+            continue;
+          }
+          std::uint32_t t = 0;
+          for (const EdgeId e : g->inEdges(v)) {
+            const cdfg::Edge& ed = g->edge(e);
+            if (ed.kind == cdfg::EdgeKind::kTemporal &&
+                !options->honor_temporal) {
+              continue;
+            }
+            if (s.isSet(ed.src)) {
+              const std::uint32_t gap =
+                  options->latency.edgeGap(g->node(ed.src).kind, ed.kind);
+              t = std::max(t, s.at(ed.src) + gap);
+            }
+          }
+          s.set(v, t);
+        }
+        if (!(*visit)(s)) {
+          stop_requested = true;
+        }
+      }
+      return;
+    }
+    const NodeId v = order[index];
+    std::uint32_t lo = window_lo[v.value()];
+    for (const EdgeId e : g->inEdges(v)) {
+      const cdfg::Edge& ed = g->edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !options->honor_temporal) {
+        continue;
+      }
+      if (options->latency.latency(g->node(ed.src).kind) == 0) {
+        continue;
+      }
+      const std::uint32_t gap =
+          options->latency.edgeGap(g->node(ed.src).kind, ed.kind);
+      lo = std::max(lo, start[ed.src.value()] + gap);
+    }
+    for (const NodeId u : extra_before[v.value()]) {
+      lo = std::max(lo, start[u.value()] + 1);
+    }
+    for (std::uint32_t t = lo; t <= alap[v.value()]; ++t) {
+      start[v.value()] = t;
+      run(index + 1);
+      if (budget_hit || stop_requested) {
+        return;
+      }
+    }
+  }
+};
+
+Enumerator makeEnumerator(const cdfg::Cdfg& g,
+                          const EnumerationOptions& options) {
+  Enumerator en;
+  en.g = &g;
+  en.options = &options;
+  en.start.assign(g.nodeCount(), 0);
+  en.alap.assign(g.nodeCount(), 0);
+  en.extra_before.assign(g.nodeCount(), {});
+
+  const TimeFrames tf(g, options.latency, options.deadline,
+                      options.honor_temporal);
+  for (const NodeId v : g.allNodes()) {
+    en.alap[v.value()] = tf.alap(v);
+  }
+  en.window_lo.assign(g.nodeCount(), 0);
+  for (const EnumerationOptions::Window& w : options.windows) {
+    detail::check<ScheduleError>(
+        w.node.isValid() && w.node.value() < g.nodeCount() && w.lo <= w.hi,
+        "countSchedules: malformed window override");
+    en.window_lo[w.node.value()] =
+        std::max(en.window_lo[w.node.value()], w.lo);
+    en.alap[w.node.value()] = std::min(en.alap[w.node.value()], w.hi);
+  }
+
+  // Enumeration order must place every constraint source before its
+  // destination, including the extra edges — build a topological order over
+  // graph edges + extra edges (Kahn, lowest id first for determinism).
+  std::vector<std::size_t> indegree(g.nodeCount(), 0);
+  std::vector<std::vector<NodeId>> succ(g.nodeCount());
+  auto link = [&](NodeId a, NodeId b) {
+    succ[a.value()].push_back(b);
+    ++indegree[b.value()];
+  };
+  for (const EdgeId e : g.allEdges()) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (ed.kind == cdfg::EdgeKind::kTemporal && !options.honor_temporal) {
+      continue;
+    }
+    link(ed.src, ed.dst);
+  }
+  for (const auto& [src, dst] : options.extra_edges) {
+    detail::check<ScheduleError>(
+        options.latency.latency(g.node(src).kind) > 0 &&
+            options.latency.latency(g.node(dst).kind) > 0,
+        "countSchedules: extra edge endpoint is a pseudo-op");
+    link(src, dst);
+    en.extra_before[dst.value()].push_back(src);
+  }
+  std::vector<NodeId> kahn_ready;
+  for (const NodeId v : g.allNodes()) {
+    if (indegree[v.value()] == 0) {
+      kahn_ready.push_back(v);
+    }
+  }
+  std::size_t emitted = 0;
+  while (!kahn_ready.empty()) {
+    std::sort(kahn_ready.begin(), kahn_ready.end());
+    const NodeId v = kahn_ready.front();
+    kahn_ready.erase(kahn_ready.begin());
+    ++emitted;
+    if (options.latency.latency(g.node(v).kind) > 0) {
+      en.order.push_back(v);
+    }
+    for (const NodeId s : succ[v.value()]) {
+      if (--indegree[s.value()] == 0) {
+        kahn_ready.push_back(s);
+      }
+    }
+  }
+  detail::check<ScheduleError>(
+      emitted == g.nodeCount(),
+      "countSchedules: extra edges create a dependence cycle");
+  return en;
+}
+
+}  // namespace
+
+CountResult countSchedules(const cdfg::Cdfg& g,
+                           const EnumerationOptions& options) {
+  Enumerator en = makeEnumerator(g, options);
+  en.run(0);
+  return CountResult{en.count, !en.budget_hit, en.steps};
+}
+
+void enumerateSchedules(const cdfg::Cdfg& g, const EnumerationOptions& options,
+                        const std::function<bool(const Schedule&)>& visit) {
+  Enumerator en = makeEnumerator(g, options);
+  en.visit = &visit;
+  en.run(0);
+}
+
+PsiPair countPsi(const cdfg::Cdfg& g, NodeId src, NodeId dst,
+                 const EnumerationOptions& options) {
+  PsiPair psi;
+  psi.without_edge = countSchedules(g, options);
+  EnumerationOptions with = options;
+  with.extra_edges.push_back({src, dst});
+  psi.with_edge = countSchedules(g, with);
+  return psi;
+}
+
+}  // namespace locwm::sched

@@ -1,0 +1,85 @@
+// Exhaustive schedule enumeration and counting.
+//
+// The paper's proof-of-authorship metric is a ratio of schedule counts:
+// Pc ≈ Π ΨW(e)/ΨN(e), where ΨW counts the schedules satisfying the added
+// temporal edge and ΨN counts all schedules (§IV-A, Fig. 3).  "Since the
+// exhaustive enumeration of solutions in general results in exponential
+// runtimes, we have used a trivial exhaustive enumeration technique to
+// calculate these probabilities only for small examples" — this module is
+// exactly that enumerator, with a work budget so callers can fall back to
+// the approximate model (core/pc.h) on large graphs.
+//
+// A "schedule" here assigns a start step in [0, deadline) to every real
+// operation such that all data/control (and optionally temporal) precedence
+// gaps hold; resources are unconstrained, matching the paper's counting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::sched {
+
+/// Extra precedence constraints passed to the counter without mutating the
+/// graph: src must start strictly before dst (a temporal edge).
+using ExtraEdge = std::pair<cdfg::NodeId, cdfg::NodeId>;
+
+/// Options of the enumerator.
+struct EnumerationOptions {
+  LatencyModel latency = LatencyModel::unit();
+  /// Deadline in steps; nullopt = critical path.
+  std::optional<std::uint32_t> deadline;
+  /// Honour temporal edges already present in the graph.
+  bool honor_temporal = true;
+  /// Additional before-constraints applied on top of the graph.
+  std::vector<ExtraEdge> extra_edges;
+  /// Explicit start-window overrides: node must start within [lo, hi].
+  /// Used to enumerate a subtree under the *global* frames of the design
+  /// it was carved from (the paper's Fig. 3 counting).
+  struct Window {
+    cdfg::NodeId node;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+  std::vector<Window> windows;
+  /// Abort knob: maximum number of partial assignments explored.
+  std::uint64_t max_steps = 200'000'000;
+};
+
+/// Result of a counting run.
+struct CountResult {
+  std::uint64_t count = 0;     ///< number of feasible schedules
+  bool exact = true;           ///< false when the work budget was hit
+  std::uint64_t steps = 0;     ///< search effort spent
+};
+
+/// Counts feasible schedules.  Returns exact=false when max_steps was
+/// exhausted (count is then a lower bound).
+[[nodiscard]] CountResult countSchedules(const cdfg::Cdfg& g,
+                                         const EnumerationOptions& options = {});
+
+/// Enumerates feasible schedules, invoking `visit` for each.  `visit` may
+/// return false to stop early.  Pseudo-ops are pinned (inputs at 0,
+/// outputs after their producers).
+void enumerateSchedules(const cdfg::Cdfg& g, const EnumerationOptions& options,
+                        const std::function<bool(const Schedule&)>& visit);
+
+/// The paper's Ψ pair for one candidate temporal edge e = (src → dst):
+/// ΨN = number of schedules of `g` (without e), ΨW = those in which src
+/// starts strictly before dst.  Fig. 3's example: ΨN = 77, ΨW = 10.
+struct PsiPair {
+  CountResult with_edge;     ///< ΨW
+  CountResult without_edge;  ///< ΨN
+};
+
+[[nodiscard]] PsiPair countPsi(const cdfg::Cdfg& g, cdfg::NodeId src,
+                               cdfg::NodeId dst,
+                               const EnumerationOptions& options = {});
+
+}  // namespace locwm::sched

@@ -1,0 +1,161 @@
+#include "sched/force_directed.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "sched/timeframes.h"
+
+namespace locwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+namespace {
+
+struct Frames {
+  std::vector<std::uint32_t> lo;
+  std::vector<std::uint32_t> hi;
+};
+
+/// Tightens `f` to consistency with all dependence edges.  Returns false
+/// when some node's window becomes empty.
+bool propagate(const cdfg::Cdfg& g, const LatencyModel& lat,
+               bool honorTemporal, Frames& f) {
+  const std::vector<NodeId> topo = g.topologicalOrder(honorTemporal);
+  for (const NodeId v : topo) {
+    for (const EdgeId e : g.inEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !honorTemporal) {
+        continue;
+      }
+      const std::uint32_t gap = lat.edgeGap(g.node(ed.src).kind, ed.kind);
+      f.lo[v.value()] = std::max(f.lo[v.value()], f.lo[ed.src.value()] + gap);
+    }
+    if (f.lo[v.value()] > f.hi[v.value()]) {
+      return false;
+    }
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    for (const EdgeId e : g.outEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !honorTemporal) {
+        continue;
+      }
+      const std::uint32_t gap = lat.edgeGap(g.node(v).kind, ed.kind);
+      const std::uint32_t succ_hi = f.hi[ed.dst.value()];
+      if (succ_hi < gap) {
+        return false;
+      }
+      f.hi[v.value()] = std::min(f.hi[v.value()], succ_hi - gap);
+    }
+    if (f.lo[v.value()] > f.hi[v.value()]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sum over classes and steps of the squared expected concurrency — the
+/// scalar whose decrease the classic "force" measures.
+double distributionCost(const cdfg::Cdfg& g, const LatencyModel& lat,
+                        const Frames& f, std::uint32_t deadline) {
+  std::vector<std::vector<double>> dg(
+      cdfg::kFuClassCount, std::vector<double>(deadline + 1, 0.0));
+  for (const NodeId v : g.allNodes()) {
+    const cdfg::OpKind kind = g.node(v).kind;
+    const std::uint32_t l = lat.latency(kind);
+    if (l == 0) {
+      continue;
+    }
+    const auto fu = static_cast<std::size_t>(cdfg::fuClass(kind));
+    const std::uint32_t lo = f.lo[v.value()];
+    const std::uint32_t hi = f.hi[v.value()];
+    const double p = 1.0 / static_cast<double>(hi - lo + 1);
+    for (std::uint32_t t = lo; t <= hi; ++t) {
+      for (std::uint32_t k = 0; k < l && t + k < dg[fu].size(); ++k) {
+        dg[fu][t + k] += p;
+      }
+    }
+  }
+  double cost = 0;
+  for (const auto& series : dg) {
+    for (const double x : series) {
+      cost += x * x;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+Schedule forceDirectedSchedule(const cdfg::Cdfg& g,
+                               const ForceDirectedOptions& options) {
+  const LatencyModel& lat = options.latency;
+  const TimeFrames tf(g, lat, options.deadline, options.honor_temporal);
+  const std::uint32_t deadline = tf.deadline();
+
+  Frames frames;
+  frames.lo.resize(g.nodeCount());
+  frames.hi.resize(g.nodeCount());
+  for (const NodeId v : g.allNodes()) {
+    frames.lo[v.value()] = tf.asap(v);
+    frames.hi[v.value()] = tf.alap(v);
+  }
+
+  std::vector<bool> fixed(g.nodeCount(), false);
+  std::size_t remaining = 0;
+  for (const NodeId v : g.allNodes()) {
+    if (lat.latency(g.node(v).kind) > 0) {
+      ++remaining;
+    } else {
+      fixed[v.value()] = true;  // pseudo-ops ride along with propagation
+    }
+  }
+
+  while (remaining > 0) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    NodeId best_node = NodeId::invalid();
+    std::uint32_t best_step = 0;
+
+    for (const NodeId v : g.allNodes()) {
+      if (fixed[v.value()]) {
+        continue;
+      }
+      for (std::uint32_t t = frames.lo[v.value()]; t <= frames.hi[v.value()];
+           ++t) {
+        Frames trial = frames;
+        trial.lo[v.value()] = t;
+        trial.hi[v.value()] = t;
+        if (!propagate(g, lat, options.honor_temporal, trial)) {
+          continue;
+        }
+        const double cost = distributionCost(g, lat, trial, deadline);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_node = v;
+          best_step = t;
+        }
+      }
+    }
+    detail::check<ScheduleError>(best_node.isValid(),
+                                 "forceDirectedSchedule: no feasible move");
+    frames.lo[best_node.value()] = best_step;
+    frames.hi[best_node.value()] = best_step;
+    const bool ok = propagate(g, lat, options.honor_temporal, frames);
+    detail::check<ScheduleError>(ok,
+                                 "forceDirectedSchedule: propagation failed");
+    fixed[best_node.value()] = true;
+    --remaining;
+  }
+
+  Schedule s(g.nodeCount());
+  for (const NodeId v : g.allNodes()) {
+    s.set(v, frames.lo[v.value()]);
+  }
+  return s;
+}
+
+}  // namespace locwm::sched

@@ -1,0 +1,35 @@
+// Force-directed scheduling (Paulin & Knight) — the paper's reference
+// time-constrained scheduler [14].
+//
+// Given a deadline, the scheduler balances the expected concurrency of each
+// functional-unit class across control steps, minimizing the peak number of
+// units the schedule implies.  We implement the classic formulation with
+// distribution graphs and force minimization, evaluating each tentative
+// assignment by full time-frame propagation (exact, O(n·T·E) per
+// iteration) — easily fast enough for behavioral-synthesis-sized graphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::sched {
+
+/// Options of the force-directed scheduler.
+struct ForceDirectedOptions {
+  LatencyModel latency = LatencyModel::unit();
+  /// Deadline in control steps; nullopt = critical path (tightest).
+  std::optional<std::uint32_t> deadline;
+  /// Honour temporal (watermark) edges.
+  bool honor_temporal = true;
+};
+
+/// Schedules `g` within the deadline.  Throws ScheduleError when the
+/// deadline is below the critical path.
+[[nodiscard]] Schedule forceDirectedSchedule(
+    const cdfg::Cdfg& g, const ForceDirectedOptions& options = {});
+
+}  // namespace locwm::sched

@@ -1,0 +1,42 @@
+#include "sched/latency.h"
+
+#include "cdfg/graph.h"
+
+namespace locwm::sched {
+
+LatencyModel LatencyModel::unit() {
+  LatencyModel m;
+  for (std::size_t i = 0; i < cdfg::kOpKindCount; ++i) {
+    const auto kind = static_cast<cdfg::OpKind>(i);
+    m.table_[i] = cdfg::isPseudoOp(kind) ? 0u : 1u;
+  }
+  return m;
+}
+
+LatencyModel LatencyModel::hyperDefault() {
+  LatencyModel m = unit();
+  m.setLatency(cdfg::OpKind::kMul, 2);
+  m.setLatency(cdfg::OpKind::kDiv, 2);
+  return m;
+}
+
+std::uint32_t LatencyModel::latency(cdfg::OpKind kind) const noexcept {
+  return table_[static_cast<std::size_t>(kind)];
+}
+
+void LatencyModel::setLatency(cdfg::OpKind kind,
+                              std::uint32_t cycles) noexcept {
+  if (!cdfg::isPseudoOp(kind)) {
+    table_[static_cast<std::size_t>(kind)] = cycles;
+  }
+}
+
+std::uint32_t LatencyModel::edgeGap(cdfg::OpKind srcKind,
+                                    cdfg::EdgeKind edgeKind) const noexcept {
+  if (edgeKind == cdfg::EdgeKind::kTemporal) {
+    return 1;
+  }
+  return latency(srcKind);
+}
+
+}  // namespace locwm::sched

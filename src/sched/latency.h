@@ -1,0 +1,46 @@
+// Operation latency model.
+//
+// Behavioral synthesis schedules operations into control steps; an
+// operation occupies its functional unit for latency(op) consecutive steps.
+// Pseudo-operations (inputs/outputs/constants) always have latency 0 and
+// are pinned to the step of their consumer/producer by validation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cdfg/graph.h"
+#include "cdfg/operation.h"
+
+namespace locwm::sched {
+
+/// Per-operation-kind latency table, in control steps.
+class LatencyModel {
+ public:
+  /// Every real operation takes one control step — the model used by the
+  /// paper's examples and the schedule-counting machinery.
+  [[nodiscard]] static LatencyModel unit();
+
+  /// Classic HYPER-era datapath model: multiplications (and divisions)
+  /// take two control steps, everything else one.
+  [[nodiscard]] static LatencyModel hyperDefault();
+
+  /// Latency of `kind`; 0 for pseudo-ops regardless of configuration.
+  [[nodiscard]] std::uint32_t latency(cdfg::OpKind kind) const noexcept;
+
+  /// Overrides the latency of one kind.  Ignored for pseudo-ops.
+  void setLatency(cdfg::OpKind kind, std::uint32_t cycles) noexcept;
+
+  /// Precedence gap a dependence edge imposes: data/control edges require
+  /// start(dst) >= start(src) + latency(src); temporal edges require
+  /// start(dst) >= start(src) + 1 ("scheduled before", §IV-A), independent
+  /// of latency.
+  [[nodiscard]] std::uint32_t edgeGap(cdfg::OpKind srcKind,
+                                      cdfg::EdgeKind edgeKind) const noexcept;
+
+ private:
+  LatencyModel() = default;
+  std::array<std::uint32_t, cdfg::kOpKindCount> table_{};
+};
+
+}  // namespace locwm::sched

@@ -1,0 +1,33 @@
+// Resource-constrained list scheduling.
+//
+// The workhorse heuristic scheduler (paper ref [14]-style heuristics):
+// operations become ready when their predecessors have completed; ready
+// operations are placed greedily into the earliest step with a free
+// functional unit, highest-priority first.  Priority is the node's height
+// (longest path to a sink) — the classic critical-path heuristic.
+//
+// Temporal (watermark) edges are honoured exactly like control edges, so a
+// watermarked specification is scheduled by the *same* off-the-shelf
+// scheduler, which is the transparency property the paper requires.
+#pragma once
+
+#include "cdfg/graph.h"
+#include "sched/latency.h"
+#include "sched/schedule.h"
+
+namespace locwm::sched {
+
+/// Options of the list scheduler.
+struct ListSchedulerOptions {
+  ResourceLimits limits = ResourceLimits::unlimited();
+  LatencyModel latency = LatencyModel::unit();
+  /// Honour temporal edges (on for watermarked synthesis, off to obtain
+  /// the unconstrained baseline).
+  bool honor_temporal = true;
+};
+
+/// Schedules `g`; always succeeds (steps are unbounded upward).
+[[nodiscard]] Schedule listSchedule(const cdfg::Cdfg& g,
+                                    const ListSchedulerOptions& options = {});
+
+}  // namespace locwm::sched

@@ -1,0 +1,134 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+void Schedule::set(NodeId n, std::uint32_t step) {
+  detail::check<ScheduleError>(n.isValid() && n.value() < start_.size(),
+                               "Schedule::set: node id out of range");
+  start_[n.value()] = step;
+}
+
+bool Schedule::isSet(NodeId n) const {
+  detail::check<ScheduleError>(n.isValid() && n.value() < start_.size(),
+                               "Schedule::isSet: node id out of range");
+  return start_[n.value()] != kUnset;
+}
+
+std::uint32_t Schedule::at(NodeId n) const {
+  detail::check<ScheduleError>(n.isValid() && n.value() < start_.size(),
+                               "Schedule::at: node id out of range");
+  detail::check<ScheduleError>(start_[n.value()] != kUnset,
+                               "Schedule::at: node is unscheduled");
+  return static_cast<std::uint32_t>(start_[n.value()]);
+}
+
+std::uint32_t Schedule::makespan(const cdfg::Cdfg& g,
+                                 const LatencyModel& lat) const {
+  std::uint32_t end = 0;
+  for (const NodeId v : g.allNodes()) {
+    if (!isSet(v)) {
+      continue;
+    }
+    const std::uint32_t l = lat.latency(g.node(v).kind);
+    if (l == 0) {
+      continue;  // pseudo-ops take no step
+    }
+    end = std::max(end, at(v) + l);
+  }
+  return end;
+}
+
+std::optional<ScheduleViolation> validate(const cdfg::Cdfg& g,
+                                          const Schedule& s,
+                                          const LatencyModel& lat,
+                                          bool checkTemporal) {
+  for (const NodeId v : g.allNodes()) {
+    if (!s.isSet(v)) {
+      return ScheduleViolation{EdgeId::invalid(), v,
+                               "node " + std::to_string(v.value()) +
+                                   " is unscheduled"};
+    }
+  }
+  for (const EdgeId e : g.allEdges()) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (ed.kind == cdfg::EdgeKind::kTemporal && !checkTemporal) {
+      continue;
+    }
+    const std::uint32_t gap = lat.edgeGap(g.node(ed.src).kind, ed.kind);
+    if (s.at(ed.dst) < s.at(ed.src) + gap) {
+      return ScheduleViolation{
+          e, NodeId::invalid(),
+          std::string(cdfg::edgeKindName(ed.kind)) + " edge " +
+              std::to_string(ed.src.value()) + "->" +
+              std::to_string(ed.dst.value()) + " violated: " +
+              std::to_string(s.at(ed.src)) + " + " + std::to_string(gap) +
+              " > " + std::to_string(s.at(ed.dst))};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> ResourceProfile::peaks() const {
+  std::vector<std::uint32_t> result(usage.size(), 0);
+  for (std::size_t fu = 0; fu < usage.size(); ++fu) {
+    for (const std::uint32_t u : usage[fu]) {
+      result[fu] = std::max(result[fu], u);
+    }
+  }
+  return result;
+}
+
+ResourceProfile resourceProfile(const cdfg::Cdfg& g, const Schedule& s,
+                                const LatencyModel& lat) {
+  ResourceProfile profile;
+  const std::uint32_t steps = s.makespan(g, lat);
+  profile.usage.assign(cdfg::kFuClassCount,
+                       std::vector<std::uint32_t>(steps, 0));
+  for (const NodeId v : g.allNodes()) {
+    const cdfg::OpKind kind = g.node(v).kind;
+    const std::uint32_t l = lat.latency(kind);
+    if (l == 0 || !s.isSet(v)) {
+      continue;
+    }
+    const auto fu = static_cast<std::size_t>(cdfg::fuClass(kind));
+    for (std::uint32_t t = s.at(v); t < s.at(v) + l; ++t) {
+      ++profile.usage[fu][t];
+    }
+  }
+  return profile;
+}
+
+ResourceLimits ResourceLimits::of(std::uint32_t alu, std::uint32_t mul,
+                                  std::uint32_t mem, std::uint32_t branch) {
+  ResourceLimits limits;
+  limits.limit[static_cast<std::size_t>(cdfg::FuClass::kAlu)] = alu;
+  limits.limit[static_cast<std::size_t>(cdfg::FuClass::kMul)] = mul;
+  limits.limit[static_cast<std::size_t>(cdfg::FuClass::kMem)] = mem;
+  limits.limit[static_cast<std::size_t>(cdfg::FuClass::kBranch)] = branch;
+  return limits;
+}
+
+bool respectsLimits(const ResourceProfile& profile,
+                    const ResourceLimits& limits) {
+  for (std::size_t fu = 0; fu < profile.usage.size(); ++fu) {
+    const std::uint32_t cap = limits.limit[fu];
+    if (cap == 0) {
+      continue;  // unlimited
+    }
+    for (const std::uint32_t u : profile.usage[fu]) {
+      if (u > cap) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace locwm::sched

@@ -1,0 +1,61 @@
+#include "sched/schedule_io.h"
+
+#include <sstream>
+
+#include "cdfg/error.h"
+
+namespace locwm::sched {
+
+void printSchedule(std::ostream& os, const cdfg::Cdfg& g, const Schedule& s) {
+  for (const cdfg::NodeId v : g.allNodes()) {
+    os << v.value() << ' ' << s.at(v) << '\n';
+  }
+}
+
+std::string scheduleToString(const cdfg::Cdfg& g, const Schedule& s) {
+  std::ostringstream os;
+  printSchedule(os, g, s);
+  return os.str();
+}
+
+Schedule parseSchedule(std::istream& is, std::size_t nodeCount) {
+  Schedule s(nodeCount);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::uint32_t node = 0;
+    std::uint32_t step = 0;
+    if (!(ls >> node)) {
+      continue;  // blank/comment line
+    }
+    if (!(ls >> step)) {
+      throw ParseError("schedule parse error at line " +
+                       std::to_string(lineno) + ": missing step");
+    }
+    std::string trailing;
+    if (ls >> trailing) {
+      throw ParseError("schedule parse error at line " +
+                       std::to_string(lineno) + ": trailing tokens");
+    }
+    if (node >= nodeCount) {
+      throw ParseError("schedule parse error at line " +
+                       std::to_string(lineno) + ": node " +
+                       std::to_string(node) + " out of range");
+    }
+    s.set(cdfg::NodeId(node), step);
+  }
+  return s;
+}
+
+Schedule parseScheduleString(const std::string& text, std::size_t nodeCount) {
+  std::istringstream is(text);
+  return parseSchedule(is, nodeCount);
+}
+
+}  // namespace locwm::sched

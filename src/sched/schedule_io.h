@@ -1,0 +1,30 @@
+// Text serialization of schedules — the artifact that carries a scheduling
+// watermark once the temporal edges are stripped, so it needs a durable
+// interchange form.  Format: one "<node-index> <start-step>" pair per
+// line, '#' comments allowed; every node of the design must be assigned.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "cdfg/graph.h"
+#include "sched/schedule.h"
+
+namespace locwm::sched {
+
+/// Writes `s` (complete over `g`) in the text format.
+void printSchedule(std::ostream& os, const cdfg::Cdfg& g, const Schedule& s);
+
+/// Renders to a string.
+[[nodiscard]] std::string scheduleToString(const cdfg::Cdfg& g,
+                                           const Schedule& s);
+
+/// Parses a schedule for a design with `nodeCount` nodes.  Throws
+/// ParseError on malformed input or out-of-range node indices.  The result
+/// may be partial; validate() reports unassigned nodes.
+[[nodiscard]] Schedule parseSchedule(std::istream& is, std::size_t nodeCount);
+[[nodiscard]] Schedule parseScheduleString(const std::string& text,
+                                           std::size_t nodeCount);
+
+}  // namespace locwm::sched

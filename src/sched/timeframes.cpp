@@ -1,0 +1,86 @@
+#include "sched/timeframes.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+TimeFrames::TimeFrames(const cdfg::Cdfg& g, const LatencyModel& lat,
+                       std::optional<std::uint32_t> deadline,
+                       bool includeTemporal) {
+  const std::size_t n = g.nodeCount();
+  asap_.assign(n, 0);
+  alap_.assign(n, 0);
+
+  const std::vector<NodeId> topo = g.topologicalOrder(includeTemporal);
+
+  // Forward pass: ASAP start times.
+  for (const NodeId v : topo) {
+    std::uint32_t earliest = 0;
+    for (const EdgeId e : g.inEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !includeTemporal) {
+        continue;
+      }
+      const std::uint32_t gap = lat.edgeGap(g.node(ed.src).kind, ed.kind);
+      earliest = std::max(earliest, asap_[ed.src.value()] + gap);
+    }
+    asap_[v.value()] = earliest;
+  }
+
+  // Critical path in steps: the earliest finish over all nodes.
+  critical_ = 0;
+  for (const NodeId v : topo) {
+    critical_ = std::max(critical_,
+                         asap_[v.value()] + lat.latency(g.node(v).kind));
+  }
+
+  deadline_ = deadline.value_or(critical_);
+  detail::check<ScheduleError>(
+      deadline_ >= critical_,
+      "TimeFrames: deadline " + std::to_string(deadline_) +
+          " below critical path " + std::to_string(critical_));
+
+  // Backward pass: ALAP start times.  A node with no (considered)
+  // successors may start as late as deadline - latency.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint32_t latest = deadline_ - lat.latency(g.node(v).kind);
+    for (const EdgeId e : g.outEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !includeTemporal) {
+        continue;
+      }
+      const std::uint32_t gap = lat.edgeGap(g.node(v).kind, ed.kind);
+      const std::uint32_t succ_alap = alap_[ed.dst.value()];
+      latest = std::min(latest, succ_alap >= gap ? succ_alap - gap : 0u);
+    }
+    alap_[v.value()] = latest;
+  }
+}
+
+std::uint32_t TimeFrames::asap(NodeId n) const {
+  detail::check<ScheduleError>(n.isValid() && n.value() < asap_.size(),
+                               "asap(): node id out of range");
+  return asap_[n.value()];
+}
+
+std::uint32_t TimeFrames::alap(NodeId n) const {
+  detail::check<ScheduleError>(n.isValid() && n.value() < alap_.size(),
+                               "alap(): node id out of range");
+  return alap_[n.value()];
+}
+
+std::uint32_t TimeFrames::mobility(NodeId n) const {
+  return alap(n) - asap(n);
+}
+
+bool TimeFrames::lifetimesOverlap(NodeId a, NodeId b) const {
+  return asap(a) <= alap(b) && asap(b) <= alap(a);
+}
+
+}  // namespace locwm::sched

@@ -1,0 +1,227 @@
+#include "tm/cover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cdfg/error.h"
+
+namespace locwm::tm {
+
+using cdfg::NodeId;
+
+Matching singletonMatching(NodeId node) {
+  Matching m;
+  m.template_id = TemplateId::invalid();
+  m.pairs.push_back(MatchPair{node, 0});
+  return m;
+}
+
+namespace {
+
+/// Exact minimum-cardinality exact-cover search over the real nodes.
+struct ExactCover {
+  const std::vector<std::vector<std::uint32_t>>* options_per_node = nullptr;
+  const std::vector<const Matching*>* matchings = nullptr;
+  std::vector<bool> covered;             // by node value
+  std::vector<std::uint32_t> targets;    // node values to cover, ascending
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::vector<std::uint32_t> current;    // chosen matching indices
+  std::vector<std::uint32_t> best_choice;
+  std::uint64_t steps = 0;
+  std::uint64_t max_steps = 0;
+  bool budget_hit = false;
+  std::size_t max_matching_size = 1;
+
+  void dfs(std::size_t chosen_count) {
+    if (budget_hit || ++steps > max_steps) {
+      budget_hit = true;
+      return;
+    }
+    // Lowest uncovered target.
+    std::size_t remaining = 0;
+    std::uint32_t pivot = std::numeric_limits<std::uint32_t>::max();
+    for (const std::uint32_t t : targets) {
+      if (!covered[t]) {
+        ++remaining;
+        pivot = std::min(pivot, t);
+      }
+    }
+    if (remaining == 0) {
+      if (chosen_count < best) {
+        best = chosen_count;
+        best_choice = current;
+      }
+      return;
+    }
+    // Bound: every matching covers at most max_matching_size targets.
+    const std::size_t lower =
+        chosen_count + (remaining + max_matching_size - 1) / max_matching_size;
+    if (lower >= best) {
+      return;
+    }
+    for (const std::uint32_t mi : (*options_per_node)[pivot]) {
+      const Matching& m = *(*matchings)[mi];
+      bool free = true;
+      for (const MatchPair& p : m.pairs) {
+        if (covered[p.node.value()]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) {
+        continue;
+      }
+      for (const MatchPair& p : m.pairs) {
+        covered[p.node.value()] = true;
+      }
+      current.push_back(mi);
+      dfs(chosen_count + 1);
+      current.pop_back();
+      for (const MatchPair& p : m.pairs) {
+        covered[p.node.value()] = false;
+      }
+      if (budget_hit) {
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CoverResult cover(const cdfg::Cdfg& g, const TemplateLibrary& lib,
+                  const std::vector<Matching>& candidates,
+                  const CoverOptions& options) {
+  CoverResult result;
+  std::vector<bool> covered(g.nodeCount(), false);
+
+  // Commit forced matchings first.
+  for (const Matching& m : options.forced) {
+    detail::check<WatermarkError>(
+        !m.template_id.isValid() ||
+            isAdmissible(m, lib.get(m.template_id), options.ppo),
+        "forced matching is inadmissible under the PPO set");
+    for (const MatchPair& p : m.pairs) {
+      detail::check<WatermarkError>(!covered[p.node.value()],
+                                    "forced matchings overlap");
+      covered[p.node.value()] = true;
+    }
+    result.chosen.push_back(m);
+  }
+
+  // Admissible, non-conflicting candidates.
+  std::vector<const Matching*> usable;
+  usable.reserve(candidates.size());
+  for (const Matching& m : candidates) {
+    if (m.pairs.size() < 2) {
+      continue;  // singletons are implicit
+    }
+    if (m.template_id.isValid() &&
+        !isAdmissible(m, lib.get(m.template_id), options.ppo)) {
+      continue;
+    }
+    bool clash = false;
+    for (const MatchPair& p : m.pairs) {
+      if (covered[p.node.value()]) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      usable.push_back(&m);
+    }
+  }
+
+  // Targets: all real, not-yet-covered operations.
+  std::vector<std::uint32_t> targets;
+  for (const NodeId v : g.allNodes()) {
+    if (!cdfg::isPseudoOp(g.node(v).kind) && !covered[v.value()]) {
+      targets.push_back(v.value());
+    }
+  }
+
+  if (options.exact) {
+    std::vector<std::vector<std::uint32_t>> per_node(g.nodeCount());
+    std::size_t max_size = 1;
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      for (const MatchPair& p : usable[i]->pairs) {
+        per_node[p.node.value()].push_back(static_cast<std::uint32_t>(i));
+      }
+      max_size = std::max(max_size, usable[i]->pairs.size());
+    }
+    // Singleton fallback: represent as extra pseudo-options appended after
+    // the real matchings.
+    std::vector<Matching> singleton_storage;
+    singleton_storage.reserve(targets.size());
+    for (const std::uint32_t t : targets) {
+      singleton_storage.push_back(singletonMatching(NodeId(t)));
+    }
+    std::vector<const Matching*> all = usable;
+    for (std::size_t i = 0; i < singleton_storage.size(); ++i) {
+      per_node[targets[i]].push_back(
+          static_cast<std::uint32_t>(all.size()));
+      all.push_back(&singleton_storage[i]);
+    }
+
+    ExactCover search;
+    search.options_per_node = &per_node;
+    search.matchings = &all;
+    search.covered = covered;
+    search.targets = targets;
+    search.max_steps = options.max_steps;
+    search.max_matching_size = max_size;
+    // Incumbent: the all-singleton cover — always feasible, so even a
+    // budget-exhausted search returns a valid (if unoptimized) cover.
+    search.best = targets.size();
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      search.best_choice.push_back(
+          static_cast<std::uint32_t>(usable.size() + i));
+    }
+    search.dfs(0);
+    for (const std::uint32_t mi : search.best_choice) {
+      result.chosen.push_back(*all[mi]);
+      if (!all[mi]->template_id.isValid()) {
+        ++result.singleton_count;
+      }
+    }
+    result.proven_optimal = !search.budget_hit;
+  } else {
+    // Greedy: largest matchings first; deterministic tie-break on key().
+    std::vector<const Matching*> sorted = usable;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Matching* a, const Matching* b) {
+                if (a->pairs.size() != b->pairs.size()) {
+                  return a->pairs.size() > b->pairs.size();
+                }
+                return a->key() < b->key();
+              });
+    for (const Matching* m : sorted) {
+      bool free = true;
+      for (const MatchPair& p : m->pairs) {
+        if (covered[p.node.value()]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) {
+        continue;
+      }
+      for (const MatchPair& p : m->pairs) {
+        covered[p.node.value()] = true;
+      }
+      result.chosen.push_back(*m);
+    }
+    for (const std::uint32_t t : targets) {
+      if (!covered[t]) {
+        covered[t] = true;
+        result.chosen.push_back(singletonMatching(NodeId(t)));
+        ++result.singleton_count;
+      }
+    }
+  }
+
+  result.module_count = result.chosen.size();
+  return result;
+}
+
+}  // namespace locwm::tm

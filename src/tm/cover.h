@@ -1,0 +1,58 @@
+// Template selection / covering: choose pairwise-disjoint matchings so that
+// every real operation is implemented by exactly one module, minimizing the
+// number of module instances.
+//
+// Operations not captured by any chosen template matching fall back to
+// trivial single-op modules (one functional unit each).  Pseudo-primary
+// outputs (PPOs) restrict admissibility: a matching that would hide a PPO
+// variable inside a module is excluded — this is the mechanism by which the
+// watermark *enforces* its chosen matchings (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "tm/matching.h"
+#include "tm/template.h"
+
+namespace locwm::tm {
+
+/// Options of the covering pass.
+struct CoverOptions {
+  /// Variables that must remain visible (watermark constraints).
+  PpoSet ppo;
+  /// Matchings that MUST appear in the cover (the watermark's enforced
+  /// matchings).  Their nodes are committed before optimization.
+  std::vector<Matching> forced;
+  /// Run the exact branch-and-bound instead of the greedy heuristic.
+  bool exact = false;
+  /// Effort cap for the exact search.
+  std::uint64_t max_steps = 20'000'000;
+};
+
+/// A singleton (trivial-module) cover entry is represented as a Matching
+/// with an invalid template id and a single pair {node, 0}.
+[[nodiscard]] Matching singletonMatching(cdfg::NodeId node);
+
+/// Result of covering.
+struct CoverResult {
+  /// Chosen matchings (forced first), including trivial singletons.
+  std::vector<Matching> chosen;
+  /// Total module instances == chosen.size().
+  std::size_t module_count = 0;
+  /// How many of those are trivial single-op modules.
+  std::size_t singleton_count = 0;
+  /// Exact search proved optimality (greedy always reports false).
+  bool proven_optimal = false;
+};
+
+/// Covers all real operations of `g` using admissible matchings from
+/// `candidates` (inadmissible ones — PPO-hiding or clashing with forced
+/// nodes — are filtered internally).  Throws WatermarkError when a forced
+/// matching is itself inadmissible or forced matchings overlap.
+[[nodiscard]] CoverResult cover(const cdfg::Cdfg& g, const TemplateLibrary& lib,
+                                const std::vector<Matching>& candidates,
+                                const CoverOptions& options = {});
+
+}  // namespace locwm::tm

@@ -1,0 +1,230 @@
+#include "tm/library_io.h"
+
+#include <sstream>
+
+#include "cdfg/error.h"
+#include "tm/cover.h"
+
+namespace locwm::tm {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& why) {
+  throw ParseError("template-io parse error at line " +
+                   std::to_string(lineno) + ": " + why);
+}
+
+std::string stripComment(std::string line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) {
+    line.resize(hash);
+  }
+  return line;
+}
+
+}  // namespace
+
+void printLibrary(std::ostream& os, const TemplateLibrary& lib) {
+  os << "tmlib v1\n";
+  for (const TemplateId id : lib.allIds()) {
+    const Template& t = lib.get(id);
+    os << "template " << t.name << '\n';
+    for (std::size_t i = 0; i < t.ops.size(); ++i) {
+      os << "  op " << i << ' ' << cdfg::opName(t.ops[i].kind);
+      for (const std::size_t c : t.ops[i].children) {
+        os << ' ' << c;
+      }
+      os << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+std::string libraryToString(const TemplateLibrary& lib) {
+  std::ostringstream os;
+  printLibrary(os, lib);
+  return os.str();
+}
+
+TemplateLibrary parseLibrary(std::istream& is) {
+  TemplateLibrary lib;
+  std::string line;
+  std::size_t lineno = 0;
+  bool header = false;
+  std::optional<Template> current;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(stripComment(line));
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    if (word == "tmlib") {
+      std::string version;
+      if (!(ls >> version) || version != "v1") {
+        fail(lineno, "unsupported version");
+      }
+      header = true;
+    } else if (word == "template") {
+      if (!header) {
+        fail(lineno, "missing 'tmlib v1' header");
+      }
+      if (current) {
+        fail(lineno, "nested template");
+      }
+      current.emplace();
+      if (!(ls >> current->name)) {
+        fail(lineno, "template needs a name");
+      }
+    } else if (word == "op") {
+      if (!current) {
+        fail(lineno, "op outside a template");
+      }
+      std::size_t index = 0;
+      std::string opname;
+      if (!(ls >> index >> opname)) {
+        fail(lineno, "malformed op line");
+      }
+      if (index != current->ops.size()) {
+        fail(lineno, "op indices must be dense and ascending");
+      }
+      const auto kind = cdfg::opFromName(opname);
+      if (!kind) {
+        fail(lineno, "unknown operation '" + opname + "'");
+      }
+      TemplateOp op;
+      op.kind = *kind;
+      std::size_t child = 0;
+      while (ls >> child) {
+        op.children.push_back(child);
+      }
+      current->ops.push_back(std::move(op));
+    } else if (word == "end") {
+      if (!current) {
+        fail(lineno, "'end' outside a template");
+      }
+      try {
+        lib.add(std::move(*current));
+      } catch (const Error& e) {
+        fail(lineno, e.what());
+      }
+      current.reset();
+    } else {
+      fail(lineno, "unknown directive '" + word + "'");
+    }
+  }
+  if (!header) {
+    throw ParseError("template-io parse error: empty input");
+  }
+  if (current) {
+    throw ParseError("template-io parse error: unterminated template");
+  }
+  return lib;
+}
+
+TemplateLibrary parseLibraryString(const std::string& text) {
+  std::istringstream is(text);
+  return parseLibrary(is);
+}
+
+void printCover(std::ostream& os, const std::vector<Matching>& cover) {
+  os << "tmcover v1\n";
+  for (const Matching& m : cover) {
+    if (!m.template_id.isValid()) {
+      os << "single " << m.pairs.front().node.value() << '\n';
+      continue;
+    }
+    os << "use " << m.template_id.value();
+    for (const MatchPair& p : m.pairs) {
+      os << ' ' << p.node.value() << ':' << p.op_index;
+    }
+    os << '\n';
+  }
+}
+
+std::string coverToString(const std::vector<Matching>& cover) {
+  std::ostringstream os;
+  printCover(os, cover);
+  return os.str();
+}
+
+std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
+                                 std::size_t nodeCount) {
+  std::vector<Matching> cover;
+  std::string line;
+  std::size_t lineno = 0;
+  bool header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(stripComment(line));
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    if (word == "tmcover") {
+      std::string version;
+      if (!(ls >> version) || version != "v1") {
+        fail(lineno, "unsupported version");
+      }
+      header = true;
+    } else if (word == "single") {
+      if (!header) {
+        fail(lineno, "missing header");
+      }
+      std::uint32_t node = 0;
+      if (!(ls >> node) || node >= nodeCount) {
+        fail(lineno, "malformed 'single'");
+      }
+      cover.push_back(singletonMatching(cdfg::NodeId(node)));
+    } else if (word == "use") {
+      if (!header) {
+        fail(lineno, "missing header");
+      }
+      std::uint32_t tid = 0;
+      if (!(ls >> tid) || tid >= lib.size()) {
+        fail(lineno, "unknown template id");
+      }
+      Matching m;
+      m.template_id = TemplateId(tid);
+      std::string pair;
+      while (ls >> pair) {
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          fail(lineno, "malformed pair '" + pair + "'");
+        }
+        try {
+          const auto node = static_cast<std::uint32_t>(
+              std::stoul(pair.substr(0, colon)));
+          const std::size_t op = std::stoul(pair.substr(colon + 1));
+          if (node >= nodeCount || op >= lib.get(m.template_id).size()) {
+            fail(lineno, "pair out of range '" + pair + "'");
+          }
+          m.pairs.push_back(MatchPair{cdfg::NodeId(node), op});
+        } catch (const std::invalid_argument&) {
+          fail(lineno, "malformed pair '" + pair + "'");
+        } catch (const std::out_of_range&) {
+          fail(lineno, "malformed pair '" + pair + "'");
+        }
+      }
+      if (m.pairs.empty()) {
+        fail(lineno, "'use' without pairs");
+      }
+      cover.push_back(std::move(m));
+    } else {
+      fail(lineno, "unknown directive '" + word + "'");
+    }
+  }
+  if (!header) {
+    throw ParseError("template-io parse error: empty input");
+  }
+  return cover;
+}
+
+std::vector<Matching> parseCoverString(const std::string& text,
+                                       const TemplateLibrary& lib,
+                                       std::size_t nodeCount) {
+  std::istringstream is(text);
+  return parseCover(is, lib, nodeCount);
+}
+
+}  // namespace locwm::tm

@@ -1,0 +1,50 @@
+// Text serialization of template libraries and covers.
+//
+// Library format (line oriented, '#' comments):
+//
+//   tmlib v1
+//   template <name>
+//     op <index> <opname> [child-index ...]
+//   end
+//
+// Cover format (one matching per line):
+//
+//   tmcover v1
+//   use <template-id> <node>:<op> ...
+//   single <node>
+//
+// Both round-trip exactly.  Malformed input throws ParseError.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tm/matching.h"
+#include "tm/template.h"
+
+namespace locwm::tm {
+
+/// Writes `lib` in the text format.
+void printLibrary(std::ostream& os, const TemplateLibrary& lib);
+[[nodiscard]] std::string libraryToString(const TemplateLibrary& lib);
+
+/// Parses a template library.
+[[nodiscard]] TemplateLibrary parseLibrary(std::istream& is);
+[[nodiscard]] TemplateLibrary parseLibraryString(const std::string& text);
+
+/// Writes a cover (a list of matchings, trivial singletons included).
+void printCover(std::ostream& os, const std::vector<Matching>& cover);
+[[nodiscard]] std::string coverToString(const std::vector<Matching>& cover);
+
+/// Parses a cover for a design with `nodeCount` nodes against `lib`
+/// (template ids and op indices are validated).
+[[nodiscard]] std::vector<Matching> parseCover(std::istream& is,
+                                               const TemplateLibrary& lib,
+                                               std::size_t nodeCount);
+[[nodiscard]] std::vector<Matching> parseCoverString(
+    const std::string& text, const TemplateLibrary& lib,
+    std::size_t nodeCount);
+
+}  // namespace locwm::tm

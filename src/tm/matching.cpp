@@ -1,0 +1,206 @@
+#include "tm/matching.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cdfg/error.h"
+
+namespace locwm::tm {
+
+using cdfg::NodeId;
+
+std::vector<NodeId> Matching::nodes() const {
+  std::vector<NodeId> result;
+  result.reserve(pairs.size());
+  for (const MatchPair& p : pairs) {
+    result.push_back(p.node);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::string Matching::key() const {
+  std::string k = "t";
+  k += std::to_string(template_id.value());
+  for (const MatchPair& p : pairs) {
+    k += ':';
+    k += std::to_string(p.op_index);
+    k += '=';
+    k += std::to_string(p.node.value());
+  }
+  return k;
+}
+
+namespace {
+
+struct MatcherState {
+  const cdfg::Cdfg* g = nullptr;
+  const Template* tmpl = nullptr;
+  TemplateId tid;
+  const std::vector<std::size_t>* subset = nullptr;
+  std::vector<NodeId> assignment;   // by op index; invalid = unassigned
+  std::vector<bool> node_used;      // by node value
+  const std::vector<bool>* allowed = nullptr;  // by node value; null = all
+  std::vector<Matching>* out = nullptr;
+  std::size_t max_matchings = 0;
+
+  [[nodiscard]] bool nodeAllowed(NodeId n) const {
+    return allowed == nullptr || (*allowed)[n.value()];
+  }
+
+  void emit() {
+    detail::check(out->size() < max_matchings,
+                  "enumerateMatchings: matching cap exceeded");
+    Matching m;
+    m.template_id = tid;
+    for (const std::size_t op : *subset) {
+      m.pairs.push_back(MatchPair{assignment[op], op});
+    }
+    out->push_back(std::move(m));
+  }
+
+  /// Assigns the subset-children of `op` (already assigned to `node`) and
+  /// recurses.  `workList` holds (op, next-child-position) frames; we use
+  /// plain recursion over a flattened list of ops to assign instead.
+  void assignChildren(std::size_t pos,
+                      const std::vector<std::size_t>& to_assign) {
+    if (pos == to_assign.size()) {
+      emit();
+      return;
+    }
+    const std::size_t op = to_assign[pos];
+    // Parent of `op` inside the subset is already assigned (ops are
+    // processed root-first).
+    std::size_t parent = tmpl->ops.size();
+    for (std::size_t i = 0; i < tmpl->ops.size(); ++i) {
+      for (const std::size_t c : tmpl->ops[i].children) {
+        if (c == op) {
+          parent = i;
+        }
+      }
+    }
+    const NodeId parent_node = assignment[parent];
+    for (const NodeId cand : g->dataPredecessors(parent_node)) {
+      if (node_used[cand.value()] || !nodeAllowed(cand)) {
+        continue;
+      }
+      if (g->node(cand).kind != tmpl->ops[op].kind) {
+        continue;
+      }
+      assignment[op] = cand;
+      node_used[cand.value()] = true;
+      assignChildren(pos + 1, to_assign);
+      node_used[cand.value()] = false;
+      assignment[op] = NodeId::invalid();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
+                                         const TemplateLibrary& lib,
+                                         const MatchOptions& options) {
+  std::vector<Matching> out;
+
+  std::vector<bool> allowed;
+  if (!options.restrict_to.empty()) {
+    allowed.assign(g.nodeCount(), false);
+    for (const NodeId n : options.restrict_to) {
+      allowed[n.value()] = true;
+    }
+  }
+
+  for (const NodeId root : g.allNodes()) {
+    if (cdfg::isPseudoOp(g.node(root).kind)) {
+      continue;
+    }
+    if (!allowed.empty() && !allowed[root.value()]) {
+      continue;
+    }
+    for (const TemplateId tid : lib.allIds()) {
+      const Template& tmpl = lib.get(tid);
+      for (const std::vector<std::size_t>& subset : tmpl.connectedSubsets()) {
+        if (!options.allow_partial && subset.size() != tmpl.size()) {
+          continue;
+        }
+        if (!options.include_singletons && subset.size() == 1) {
+          continue;
+        }
+        // The subset's local root: the unique member whose parent is
+        // outside the subset.
+        std::vector<bool> in_subset(tmpl.size(), false);
+        for (const std::size_t op : subset) {
+          in_subset[op] = true;
+        }
+        std::size_t local_root = tmpl.size();
+        for (const std::size_t op : subset) {
+          bool parent_in = false;
+          for (std::size_t i = 0; i < tmpl.size(); ++i) {
+            for (const std::size_t c : tmpl.ops[i].children) {
+              if (c == op && in_subset[i]) {
+                parent_in = true;
+              }
+            }
+          }
+          if (!parent_in) {
+            local_root = op;
+          }
+        }
+        if (g.node(root).kind != tmpl.ops[local_root].kind) {
+          continue;
+        }
+
+        MatcherState st;
+        st.g = &g;
+        st.tmpl = &tmpl;
+        st.tid = tid;
+        st.subset = &subset;
+        st.assignment.assign(tmpl.size(), NodeId::invalid());
+        st.node_used.assign(g.nodeCount(), false);
+        st.allowed = allowed.empty() ? nullptr : &allowed;
+        st.out = &out;
+        st.max_matchings = options.max_matchings;
+
+        st.assignment[local_root] = root;
+        st.node_used[root.value()] = true;
+
+        // Ops to assign after the root, in subset order (root-first holds
+        // because child indices exceed parent indices).
+        std::vector<std::size_t> rest;
+        for (const std::size_t op : subset) {
+          if (op != local_root) {
+            rest.push_back(op);
+          }
+        }
+        st.assignChildren(0, rest);
+      }
+    }
+  }
+  return out;
+}
+
+bool isAdmissible(const Matching& m, const Template& tmpl, const PpoSet& ppo) {
+  if (ppo.empty()) {
+    return true;
+  }
+  std::unordered_map<std::size_t, NodeId> byOp;
+  for (const MatchPair& p : m.pairs) {
+    byOp.emplace(p.op_index, p.node);
+  }
+  for (const MatchPair& p : m.pairs) {
+    for (const std::size_t c : tmpl.ops[p.op_index].children) {
+      const auto it = byOp.find(c);
+      if (it == byOp.end()) {
+        continue;  // child op idle: its input is a module boundary
+      }
+      // Internal edge it->second -> p.node hides variable it->second.
+      if (ppo.contains(it->second)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace locwm::tm

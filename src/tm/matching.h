@@ -1,0 +1,74 @@
+// Exhaustive enumeration of template matchings (§IV-B, step 1).
+//
+// A matching m = {(n ⋈ O)} assigns distinct CDFG nodes to the operations of
+// one (possibly partially instantiated) template such that template tree
+// edges are realized by data edges of the CDFG.  The enumeration is
+// exhaustive over all templates, all connected partial instantiations, and
+// all node assignments — the ordered list M of the paper, each entry with a
+// unique identifier (its index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "tm/template.h"
+
+namespace locwm::tm {
+
+/// One node↔template-op pair of a matching.
+struct MatchPair {
+  cdfg::NodeId node;
+  std::size_t op_index;  ///< index into Template::ops
+};
+
+/// One enumerated matching.
+struct Matching {
+  TemplateId template_id;
+  /// Pairs sorted by op_index; op_indices form a connected subset of the
+  /// template tree.
+  std::vector<MatchPair> pairs;
+
+  /// The matched CDFG nodes, sorted ascending.
+  [[nodiscard]] std::vector<cdfg::NodeId> nodes() const;
+
+  /// Canonical string key for deduplication and stable identification.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Options of the matcher.
+struct MatchOptions {
+  /// When non-empty, only matchings whose nodes all lie in this set are
+  /// enumerated (the locality restriction of the local-watermark protocol).
+  std::vector<cdfg::NodeId> restrict_to;
+  /// Enumerate partial (connected-subset) instantiations in addition to
+  /// full-template matchings.  The paper's Fig. 4 counting requires this.
+  bool allow_partial = true;
+  /// Include single-op matchings.  Singletons always exist implicitly as
+  /// trivial modules during covering; enumerating them here matters only
+  /// for Solutions(m)-style counting.
+  bool include_singletons = true;
+  /// Hard cap on the number of enumerated matchings (defense against
+  /// combinatorial blowup); hitting it throws.
+  std::size_t max_matchings = 4'000'000;
+};
+
+/// Enumerates all matchings of `lib` into `g`.  Deterministic order:
+/// by root node id, then template id, then subset, then assignment.
+[[nodiscard]] std::vector<Matching> enumerateMatchings(
+    const cdfg::Cdfg& g, const TemplateLibrary& lib,
+    const MatchOptions& options = {});
+
+/// Pseudo-primary-output set: producing nodes whose output variable must
+/// stay visible.  A matching is *admissible* under a PPO set when no
+/// internal edge hides a PPO variable.
+using PpoSet = std::unordered_set<cdfg::NodeId>;
+
+/// True when every template-internal edge (child op feeding parent op) of
+/// `m` consumes a variable that is not in `ppo`.
+[[nodiscard]] bool isAdmissible(const Matching& m, const Template& tmpl,
+                                const PpoSet& ppo);
+
+}  // namespace locwm::tm

@@ -1,0 +1,142 @@
+#include "tm/solutions.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cdfg/error.h"
+#include "tm/cover.h"
+
+namespace locwm::tm {
+
+using cdfg::NodeId;
+
+namespace {
+
+struct Counter {
+  const std::vector<const Matching*>* options_per_target = nullptr;  // flat
+  const std::vector<std::vector<std::uint32_t>>* per_node = nullptr;
+  const std::vector<const Matching*>* matchings = nullptr;
+  std::vector<bool> used;               // node value -> already covered
+  std::vector<std::uint32_t> targets;   // ascending node values
+  std::uint64_t count = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t max_steps = 0;
+  bool budget_hit = false;
+
+  void dfs() {
+    if (budget_hit || ++steps > max_steps) {
+      budget_hit = true;
+      return;
+    }
+    std::uint32_t pivot = std::numeric_limits<std::uint32_t>::max();
+    for (const std::uint32_t t : targets) {
+      if (!used[t]) {
+        pivot = t;
+        break;
+      }
+    }
+    if (pivot == std::numeric_limits<std::uint32_t>::max()) {
+      ++count;
+      return;
+    }
+    for (const std::uint32_t mi : (*per_node)[pivot]) {
+      const Matching& m = *(*matchings)[mi];
+      bool free = true;
+      for (const MatchPair& p : m.pairs) {
+        if (used[p.node.value()]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) {
+        continue;
+      }
+      for (const MatchPair& p : m.pairs) {
+        used[p.node.value()] = true;
+      }
+      dfs();
+      for (const MatchPair& p : m.pairs) {
+        used[p.node.value()] = false;
+      }
+      if (budget_hit) {
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SolutionsCount countCoverings(const cdfg::Cdfg& g,
+                              const std::vector<Matching>& matchings,
+                              const std::vector<NodeId>& targetNodes,
+                              const SolutionsOptions& options) {
+  std::vector<std::uint32_t> targets;
+  targets.reserve(targetNodes.size());
+  for (const NodeId n : targetNodes) {
+    targets.push_back(n.value());
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  std::vector<bool> is_target(g.nodeCount(), false);
+  for (const std::uint32_t t : targets) {
+    is_target[t] = true;
+  }
+
+  // Candidate pool: matchings touching at least one target, plus optional
+  // singletons for each target.  Matchings are deduplicated by node↔op
+  // correspondence key so symmetric enumeration duplicates don't inflate
+  // the count.
+  std::vector<Matching> storage;
+  std::vector<std::string> seen_keys;
+  for (const Matching& m : matchings) {
+    bool touches = false;
+    for (const MatchPair& p : m.pairs) {
+      if (is_target[p.node.value()]) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) {
+      continue;
+    }
+    const std::string k = m.key();
+    if (std::find(seen_keys.begin(), seen_keys.end(), k) != seen_keys.end()) {
+      continue;
+    }
+    seen_keys.push_back(k);
+    storage.push_back(m);
+  }
+  if (options.include_singletons) {
+    for (const std::uint32_t t : targets) {
+      storage.push_back(singletonMatching(NodeId(t)));
+    }
+  }
+
+  std::vector<const Matching*> pool;
+  pool.reserve(storage.size());
+  for (const Matching& m : storage) {
+    pool.push_back(&m);
+  }
+  std::vector<std::vector<std::uint32_t>> per_node(g.nodeCount());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (const MatchPair& p : pool[i]->pairs) {
+      if (is_target[p.node.value()]) {
+        per_node[p.node.value()].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  Counter counter;
+  counter.per_node = &per_node;
+  counter.matchings = &pool;
+  counter.used.assign(g.nodeCount(), false);
+  counter.targets = targets;
+  counter.max_steps = options.max_steps;
+  counter.dfs();
+
+  return SolutionsCount{counter.count, !counter.budget_hit};
+}
+
+}  // namespace locwm::tm

@@ -1,0 +1,41 @@
+// Solutions(m) counting for the template-matching watermark's Pc (§IV-B).
+//
+// The paper estimates the likelihood of solution coincidence as
+// Pc ≈ Π_i 1/Solutions(m_i), where "Solutions(m) returns the number of
+// different matchings for all nodes covered by the enforced template m".
+// Concretely: the number of distinct ways the node set of m can be covered
+// by pairwise-disjoint matchings (which may also reach nodes outside the
+// set), counting trivial single-op modules as one of the ways.  Fig. 4's
+// example: the pair (A5, A6) can be covered six ways.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "tm/matching.h"
+
+namespace locwm::tm {
+
+/// Options of the counting pass.
+struct SolutionsOptions {
+  /// Include trivial single-op coverings as alternatives.
+  bool include_singletons = true;
+  /// Effort cap (covers explored); hitting it stops with exact=false.
+  std::uint64_t max_steps = 50'000'000;
+};
+
+/// Result of counting.
+struct SolutionsCount {
+  std::uint64_t count = 0;
+  bool exact = true;
+};
+
+/// Counts the distinct disjoint-matching covers of `targetNodes` drawing
+/// from `matchings` (typically the full enumeration of the design).
+[[nodiscard]] SolutionsCount countCoverings(
+    const cdfg::Cdfg& g, const std::vector<Matching>& matchings,
+    const std::vector<cdfg::NodeId>& targetNodes,
+    const SolutionsOptions& options = {});
+
+}  // namespace locwm::tm

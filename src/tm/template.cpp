@@ -1,0 +1,108 @@
+#include "tm/template.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::tm {
+
+void Template::check() const {
+  detail::check(!ops.empty(), "template must contain at least one op");
+  std::vector<std::size_t> referenced(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (const std::size_t c : ops[i].children) {
+      detail::check(c > i && c < ops.size(),
+                    "template child indices must increase from the root");
+      ++referenced[c];
+    }
+  }
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    detail::check(referenced[i] == 1,
+                  "every non-root template op must have exactly one parent");
+  }
+  detail::check(referenced[0] == 0, "template root must be unreferenced");
+}
+
+std::vector<std::vector<std::size_t>> Template::connectedSubsets() const {
+  // A subset is connected iff every member except its minimum has its
+  // parent in the subset OR is itself a "local root" — for a tree, a
+  // connected subgraph is again a subtree, so: exactly one member has its
+  // parent outside (or is the root).
+  std::vector<std::size_t> parent(ops.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (const std::size_t c : ops[i].children) {
+      parent[c] = i;
+    }
+  }
+  std::vector<std::vector<std::size_t>> result;
+  const std::size_t n = ops.size();
+  detail::check(n <= 16, "template too large for subset enumeration");
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::size_t roots = 0;
+    bool connected = true;
+    for (std::size_t i = 0; i < n && connected; ++i) {
+      if ((mask & (1u << i)) == 0) {
+        continue;
+      }
+      const bool parentIn =
+          parent[i] < n && (mask & (1u << parent[i])) != 0;
+      if (!parentIn) {
+        ++roots;
+        if (roots > 1) {
+          connected = false;
+        }
+      }
+    }
+    if (!connected) {
+      continue;
+    }
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask & (1u << i)) != 0) {
+        subset.push_back(i);
+      }
+    }
+    result.push_back(std::move(subset));
+  }
+  return result;
+}
+
+TemplateId TemplateLibrary::add(Template t) {
+  t.check();
+  const auto id = TemplateId(static_cast<TemplateId::value_type>(
+      templates_.size()));
+  templates_.push_back(std::move(t));
+  return id;
+}
+
+const Template& TemplateLibrary::get(TemplateId id) const {
+  detail::check(id.isValid() && id.value() < templates_.size(),
+                "template id out of range");
+  return templates_[id.value()];
+}
+
+std::vector<TemplateId> TemplateLibrary::allIds() const {
+  std::vector<TemplateId> ids;
+  ids.reserve(templates_.size());
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    ids.emplace_back(static_cast<TemplateId::value_type>(i));
+  }
+  return ids;
+}
+
+TemplateLibrary TemplateLibrary::basicDsp() {
+  using cdfg::OpKind;
+  TemplateLibrary lib;
+  lib.add(Template{"T1:add-add", {{OpKind::kAdd, {1}}, {OpKind::kAdd, {}}}});
+  lib.add(Template{"T2:mac", {{OpKind::kAdd, {1}}, {OpKind::kMul, {}}}});
+  lib.add(Template{"T3:add-mul", {{OpKind::kMul, {1}}, {OpKind::kAdd, {}}}});
+  lib.add(Template{"T4:cmac", {{OpKind::kAdd, {1}}, {OpKind::kConstMul, {}}}});
+  lib.add(Template{"T5:msub", {{OpKind::kSub, {1}}, {OpKind::kMul, {}}}});
+  lib.add(Template{"T6:shift-add",
+                   {{OpKind::kAdd, {1}}, {OpKind::kShift, {}}}});
+  lib.add(Template{"T7:cmul-sub",
+                   {{OpKind::kSub, {1}}, {OpKind::kConstMul, {}}}});
+  return lib;
+}
+
+}  // namespace locwm::tm

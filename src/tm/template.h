@@ -1,0 +1,72 @@
+// Template (module) library for behavioral template mapping.
+//
+// A template is a small tree of primitive operations implemented as one
+// specialized hardware module (§IV-B; classic examples: multiply-accumulate,
+// add-add chains).  "A module is defined as a set of operation trees; each
+// operation in each module is uniquely identified."  We model each module
+// as one rooted operation tree; the matcher supports *partial* matchings
+// (a connected subset of the tree mapped, the rest of the module idle),
+// which the paper's Fig. 4 discussion requires ("as second addition in T1
+// with no mapping for the first addition").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/ids.h"
+#include "cdfg/operation.h"
+
+namespace locwm::tm {
+
+/// One operation inside a template tree.
+struct TemplateOp {
+  cdfg::OpKind kind = cdfg::OpKind::kAdd;
+  /// Indices (into Template::ops) of the operations feeding this one.
+  /// Operand positions beyond `children` come from module inputs.
+  std::vector<std::size_t> children;
+};
+
+/// A module: a rooted operation tree.  ops[0] is the root (the module's
+/// primary output); children always have larger indices than their parent.
+struct Template {
+  std::string name;
+  std::vector<TemplateOp> ops;
+
+  /// Number of operations.
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+
+  /// Validates the tree shape (root at 0, child indices increasing,
+  /// every non-root op referenced exactly once).  Throws Error on failure.
+  void check() const;
+
+  /// All connected subsets of the tree's ops (as sorted index vectors),
+  /// each a legal partial instantiation of the module.  Singletons
+  /// included; the full set included.  Deterministic order.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> connectedSubsets() const;
+};
+
+/// An ordered collection of templates.
+class TemplateLibrary {
+ public:
+  /// Adds a template (validated); returns its id.
+  TemplateId add(Template t);
+
+  [[nodiscard]] std::size_t size() const noexcept { return templates_.size(); }
+  [[nodiscard]] const Template& get(TemplateId id) const;
+  [[nodiscard]] std::vector<TemplateId> allIds() const;
+
+  /// The default DSP-flavoured library used by the paper-style experiments:
+  ///   T1  add(add(·,·),·)          — two-adder chain
+  ///   T2  add(mul(·,·),·)          — multiply-accumulate
+  ///   T3  mul(add(·,·),·)          — add-multiply
+  ///   T4  add(cmul(·),·)           — constant-MAC
+  ///   T5  sub(mul(·,·),·)          — multiply-subtract
+  ///   T6  add(shift(·),·)          — shift-add
+  [[nodiscard]] static TemplateLibrary basicDsp();
+
+ private:
+  std::vector<Template> templates_;
+};
+
+}  // namespace locwm::tm

@@ -1,0 +1,22 @@
+#include "vliw/cache.h"
+
+#include <cmath>
+
+namespace locwm::vliw {
+
+std::uint64_t estimateCacheStalls(const cdfg::Cdfg& g,
+                                  const CacheModel& cache,
+                                  std::uint64_t working_set_bytes) {
+  std::uint64_t memory_ops = 0;
+  for (const cdfg::NodeId v : g.allNodes()) {
+    const cdfg::OpKind kind = g.node(v).kind;
+    memory_ops +=
+        kind == cdfg::OpKind::kLoad || kind == cdfg::OpKind::kStore;
+  }
+  const double misses =
+      static_cast<double>(memory_ops) * cache.missRatio(working_set_bytes);
+  return static_cast<std::uint64_t>(
+      std::llround(misses * cache.miss_penalty));
+}
+
+}  // namespace locwm::vliw

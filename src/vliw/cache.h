@@ -1,0 +1,45 @@
+// First-order cache model for the Table I platform ("... two memory units,
+// and 8-KB cache").
+//
+// The synthetic MediaBench regions carry no concrete addresses, so a
+// trace-driven simulation is not meaningful; what the cache contributes to
+// the Table I *percentages* is a stall term that grows the denominator
+// (total cycles) identically for the base and the watermarked program —
+// dummy watermark operations never touch memory.  We model that term with
+// the classic working-set estimate: a fully-utilized cache of size S over
+// a working set W misses at rate ≈ max(0, 1 − S/W) once compulsory misses
+// are amortized, each miss stalling the issue window for `miss_penalty`
+// cycles beyond the pipelined hit latency.
+#pragma once
+
+#include <cstdint>
+
+#include "cdfg/graph.h"
+
+namespace locwm::vliw {
+
+/// Cache parameters; defaults are the paper's 8-KB cache with a
+/// conventional early-2000s miss penalty.
+struct CacheModel {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t miss_penalty = 10;  ///< cycles beyond the hit latency
+
+  /// Estimated miss ratio for a program whose memory working set spans
+  /// `working_set_bytes`.
+  [[nodiscard]] double missRatio(std::uint64_t working_set_bytes) const {
+    if (working_set_bytes <= size_bytes) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(size_bytes) /
+                     static_cast<double>(working_set_bytes);
+  }
+};
+
+/// Estimated stall cycles for one scheduled region: the number of memory
+/// operations times the miss ratio times the penalty.
+[[nodiscard]] std::uint64_t estimateCacheStalls(
+    const cdfg::Cdfg& g, const CacheModel& cache,
+    std::uint64_t working_set_bytes);
+
+}  // namespace locwm::vliw

@@ -1,0 +1,36 @@
+#include "vliw/machine.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::vliw {
+
+VliwMachine VliwMachine::paperMachine() {
+  VliwMachine m;
+  m.issue_width = 4;
+  m.pools = {
+      UnitPool{"alu", 4, {cdfg::FuClass::kAlu, cdfg::FuClass::kMul}},
+      UnitPool{"mem", 2, {cdfg::FuClass::kMem}},
+      UnitPool{"branch", 2, {cdfg::FuClass::kBranch}},
+  };
+  m.latency = sched::LatencyModel::unit();
+  m.latency.setLatency(cdfg::OpKind::kMul, 2);
+  m.latency.setLatency(cdfg::OpKind::kDiv, 8);
+  m.latency.setLatency(cdfg::OpKind::kConstMul, 2);
+  m.latency.setLatency(cdfg::OpKind::kLoad, 2);
+  return m;
+}
+
+std::size_t VliwMachine::poolFor(cdfg::FuClass fu) const {
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    if (std::find(pools[i].handles.begin(), pools[i].handles.end(), fu) !=
+        pools[i].handles.end()) {
+      return i;
+    }
+  }
+  throw Error("VliwMachine: no pool handles operation class " +
+              std::string(cdfg::fuClassName(fu)));
+}
+
+}  // namespace locwm::vliw

@@ -1,0 +1,43 @@
+// VLIW machine model — the Table I evaluation platform.
+//
+// The paper compiled MediaBench "for a four-issue very long instruction
+// word machine with four arithmetic-logic units, two branch and two memory
+// units, and 8-KB cache" ([21], IMPACT toolchain [22]).  This module models
+// exactly that machine shape: an issue width, pipelined functional-unit
+// pools, and per-operation latencies, plus a greedy cycle scheduler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/operation.h"
+#include "sched/latency.h"
+
+namespace locwm::vliw {
+
+/// One pool of identical, fully pipelined functional units.
+struct UnitPool {
+  std::string name;
+  std::uint32_t count = 1;
+  /// Which operation classes this pool executes.
+  std::vector<cdfg::FuClass> handles;
+};
+
+/// A VLIW machine description.
+struct VliwMachine {
+  std::uint32_t issue_width = 4;
+  std::vector<UnitPool> pools;
+  sched::LatencyModel latency = sched::LatencyModel::unit();
+
+  /// The paper's Table I machine: 4-issue; 4 ALUs (integer arithmetic and
+  /// multiplies), 2 memory units, 2 branch units.  Multiplies take 2
+  /// cycles, loads 2 cycles (8-KB cache, hits assumed), the rest 1.
+  [[nodiscard]] static VliwMachine paperMachine();
+
+  /// Index of the pool handling `fu`; throws Error when none does.
+  [[nodiscard]] std::size_t poolFor(cdfg::FuClass fu) const;
+};
+
+}  // namespace locwm::vliw

@@ -1,0 +1,39 @@
+// Greedy cycle scheduler for the VLIW machine model.
+//
+// Schedules a (basic-block style) data-flow graph onto a VliwMachine:
+// each cycle issues at most issue_width operations, each claiming a slot in
+// the pool that handles its class; units are fully pipelined (a unit
+// accepts a new operation every cycle), latency gates when dependants may
+// issue.  Priority: critical-path height, the IMPACT-style heuristic.
+//
+// Temporal (watermark) edges are sequencing constraints like any other —
+// which is how the scheduling watermark induces (bounded) execution-time
+// overhead on this machine.
+#pragma once
+
+#include "cdfg/graph.h"
+#include "sched/schedule.h"
+#include "vliw/machine.h"
+
+namespace locwm::vliw {
+
+/// Result of scheduling one DFG onto the machine.
+struct VliwScheduleResult {
+  sched::Schedule schedule;
+  /// Total cycles: the step after the last completion.
+  std::uint32_t cycles = 0;
+  /// Issue-slot utilization in [0,1]: ops issued / (cycles * issue_width).
+  double utilization = 0;
+};
+
+/// Options.
+struct VliwScheduleOptions {
+  bool honor_temporal = true;
+};
+
+/// Schedules `g` onto `machine`.  Always succeeds.
+[[nodiscard]] VliwScheduleResult vliwSchedule(
+    const cdfg::Cdfg& g, const VliwMachine& machine,
+    const VliwScheduleOptions& options = {});
+
+}  // namespace locwm::vliw

@@ -1,0 +1,271 @@
+#include "workloads/hyper.h"
+
+#include <functional>
+
+#include "cdfg/error.h"
+#include "workloads/iir4.h"
+
+namespace locwm::workloads {
+
+using cdfg::Cdfg;
+using cdfg::EdgeKind;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+namespace {
+
+/// Small builder helpers shared by all designs.
+struct Builder {
+  Cdfg g;
+  std::size_t counter = 0;
+
+  NodeId input(const std::string& name) {
+    return g.addNode(OpKind::kInput, name);
+  }
+  NodeId output(NodeId from, const std::string& name) {
+    const NodeId v = g.addNode(OpKind::kOutput, name);
+    g.addEdge(from, v, EdgeKind::kData);
+    return v;
+  }
+  NodeId cmul(NodeId in) {
+    const NodeId v = g.addNode(OpKind::kConstMul, "c" + next());
+    g.addEdge(in, v, EdgeKind::kData);
+    return v;
+  }
+  NodeId binary(OpKind kind, NodeId a, NodeId b, const char* prefix) {
+    const NodeId v = g.addNode(kind, prefix + next());
+    g.addEdge(a, v, EdgeKind::kData);
+    g.addEdge(b, v, EdgeKind::kData);
+    return v;
+  }
+  NodeId add(NodeId a, NodeId b) { return binary(OpKind::kAdd, a, b, "a"); }
+  NodeId sub(NodeId a, NodeId b) { return binary(OpKind::kSub, a, b, "s"); }
+
+  /// Balanced reduction of `terms` by addition.
+  NodeId reduce(std::vector<NodeId> terms) {
+    detail::check(!terms.empty(), "reduce: no terms");
+    while (terms.size() > 1) {
+      std::vector<NodeId> next_level;
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+        next_level.push_back(add(terms[i], terms[i + 1]));
+      }
+      if (terms.size() % 2 == 1) {
+        next_level.push_back(terms.back());
+      }
+      terms = std::move(next_level);
+    }
+    return terms.front();
+  }
+
+ private:
+  std::string next() { return std::to_string(counter++); }
+};
+
+}  // namespace
+
+Cdfg fir(std::size_t taps) {
+  detail::check(taps >= 2, "fir: need at least 2 taps");
+  Builder b;
+  std::vector<NodeId> products;
+  for (std::size_t i = 0; i < taps; ++i) {
+    products.push_back(b.cmul(b.input("x" + std::to_string(i))));
+  }
+  b.output(b.reduce(products), "y");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg lattice(std::size_t stages) {
+  detail::check(stages >= 1, "lattice: need at least 1 stage");
+  Builder b;
+  NodeId f = b.input("x");
+  std::vector<NodeId> backs;
+  for (std::size_t i = 0; i < stages; ++i) {
+    // Forward/backward recurrence of one normalized lattice stage:
+    //   f_i = f_{i-1} + k_i·b_{i-1};  b_i = k_i·f_{i-1} + b_{i-1}.
+    const NodeId bprev = b.input("b" + std::to_string(i));
+    const NodeId kf = b.cmul(bprev);
+    const NodeId kb = b.cmul(f);
+    const NodeId fnew = b.add(f, kf);
+    const NodeId bnew = b.add(kb, bprev);
+    backs.push_back(bnew);
+    f = fnew;
+  }
+  b.output(f, "y");
+  for (std::size_t i = 0; i < backs.size(); ++i) {
+    b.output(backs[i], "bo" + std::to_string(i));
+  }
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg waveFilter(std::size_t adaptors) {
+  detail::check(adaptors >= 1, "waveFilter: need at least 1 adaptor");
+  Builder b;
+  NodeId forward = b.input("x");
+  std::vector<NodeId> reflections;
+  for (std::size_t i = 0; i < adaptors; ++i) {
+    // Two-port series adaptor: d = a1 - a2; m = γ·d;
+    // b1 = a1 - m (wave back to port 1); b2 = a2 + m (wave on to port 2).
+    const NodeId state = b.input("st" + std::to_string(i));
+    const NodeId d = b.sub(forward, state);
+    const NodeId m = b.cmul(d);
+    const NodeId back = b.sub(forward, m);
+    const NodeId on = b.add(state, m);
+    reflections.push_back(back);
+    forward = on;
+  }
+  b.output(forward, "y");
+  // The filter output taps the reflected waves through a summation tree —
+  // this is also what gives the design schedulable parallelism (the
+  // reflections are mutually independent).
+  b.output(b.reduce(reflections), "yr");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg iirCascade(std::size_t sections) {
+  detail::check(sections >= 1, "iirCascade: need at least 1 section");
+  Builder b;
+  NodeId x = b.input("x");
+  for (std::size_t i = 0; i < sections; ++i) {
+    const std::string tag = std::to_string(i);
+    // Direct form II: w = x + a1·w1 + a2·w2;  y = b0·w + b1·w1.
+    const NodeId w1 = b.input("w1_" + tag);
+    const NodeId w2 = b.input("w2_" + tag);
+    const NodeId fb = b.add(b.cmul(w1), b.cmul(w2));
+    const NodeId w = b.add(x, fb);
+    const NodeId y = b.add(b.cmul(w), b.cmul(w1));
+    b.output(w, "wn_" + tag);  // state update
+    x = y;
+  }
+  b.output(x, "y");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg dct8() {
+  Builder b;
+  std::vector<NodeId> x;
+  for (std::size_t i = 0; i < 8; ++i) {
+    x.push_back(b.input("x" + std::to_string(i)));
+  }
+  // Stage 1 butterflies: s_i = x_i + x_{7-i}, d_i = x_i - x_{7-i}.
+  std::vector<NodeId> s, d;
+  for (std::size_t i = 0; i < 4; ++i) {
+    s.push_back(b.add(x[i], x[7 - i]));
+    d.push_back(b.sub(x[i], x[7 - i]));
+  }
+  // Even part: 4-point DCT of s.
+  const NodeId e0 = b.add(s[0], s[3]);
+  const NodeId e1 = b.add(s[1], s[2]);
+  const NodeId e2 = b.sub(s[0], s[3]);
+  const NodeId e3 = b.sub(s[1], s[2]);
+  const NodeId y0 = b.add(e0, e1);
+  const NodeId y4 = b.sub(e0, e1);
+  const NodeId y2 = b.add(b.cmul(e2), b.cmul(e3));
+  const NodeId y6 = b.sub(b.cmul(e2), b.cmul(e3));
+  // Odd part: rotations of d.
+  const NodeId y1 = b.add(b.add(b.cmul(d[0]), b.cmul(d[1])),
+                          b.add(b.cmul(d[2]), b.cmul(d[3])));
+  const NodeId y3 = b.sub(b.add(b.cmul(d[0]), b.cmul(d[2])),
+                          b.cmul(d[3]));
+  const NodeId y5 = b.add(b.sub(b.cmul(d[1]), b.cmul(d[3])),
+                          b.cmul(d[2]));
+  const NodeId y7 = b.sub(b.sub(b.cmul(d[0]), b.cmul(d[1])),
+                          b.cmul(d[2]));
+  const NodeId outs[8] = {y0, y1, y2, y3, y4, y5, y6, y7};
+  for (std::size_t i = 0; i < 8; ++i) {
+    b.output(outs[i], "y" + std::to_string(i));
+  }
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg wavelet(std::size_t taps) {
+  detail::check(taps >= 2, "wavelet: need at least 2 taps");
+  Builder b;
+  std::vector<NodeId> window;
+  for (std::size_t i = 0; i < taps; ++i) {
+    window.push_back(b.input("x" + std::to_string(i)));
+  }
+  // Low-pass bank: additive reduction; high-pass bank: alternating-sign
+  // (subtractive) combining — the QMF mirror relation, which also keeps
+  // the two banks structurally distinguishable.
+  std::vector<NodeId> lo;
+  for (std::size_t i = 0; i < taps; ++i) {
+    lo.push_back(b.cmul(window[i]));
+  }
+  b.output(b.reduce(lo), "lo");
+  NodeId hi = b.cmul(window[0]);
+  for (std::size_t i = 1; i < taps; ++i) {
+    hi = b.sub(hi, b.cmul(window[i]));
+  }
+  b.output(hi, "hi");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg volterra(std::size_t taps) {
+  detail::check(taps >= 2, "volterra: need at least 2 taps");
+  Builder b;
+  std::vector<NodeId> x;
+  for (std::size_t i = 0; i < taps; ++i) {
+    x.push_back(b.input("x" + std::to_string(i)));
+  }
+  std::vector<NodeId> terms;
+  // Linear kernel.
+  for (std::size_t i = 0; i < taps; ++i) {
+    terms.push_back(b.cmul(x[i]));
+  }
+  // Quadratic kernel: h2(i,j)·x_i·x_j for i <= j.
+  for (std::size_t i = 0; i < taps; ++i) {
+    for (std::size_t j = i; j < taps; ++j) {
+      const NodeId prod = b.binary(OpKind::kMul, x[i], x[j], "m");
+      terms.push_back(b.cmul(prod));
+    }
+  }
+  b.output(b.reduce(terms), "y");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+Cdfg controller2() {
+  Builder b;
+  const NodeId x0 = b.input("x0");
+  const NodeId x1 = b.input("x1");
+  const NodeId e = b.input("e");
+  // x' = A·x + B·e; the rows differ (B drives only the first state),
+  // which is also what keeps the dataflow asymmetric and identifiable.
+  const NodeId x0n =
+      b.add(b.add(b.cmul(x0), b.cmul(x1)), b.cmul(e));
+  const NodeId x1n = b.add(b.cmul(x0), b.cmul(x1));
+  // u = C·x + e (direct feedthrough, D = 1).
+  const NodeId u = b.add(b.add(b.cmul(x0), b.cmul(x1)), e);
+  b.output(x0n, "x0n");
+  b.output(x1n, "x1n");
+  b.output(u, "u");
+  b.g.checkAcyclic();
+  return std::move(b.g);
+}
+
+std::vector<HyperDesign> hyperSuite() {
+  std::vector<HyperDesign> suite;
+  suite.push_back({"iir4", "4th-order parallel IIR (Fig. 3/4)",
+                   iir4Parallel()});
+  suite.push_back({"ewf", "5th-order elliptic wave filter (8 adaptors)",
+                   waveFilter(8)});
+  suite.push_back({"ar", "6-stage AR lattice filter", lattice(6)});
+  suite.push_back({"fir11", "11-tap FIR filter", fir(11)});
+  suite.push_back({"dct8", "8-point DCT-II butterfly network", dct8()});
+  suite.push_back({"iirc4", "4th-order cascade IIR (2 biquads)",
+                   iirCascade(2)});
+  suite.push_back({"wave8", "8-tap two-band wavelet analysis stage",
+                   wavelet(8)});
+  suite.push_back({"volt4", "2nd-order Volterra filter, 4 taps",
+                   volterra(4)});
+  suite.push_back({"ctrl2", "2-state state-space controller", controller2()});
+  return suite;
+}
+
+}  // namespace locwm::workloads

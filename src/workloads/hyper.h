@@ -1,0 +1,62 @@
+// Reconstructed HYPER-era DSP designs — the Table II benchmark suite.
+//
+// The paper evaluates template-matching watermarks "on a set of small
+// real-life designs [9]" synthesized with HYPER.  HYPER and its design
+// suite are not publicly available, so this module reconstructs the
+// classic behavioral-synthesis benchmarks of that era from their public
+// structural definitions: wave-digital/lattice/FIR/DCT-style dataflow.
+// Each builder is parameterized and produces a deterministic CDFG.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace locwm::workloads {
+
+/// N-tap FIR filter: N constant multiplications + (N−1)-addition balanced
+/// reduction tree.
+[[nodiscard]] cdfg::Cdfg fir(std::size_t taps);
+
+/// Order-`stages` normalized lattice filter (AR-style benchmark):
+/// per stage two constant multiplications and two additions on the
+/// forward/backward recurrences.
+[[nodiscard]] cdfg::Cdfg lattice(std::size_t stages);
+
+/// Wave-digital ladder filter built from `adaptors` two-port series
+/// adaptors (1 constant multiplication + 3 additions each) — the elliptic
+/// wave filter family; adaptors=8 approximates the canonical 34-op EWF.
+[[nodiscard]] cdfg::Cdfg waveFilter(std::size_t adaptors);
+
+/// `sections` cascaded direct-form-II biquad sections (4 constant
+/// multiplications + 4 additions each).
+[[nodiscard]] cdfg::Cdfg iirCascade(std::size_t sections);
+
+/// 8-point DCT-II butterfly network: first-stage add/sub butterflies
+/// followed by rotation stages (constant multiplications + combines).
+[[nodiscard]] cdfg::Cdfg dct8();
+
+/// Two-band analysis wavelet stage: a pair of `taps`-tap FIR filters
+/// (low-pass / high-pass) over a shared input window.
+[[nodiscard]] cdfg::Cdfg wavelet(std::size_t taps);
+
+/// Second-order Volterra filter section: linear taps plus quadratic
+/// cross-product terms, reduced by an adder tree.
+[[nodiscard]] cdfg::Cdfg volterra(std::size_t taps);
+
+/// 2-state state-space controller: u = C·x + D·e, x' = A·x + B·e.
+[[nodiscard]] cdfg::Cdfg controller2();
+
+/// One named Table II design.
+struct HyperDesign {
+  std::string name;
+  std::string description;
+  cdfg::Cdfg graph;
+};
+
+/// The full Table II suite, in row order.
+[[nodiscard]] std::vector<HyperDesign> hyperSuite();
+
+}  // namespace locwm::workloads

@@ -1,0 +1,89 @@
+#include "workloads/iir4.h"
+
+#include "cdfg/error.h"
+
+namespace locwm::workloads {
+
+using cdfg::Cdfg;
+using cdfg::EdgeKind;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+Cdfg iir4Parallel() {
+  Cdfg g;
+  // Primary inputs.
+  const NodeId x = g.addNode(OpKind::kInput, "x");
+  const NodeId x1 = g.addNode(OpKind::kInput, "x1");
+  const NodeId s11 = g.addNode(OpKind::kInput, "s11");
+  const NodeId s12 = g.addNode(OpKind::kInput, "s12");
+  const NodeId s21 = g.addNode(OpKind::kInput, "s21");
+  const NodeId s22 = g.addNode(OpKind::kInput, "s22");
+  const NodeId p = g.addNode(OpKind::kInput, "p");
+
+  auto cmul = [&](NodeId in, const char* name) {
+    const NodeId v = g.addNode(OpKind::kConstMul, name);
+    g.addEdge(in, v, EdgeKind::kData);
+    return v;
+  };
+  auto add = [&](NodeId a, NodeId b, const char* name) {
+    const NodeId v = g.addNode(OpKind::kAdd, name);
+    g.addEdge(a, v, EdgeKind::kData);
+    g.addEdge(b, v, EdgeKind::kData);
+    return v;
+  };
+
+  // Section 1: feedforward taps C1, C2; feedback taps C3, C4.
+  const NodeId c1 = cmul(x, "C1");
+  const NodeId c2 = cmul(x1, "C2");
+  const NodeId c3 = cmul(s11, "C3");
+  const NodeId c4 = cmul(s12, "C4");
+  const NodeId a1 = add(c1, c2, "A1");
+  const NodeId a2 = add(c3, c4, "A2");
+  const NodeId a3 = add(a1, a2, "A3");  // y1
+
+  // Section 2: feedforward taps C5, C6; feedback taps C7, C8.
+  const NodeId c5 = cmul(x, "C5");
+  const NodeId c6 = cmul(x1, "C6");
+  const NodeId c7 = cmul(s21, "C7");
+  const NodeId c8 = cmul(s22, "C8");
+  const NodeId a4 = add(c5, c6, "A4");
+  const NodeId a5 = add(c7, c8, "A5");
+  const NodeId a6 = add(a5, p, "A6");   // one input of A6 is a primary input
+  const NodeId a7 = add(a4, a6, "A7");  // y2
+
+  // Combine: state-update adder A8 (consumes C7's second fanout) and the
+  // output adder A9 (two additions feeding it: A5 and A7).
+  const NodeId a8 = add(a3, c7, "A8");
+  const NodeId a9 = add(a5, a7, "A9");
+
+  const NodeId y = g.addNode(OpKind::kOutput, "y");
+  g.addEdge(a9, y, EdgeKind::kData);
+  const NodeId yb = g.addNode(OpKind::kOutput, "yb");
+  g.addEdge(a8, yb, EdgeKind::kData);
+
+  g.checkAcyclic();
+  return g;
+}
+
+tm::TemplateLibrary fig4Library() {
+  using tm::Template;
+  tm::TemplateLibrary lib;
+  lib.add(Template{"T1:add-add", {{OpKind::kAdd, {1}}, {OpKind::kAdd, {}}}});
+  lib.add(Template{"T2:cmul-add",
+                   {{OpKind::kAdd, {1}}, {OpKind::kConstMul, {}}}});
+  return lib;
+}
+
+std::vector<std::pair<NodeId, NodeId>> fig3TemporalEdges(const Cdfg& iir4) {
+  auto n = [&](const char* name) {
+    const NodeId id = iir4.findByName(name);
+    detail::check(id.isValid(), std::string("iir4 node missing: ") + name);
+    return id;
+  };
+  return {
+      {n("C1"), n("C3")}, {n("C2"), n("C4")}, {n("C7"), n("C8")},
+      {n("C4"), n("C6")}, {n("A2"), n("A4")},
+  };
+}
+
+}  // namespace locwm::workloads

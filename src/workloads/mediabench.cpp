@@ -1,0 +1,55 @@
+#include "workloads/mediabench.h"
+
+#include "cdfg/random_dfg.h"
+
+namespace locwm::workloads {
+
+std::vector<MediaBenchProfile> mediaBenchProfiles() {
+  // Sizes are representative of the dominant scheduled regions (inner
+  // kernels plus surrounding straight-line code), not whole programs; the
+  // mixes follow the published MediaBench characterizations: media codecs
+  // are arithmetic-heavy with ~20-30% memory and ~5-15% branch operations.
+  // Working sets follow the published MediaBench characterizations:
+  // codecs with small state (adpcm, g721, gsm) fit the 8-KB cache; image
+  // and 3-D pipelines (jpeg, mesa, mpeg2, epic) stream well past it.
+  std::vector<MediaBenchProfile> profiles = {
+      {"adpcm", 296, 0.18, 0.14, 0.3, 8, 4u * 1024, 101},
+      {"epic", 1132, 0.26, 0.08, 1.6, 16, 64u * 1024, 102},
+      {"g721", 862, 0.22, 0.12, 0.8, 12, 6u * 1024, 103},
+      {"ghostscript", 2216, 0.30, 0.12, 0.6, 20, 96u * 1024, 104},
+      {"gsm", 1520, 0.24, 0.08, 1.4, 16, 8u * 1024, 105},
+      {"jpeg", 3410, 0.26, 0.07, 1.8, 24, 48u * 1024, 106},
+      {"mesa", 4820, 0.28, 0.06, 2.2, 28, 256u * 1024, 107},
+      {"mpeg2", 2964, 0.27, 0.07, 1.9, 24, 128u * 1024, 108},
+      {"pegwit", 1844, 0.22, 0.09, 1.2, 16, 24u * 1024, 109},
+      {"pgp", 2534, 0.24, 0.10, 1.1, 20, 32u * 1024, 110},
+      {"rasta", 1710, 0.25, 0.08, 1.7, 16, 40u * 1024, 111},
+  };
+  return profiles;
+}
+
+cdfg::Cdfg buildMediaBench(const MediaBenchProfile& profile) {
+  cdfg::RandomDfgOptions o;
+  o.operations = profile.operations;
+  o.inputs = std::max<std::size_t>(4, profile.width / 2);
+  o.width = profile.width;
+  o.long_edge_prob = 0.3;
+  // Arithmetic mix scaled so mem/branch land at the requested fractions.
+  const double arith = 1.0 - profile.mem_fraction - profile.branch_fraction;
+  o.w_add = arith * 4.0;
+  o.w_sub = arith * 1.5;
+  o.w_mul = arith * profile.mul_weight;
+  o.w_shift = arith * 1.0;
+  o.w_logic = arith * 1.5;
+  o.w_cmp = arith * 0.8;
+  const double arith_total =
+      o.w_add + o.w_sub + o.w_mul + o.w_shift + o.w_logic + o.w_cmp;
+  // Memory/branch weights relative to the arithmetic total.
+  o.w_load = arith_total * profile.mem_fraction / arith * 0.7;
+  o.w_store = arith_total * profile.mem_fraction / arith * 0.3;
+  o.w_branch = arith_total * profile.branch_fraction / arith;
+  o.output_fraction = 0.4;
+  return cdfg::randomDfg(o, profile.seed);
+}
+
+}  // namespace locwm::workloads

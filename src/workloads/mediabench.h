@@ -1,0 +1,45 @@
+// MediaBench-profile synthetic workloads — the Table I benchmark set.
+//
+// The paper watermarks the schedules of MediaBench applications [20]
+// compiled with IMPACT for a 4-issue VLIW [21][22].  Neither the compiled
+// IRs nor the toolchain are available, so each application is modelled as a
+// synthetic data-flow region with the application's published character:
+// operation count and mix (arithmetic vs memory vs branch fraction) drawn
+// from the MediaBench characterization literature.  The watermark code path
+// exercised — temporal-edge augmentation, re-scheduling, cycle-count
+// overhead — is identical to the paper's; absolute cycle counts are not
+// comparable (and the paper reports only percentages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace locwm::workloads {
+
+/// Profile of one MediaBench application's scheduled region.
+struct MediaBenchProfile {
+  std::string name;
+  std::size_t operations = 0;
+  /// Fractions of memory and branch operations (rest is arithmetic/logic).
+  double mem_fraction = 0.2;
+  double branch_fraction = 0.08;
+  /// Relative multiply weight within the arithmetic mix.
+  double mul_weight = 1.0;
+  /// Parallelism knob: approximate operations per dependence layer.
+  std::size_t width = 16;
+  /// Memory working set of the region, bytes — drives the 8-KB-cache
+  /// stall estimate of the Table I platform (vliw/cache.h).
+  std::uint64_t working_set_bytes = 16 * 1024;
+  std::uint64_t seed = 0;
+};
+
+/// The eleven Table I applications with representative kernel sizes.
+[[nodiscard]] std::vector<MediaBenchProfile> mediaBenchProfiles();
+
+/// Materializes the profile into a CDFG (deterministic in profile.seed).
+[[nodiscard]] cdfg::Cdfg buildMediaBench(const MediaBenchProfile& profile);
+
+}  // namespace locwm::workloads

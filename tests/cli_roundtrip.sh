@@ -1,0 +1,36 @@
+#!/bin/sh
+# End-to-end CLI integration test, run under ctest.
+#   $1 = path to the locwm binary
+set -e
+LW="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+"$LW" gen lattice 6 -o core.cdfg
+"$LW" info core.cdfg
+"$LW" embed core.cdfg -i "CI Author" -n it-1 -o marked.cdfg -c cert.wmc --marks 2
+"$LW" schedule marked.cdfg -o core.sched
+"$LW" strip marked.cdfg -o published.cdfg
+"$LW" verify-cert cert.wmc.0 cert.wmc.1
+
+# Detection must succeed with the right key...
+"$LW" detect published.cdfg core.sched cert.wmc.0 cert.wmc.1 -i "CI Author" -n it-1
+
+# Register-binding round trip.
+"$LW" schedule published.cdfg -o pub.sched
+"$LW" embed-reg published.cdfg pub.sched -i "CI Author" -n it-1 -c reg.wmc -o reg.bind
+"$LW" verify-cert reg.wmc
+"$LW" detect-reg published.cdfg pub.sched reg.bind reg.wmc -i "CI Author" -n it-1
+
+# Template-matching round trip.
+"$LW" gen-lib -o lib.tml
+"$LW" embed-tm published.cdfg -i "CI Author" -n it-1 -c tm.wmc -o tm.cover --lib lib.tml
+"$LW" detect-tm published.cdfg tm.cover tm.wmc -i "CI Author" -n it-1 --lib lib.tml
+"$LW" verify-cert tm.wmc
+
+# DOT export parses as a digraph.
+"$LW" dot published.cdfg -o out.dot
+grep -q "digraph" out.dot
+
+echo "cli round trip OK"

@@ -1,0 +1,164 @@
+// Edge-case coverage: search-budget exhaustion paths, temporal-edge
+// toggles on every scheduler, conditional regions, and small API corners.
+#include <gtest/gtest.h>
+
+#include "cdfg/hierarchy.h"
+#include "regbind/lifetime.h"
+#include "sched/bb_scheduler.h"
+#include "sched/force_directed.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "tm/cover.h"
+#include "workloads/hyper.h"
+#include "workloads/iir4.h"
+
+namespace locwm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::EdgeKind;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+TEST(BranchBound, BudgetHitStillReturnsFeasible) {
+  const Cdfg g = workloads::fir(10);
+  sched::BranchBoundOptions opts;
+  const sched::TimeFrames tf(g, opts.latency);
+  opts.deadline = tf.criticalPathSteps() + 3;
+  opts.max_steps = 3;  // absurdly small: the FDS incumbent must carry it
+  const auto r = sched::branchBoundSchedule(g, opts);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_FALSE(sched::validate(g, r.schedule, opts.latency).has_value());
+}
+
+TEST(ForceDirected, CanIgnoreTemporalEdges) {
+  Cdfg g = workloads::iir4Parallel();
+  // An aggressive temporal edge that lengthens the schedule when honored.
+  g.addEdge(g.findByName("A9"), g.findByName("C1"), EdgeKind::kTemporal);
+  sched::ForceDirectedOptions honor;
+  honor.deadline = 12;
+  sched::ForceDirectedOptions ignore = honor;
+  ignore.honor_temporal = false;
+  const auto s_ignore = sched::forceDirectedSchedule(g, ignore);
+  // Ignoring: the original critical path (5) fits easily and the edge is
+  // violated with impunity.
+  EXPECT_FALSE(
+      sched::validate(g, s_ignore, ignore.latency, false).has_value());
+  EXPECT_TRUE(
+      sched::validate(g, s_ignore, ignore.latency, true).has_value());
+  // Honoring: the schedule satisfies it.
+  const auto s_honor = sched::forceDirectedSchedule(g, honor);
+  EXPECT_FALSE(
+      sched::validate(g, s_honor, honor.latency, true).has_value());
+}
+
+TEST(BranchBound, HonorTemporalToggle) {
+  Cdfg g = workloads::fir(6);
+  // Order two sibling multipliers.
+  NodeId first = NodeId::invalid();
+  NodeId second = NodeId::invalid();
+  for (const NodeId v : g.allNodes()) {
+    if (g.node(v).kind == OpKind::kConstMul) {
+      if (!first.isValid()) {
+        first = v;
+      } else if (!second.isValid()) {
+        second = v;
+      }
+    }
+  }
+  g.addEdge(second, first, EdgeKind::kTemporal);
+  sched::BranchBoundOptions opts;
+  opts.deadline = 8;
+  const auto honored = sched::branchBoundSchedule(g, opts);
+  EXPECT_LT(honored.schedule.at(second), honored.schedule.at(first));
+  sched::BranchBoundOptions loose = opts;
+  loose.honor_temporal = false;
+  const auto ignored = sched::branchBoundSchedule(g, loose);
+  EXPECT_FALSE(
+      sched::validate(g, ignored.schedule, loose.latency, false).has_value());
+}
+
+TEST(Cover, ExactBudgetHitFallsBackGracefully) {
+  const Cdfg g = workloads::dct8();
+  const tm::TemplateLibrary lib = tm::TemplateLibrary::basicDsp();
+  const auto matchings = tm::enumerateMatchings(g, lib, {});
+  tm::CoverOptions opts;
+  opts.exact = true;
+  opts.max_steps = 5;
+  const auto r = tm::cover(g, lib, matchings, opts);
+  EXPECT_FALSE(r.proven_optimal);
+  // Still an exact cover of every real op.
+  std::vector<int> covered(g.nodeCount(), 0);
+  for (const auto& m : r.chosen) {
+    for (const auto& p : m.pairs) {
+      ++covered[p.node.value()];
+    }
+  }
+  for (const NodeId v : g.allNodes()) {
+    EXPECT_EQ(covered[v.value()], cdfg::isPseudoOp(g.node(v).kind) ? 0 : 1);
+  }
+}
+
+TEST(Hierarchy, ConditionalRegionInlinesOnce) {
+  Cdfg root;
+  const NodeId in = root.addNode(OpKind::kInput, "x");
+  const NodeId guard = root.addNode(OpKind::kCmp, "guard");
+  root.addEdge(in, guard);
+  root.addEdge(in, guard);
+  cdfg::HierarchicalCdfg h(std::move(root));
+
+  Cdfg arm = workloads::fir(4);
+  const NodeId port = arm.findByName("x0");
+  h.addRegion(cdfg::HierarchicalCdfg::root(), cdfg::RegionKind::kCond,
+              std::move(arm), {{guard, port}});
+  const Cdfg flat = h.flatten(4);  // unroll must not affect conditionals
+  // Root 3 nodes + one arm instance.
+  EXPECT_EQ(flat.nodeCount(), 2u + workloads::fir(4).nodeCount());
+  EXPECT_NO_THROW(flat.checkAcyclic());
+}
+
+TEST(Lifetime, MultiFanoutLastUse) {
+  // A value consumed at steps 1 and 4 lives until 4.
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId a = g.addNode(OpKind::kAdd, "a");
+  const NodeId b = g.addNode(OpKind::kAdd, "b");
+  const NodeId c = g.addNode(OpKind::kAdd, "c");
+  g.addEdge(in, a);
+  g.addEdge(a, b);
+  g.addEdge(a, c);
+  g.addEdge(b, c);
+  sched::Schedule s(g.nodeCount());
+  s.set(in, 0);
+  s.set(a, 0);
+  s.set(b, 1);
+  s.set(c, 4);
+  const auto table = regbind::computeLifetimes(g, s);
+  EXPECT_EQ(table.of(a).def, 1u);
+  EXPECT_EQ(table.of(a).last, 4u);
+}
+
+TEST(Schedule, MakespanOfEmptyAndPartial) {
+  const Cdfg g = workloads::fir(4);
+  sched::Schedule s(g.nodeCount());
+  EXPECT_EQ(s.makespan(g, sched::LatencyModel::unit()), 0u);
+  const NodeId real_op = g.findByName("c0");
+  ASSERT_TRUE(real_op.isValid());
+  s.set(real_op, 7);  // one real op
+  EXPECT_EQ(s.makespan(g, sched::LatencyModel::unit()), 8u);
+}
+
+TEST(TimeFrames, OverlapIsReflexiveAndSymmetric) {
+  const Cdfg g = workloads::iir4Parallel();
+  const sched::TimeFrames tf(g, sched::LatencyModel::unit(),
+                             std::uint32_t{8});
+  for (const NodeId a : g.allNodes()) {
+    EXPECT_TRUE(tf.lifetimesOverlap(a, a));
+    for (const NodeId b : g.allNodes()) {
+      EXPECT_EQ(tf.lifetimesOverlap(a, b), tf.lifetimesOverlap(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locwm

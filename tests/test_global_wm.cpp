@@ -1,0 +1,131 @@
+// The global-watermark baseline: round-trips on the intact design, and —
+// the paper's whole point — fails under embedding and cutting where local
+// watermarks survive.
+#include <gtest/gtest.h>
+
+#include "cdfg/subgraph.h"
+#include "core/global_wm.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+namespace locwm::wm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+
+crypto::AuthorSignature alice() { return {"alice", "global"}; }
+
+struct Protected {
+  Cdfg published;
+  sched::Schedule schedule;
+  WatermarkCertificate certificate;
+};
+
+Protected protect() {
+  Cdfg g = workloads::waveFilter(8);
+  GlobalWatermarker marker(alice());
+  GlobalWmParams params;
+  const sched::TimeFrames tf(g, params.latency);
+  params.deadline = tf.criticalPathSteps() + 3;
+  const auto r = marker.embed(g, params);
+  EXPECT_TRUE(r.has_value());
+  Protected s{g.stripTemporalEdges(), sched::listSchedule(g), r->certificate};
+  return s;
+}
+
+TEST(GlobalWm, RoundTripOnIntactDesign) {
+  const Protected s = protect();
+  GlobalWatermarker marker(alice());
+  const auto det = marker.detect(s.published, s.schedule, s.certificate);
+  EXPECT_TRUE(det.found) << det.satisfied << "/" << det.total;
+}
+
+TEST(GlobalWm, SurvivesRelabelingOfTheIntactDesign) {
+  const Protected s = protect();
+  std::vector<std::uint32_t> perm(s.published.nodeCount());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<std::uint32_t>((i * 19 + 5) % perm.size());
+  }
+  cdfg::NodeMap map;
+  const Cdfg suspect = cdfg::relabel(s.published, perm, &map);
+  sched::Schedule s2(suspect.nodeCount());
+  for (const NodeId v : s.published.allNodes()) {
+    s2.set(map.at(v), s.schedule.at(v));
+  }
+  GlobalWatermarker marker(alice());
+  EXPECT_TRUE(marker.detect(suspect, s2, s.certificate).found);
+}
+
+TEST(GlobalWm, LostUnderHostEmbedding) {
+  const Protected s = protect();
+  Cdfg host = workloads::fir(12);
+  const cdfg::NodeMap map = cdfg::embed(host, s.published);
+  const sched::Schedule hs = sched::listSchedule(host);
+  sched::Schedule combined(host.nodeCount());
+  for (const NodeId v : host.allNodes()) {
+    combined.set(v, hs.at(v));
+  }
+  for (const NodeId v : s.published.allNodes()) {
+    combined.set(map.at(v), s.schedule.at(v) + 2);
+  }
+  GlobalWatermarker marker(alice());
+  const auto det = marker.detect(host, combined, s.certificate);
+  EXPECT_FALSE(det.found);
+  EXPECT_EQ(det.shape_matches, 0u);
+}
+
+TEST(GlobalWm, LostUnderCutting) {
+  const Protected s = protect();
+  cdfg::NodeMap map;
+  const Cdfg cut = cdfg::cutPartition(s.published, NodeId(10), 5, &map);
+  if (cut.nodeCount() == s.published.nodeCount()) {
+    GTEST_SKIP() << "radius covered the whole design";
+  }
+  sched::Schedule cs(cut.nodeCount());
+  for (const auto& [orig, local] : map) {
+    cs.set(local, s.schedule.at(orig));
+  }
+  GlobalWatermarker marker(alice());
+  EXPECT_FALSE(marker.detect(cut, cs, s.certificate).found);
+}
+
+TEST(GlobalWm, LocalMarksSurviveWhereGlobalDies) {
+  // The head-to-head: same design, both schemes, host embedding.
+  Cdfg g = workloads::waveFilter(8);
+  const sched::TimeFrames tf(g, sched::LatencyModel::unit());
+
+  GlobalWatermarker gm(alice());
+  GlobalWmParams gp;
+  gp.deadline = tf.criticalPathSteps() + 3;
+  const auto gmark = gm.embed(g, gp);
+  ASSERT_TRUE(gmark.has_value());
+
+  SchedulingWatermarker lm(alice());
+  SchedWmParams lp;
+  lp.locality.min_size = 5;
+  lp.min_eligible = 3;
+  lp.deadline = tf.criticalPathSteps() + 3;
+  const auto lmark = lm.embed(g, lp);
+  ASSERT_TRUE(lmark.has_value());
+
+  const sched::Schedule s = sched::listSchedule(g);
+  const Cdfg published = g.stripTemporalEdges();
+  Cdfg host = workloads::fir(12);
+  const cdfg::NodeMap map = cdfg::embed(host, published);
+  const sched::Schedule hs = sched::listSchedule(host);
+  sched::Schedule combined(host.nodeCount());
+  for (const NodeId v : host.allNodes()) {
+    combined.set(v, hs.at(v));
+  }
+  for (const NodeId v : published.allNodes()) {
+    combined.set(map.at(v), s.at(v) + 2);
+  }
+  EXPECT_FALSE(gm.detect(host, combined, gmark->certificate).found);
+  EXPECT_TRUE(lm.detect(host, combined, lmark->certificate).found);
+}
+
+}  // namespace
+}  // namespace locwm::wm

@@ -1,0 +1,282 @@
+// Unit tests for the CDFG container: construction, edges, traversal,
+// topological order, serialization, and subgraph operations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cdfg/dot.h"
+#include "cdfg/graph.h"
+#include "cdfg/io.h"
+#include "cdfg/subgraph.h"
+
+namespace locwm::cdfg {
+namespace {
+
+Cdfg diamond() {
+  // in -> a -> {b, c} -> d -> out
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput, "in");
+  const NodeId a = g.addNode(OpKind::kAdd, "a");
+  const NodeId b = g.addNode(OpKind::kMul, "b");
+  const NodeId c = g.addNode(OpKind::kSub, "c");
+  const NodeId d = g.addNode(OpKind::kAdd, "d");
+  const NodeId out = g.addNode(OpKind::kOutput, "out");
+  g.addEdge(in, a);
+  g.addEdge(a, b);
+  g.addEdge(a, c);
+  g.addEdge(b, d);
+  g.addEdge(c, d);
+  g.addEdge(d, out);
+  return g;
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd, "a");
+  const NodeId b = g.addNode(OpKind::kMul);
+  EXPECT_EQ(g.nodeCount(), 2u);
+  EXPECT_EQ(g.node(a).kind, OpKind::kAdd);
+  EXPECT_EQ(g.node(a).name, "a");
+  EXPECT_TRUE(g.node(b).name.empty());
+
+  const EdgeId e = g.addEdge(a, b);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).dst, b);
+  EXPECT_EQ(g.edge(e).kind, EdgeKind::kData);
+  EXPECT_TRUE(g.hasEdge(a, b, EdgeKind::kData));
+  EXPECT_FALSE(g.hasEdge(b, a, EdgeKind::kData));
+}
+
+TEST(Graph, RejectsSelfEdgeAndBadIds) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd);
+  EXPECT_THROW(g.addEdge(a, a), GraphError);
+  EXPECT_THROW((void)g.node(NodeId(7)), GraphError);
+  EXPECT_THROW((void)g.addEdge(a, NodeId(9)), GraphError);
+  EXPECT_THROW((void)g.edge(EdgeId(0)), GraphError);
+}
+
+TEST(Graph, DuplicateDataEdgesAllowedTemporalRejected) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd);
+  const NodeId b = g.addNode(OpKind::kAdd);
+  g.addEdge(a, b, EdgeKind::kData);
+  EXPECT_NO_THROW(g.addEdge(a, b, EdgeKind::kData));  // a + a
+  g.addEdge(a, b, EdgeKind::kTemporal);
+  EXPECT_THROW(g.addEdge(a, b, EdgeKind::kTemporal), GraphError);
+}
+
+TEST(Graph, PredecessorsAndSuccessorsFilterTemporal) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd);
+  const NodeId b = g.addNode(OpKind::kAdd);
+  const NodeId c = g.addNode(OpKind::kAdd);
+  g.addEdge(a, c, EdgeKind::kData);
+  g.addEdge(b, c, EdgeKind::kTemporal);
+  EXPECT_EQ(g.predecessors(c).size(), 1u);
+  EXPECT_EQ(g.predecessors(c, /*includeTemporal=*/true).size(), 2u);
+  EXPECT_EQ(g.successors(b).size(), 0u);
+  EXPECT_EQ(g.successors(b, /*includeTemporal=*/true).size(), 1u);
+  EXPECT_EQ(g.dataPredecessors(c).size(), 1u);
+}
+
+TEST(Graph, TopologicalOrderIsDeterministicAndValid) {
+  const Cdfg g = diamond();
+  const auto topo = g.topologicalOrder();
+  ASSERT_EQ(topo.size(), g.nodeCount());
+  std::vector<std::size_t> pos(g.nodeCount());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[topo[i].value()] = i;
+  }
+  for (const EdgeId e : g.allEdges()) {
+    EXPECT_LT(pos[g.edge(e).src.value()], pos[g.edge(e).dst.value()]);
+  }
+  EXPECT_EQ(topo, g.topologicalOrder());
+}
+
+TEST(Graph, CycleDetection) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd);
+  const NodeId b = g.addNode(OpKind::kAdd);
+  const NodeId c = g.addNode(OpKind::kAdd);
+  g.addEdge(a, b);
+  g.addEdge(b, c);
+  g.addEdge(c, a);
+  EXPECT_THROW(g.checkAcyclic(), GraphError);
+}
+
+TEST(Graph, TemporalEdgeCycleDetected) {
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kAdd);
+  const NodeId b = g.addNode(OpKind::kAdd);
+  g.addEdge(a, b, EdgeKind::kData);
+  g.addEdge(b, a, EdgeKind::kTemporal);
+  EXPECT_THROW(g.checkAcyclic(), GraphError);
+  // Without temporal edges the graph is fine.
+  EXPECT_NO_THROW(g.topologicalOrder(/*includeTemporal=*/false));
+}
+
+TEST(Graph, StripTemporalEdges) {
+  Cdfg g = diamond();
+  g.addEdge(NodeId(1), NodeId(4), EdgeKind::kTemporal);
+  ASSERT_EQ(g.temporalEdges().size(), 1u);
+  const Cdfg stripped = g.stripTemporalEdges();
+  EXPECT_EQ(stripped.nodeCount(), g.nodeCount());
+  EXPECT_EQ(stripped.edgeCount(), g.edgeCount() - 1);
+  EXPECT_TRUE(stripped.temporalEdges().empty());
+}
+
+TEST(Graph, FindByName) {
+  Cdfg g = diamond();
+  EXPECT_EQ(g.findByName("b").value(), 2u);
+  EXPECT_FALSE(g.findByName("zzz").isValid());
+  g.setNodeName(NodeId(2), "c");  // now ambiguous with node 3
+  EXPECT_FALSE(g.findByName("c").isValid());
+}
+
+TEST(GraphIo, RoundTrip) {
+  Cdfg g = diamond();
+  g.addEdge(NodeId(1), NodeId(4), EdgeKind::kTemporal);
+  g.addEdge(NodeId(0), NodeId(3), EdgeKind::kControl);
+  const std::string text = printToString(g);
+  const Cdfg back = parseString(text);
+  EXPECT_EQ(back.nodeCount(), g.nodeCount());
+  EXPECT_EQ(back.edgeCount(), g.edgeCount());
+  EXPECT_EQ(printToString(back), text);
+}
+
+TEST(GraphIo, ParseErrors) {
+  EXPECT_THROW(parseString(""), ParseError);
+  EXPECT_THROW(parseString("node 0 add"), ParseError);  // missing header
+  EXPECT_THROW(parseString("cdfg v2\n"), ParseError);
+  EXPECT_THROW(parseString("cdfg v1\nnode 1 add\n"), ParseError);  // gap
+  EXPECT_THROW(parseString("cdfg v1\nnode 0 frobnicate\n"), ParseError);
+  EXPECT_THROW(parseString("cdfg v1\nnode 0 add\nedge 0 5 data\n"),
+               ParseError);
+  EXPECT_THROW(parseString("cdfg v1\nnode 0 add\nnode 1 add\n"
+                           "edge 0 1 sideways\n"),
+               ParseError);
+  // A cycle in the file is rejected at the end of parsing.
+  EXPECT_THROW(parseString("cdfg v1\nnode 0 add\nnode 1 add\n"
+                           "edge 0 1 data\nedge 1 0 data\n"),
+               GraphError);
+}
+
+TEST(GraphIo, CommentsAndBlankLines) {
+  const Cdfg g = parseString(
+      "# a comment\n"
+      "cdfg v1\n"
+      "\n"
+      "node 0 input x  # trailing comment\n"
+      "node 1 add\n"
+      "edge 0 1 data\n");
+  EXPECT_EQ(g.nodeCount(), 2u);
+  EXPECT_EQ(g.node(NodeId(0)).name, "x");
+}
+
+TEST(Dot, ContainsNodesAndStyles) {
+  Cdfg g = diamond();
+  g.addEdge(NodeId(1), NodeId(4), EdgeKind::kTemporal);
+  DotOptions opts;
+  opts.highlight = {NodeId(2)};
+  const std::string dot = toDot(g, opts);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed, color=red"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgoldenrod"), std::string::npos);
+}
+
+TEST(Subgraph, InducedKeepsInternalEdges) {
+  const Cdfg g = diamond();
+  NodeMap map;
+  const Cdfg sub = inducedSubgraph(
+      g, {NodeId(1), NodeId(2), NodeId(4)}, &map);
+  EXPECT_EQ(sub.nodeCount(), 3u);
+  // a->b and b->d survive; a->c, c->d, in->a, d->out do not.
+  EXPECT_EQ(sub.edgeCount(), 2u);
+  EXPECT_TRUE(sub.hasEdge(map.at(NodeId(1)), map.at(NodeId(2)),
+                          EdgeKind::kData));
+}
+
+TEST(Subgraph, InducedRejectsDuplicates) {
+  const Cdfg g = diamond();
+  EXPECT_THROW(inducedSubgraph(g, {NodeId(1), NodeId(1)}), GraphError);
+}
+
+TEST(Subgraph, EmbedCopiesAndStitches) {
+  Cdfg host = diamond();
+  const Cdfg part = diamond();
+  const std::size_t host_nodes = host.nodeCount();
+  const NodeMap map =
+      embed(host, part, {{NodeId(4), NodeId(0)}});  // host d -> part in
+  EXPECT_EQ(host.nodeCount(), host_nodes + part.nodeCount());
+  EXPECT_TRUE(host.hasEdge(NodeId(4), map.at(NodeId(0)), EdgeKind::kData));
+  EXPECT_NO_THROW(host.checkAcyclic());
+}
+
+TEST(Subgraph, CutPartitionRadius) {
+  const Cdfg g = diamond();
+  NodeMap map;
+  const Cdfg cut = cutPartition(g, NodeId(2), 1, &map);
+  // b's undirected radius-1 ball: {a, b, d}.
+  EXPECT_EQ(cut.nodeCount(), 3u);
+}
+
+TEST(Subgraph, RelabelPreservesStructure) {
+  const Cdfg g = diamond();
+  std::vector<std::uint32_t> perm = {5, 3, 1, 0, 2, 4};
+  NodeMap map;
+  const Cdfg r = relabel(g, perm, &map);
+  EXPECT_EQ(r.nodeCount(), g.nodeCount());
+  EXPECT_EQ(r.edgeCount(), g.edgeCount());
+  for (const EdgeId e : g.allEdges()) {
+    const Edge& ed = g.edge(e);
+    EXPECT_TRUE(r.hasEdge(map.at(ed.src), map.at(ed.dst), ed.kind));
+  }
+  for (const NodeId v : g.allNodes()) {
+    EXPECT_EQ(r.node(map.at(v)).kind, g.node(v).kind);
+    EXPECT_TRUE(r.node(map.at(v)).name.empty());  // labels scrubbed
+  }
+}
+
+TEST(Subgraph, RelabelRejectsNonPermutation) {
+  const Cdfg g = diamond();
+  EXPECT_THROW(relabel(g, {0, 0, 1, 2, 3, 4}), GraphError);
+  EXPECT_THROW(relabel(g, {0, 1}), GraphError);
+}
+
+TEST(Operations, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const auto kind = static_cast<OpKind>(i);
+    const auto back = opFromName(opName(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(opFromName("nonsense").has_value());
+}
+
+TEST(Operations, PseudoAndFuClasses) {
+  EXPECT_TRUE(isPseudoOp(OpKind::kInput));
+  EXPECT_TRUE(isPseudoOp(OpKind::kOutput));
+  EXPECT_TRUE(isPseudoOp(OpKind::kConst));
+  EXPECT_FALSE(isPseudoOp(OpKind::kAdd));
+  EXPECT_EQ(fuClass(OpKind::kMul), FuClass::kMul);
+  EXPECT_EQ(fuClass(OpKind::kLoad), FuClass::kMem);
+  EXPECT_EQ(fuClass(OpKind::kBranch), FuClass::kBranch);
+  EXPECT_EQ(fuClass(OpKind::kAdd), FuClass::kAlu);
+}
+
+TEST(Operations, FunctionalityIdsMatchPaper) {
+  // "addition is identified with 1, multiplication with 2" (§IV-A).
+  EXPECT_EQ(functionalityId(OpKind::kAdd), 1);
+  EXPECT_EQ(functionalityId(OpKind::kMul), 2);
+}
+
+TEST(Operations, Commutativity) {
+  EXPECT_TRUE(isCommutative(OpKind::kAdd));
+  EXPECT_TRUE(isCommutative(OpKind::kXor));
+  EXPECT_FALSE(isCommutative(OpKind::kSub));
+  EXPECT_FALSE(isCommutative(OpKind::kShift));
+}
+
+}  // namespace
+}  // namespace locwm::cdfg

@@ -1,0 +1,131 @@
+// Hierarchical CDFG tests: region construction, flattening with loop
+// unrolling, and the key watermarking property — a mark embedded in a
+// region body is detectable in every flattened instantiation.
+#include <gtest/gtest.h>
+
+#include "cdfg/hierarchy.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+namespace locwm::cdfg {
+namespace {
+
+/// Root body: one input fanned into the loop region.
+Cdfg rootBody() {
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput, "x");
+  const NodeId pre = g.addNode(OpKind::kAdd, "pre");
+  g.addEdge(in, pre);
+  g.addEdge(in, pre);
+  return g;
+}
+
+TEST(Hierarchy, ConstructionAndAccessors) {
+  HierarchicalCdfg h(rootBody());
+  EXPECT_EQ(h.regionCount(), 1u);
+  EXPECT_EQ(h.kind(HierarchicalCdfg::root()), RegionKind::kBody);
+
+  Cdfg loop = workloads::lattice(3);
+  const NodeId port = loop.findByName("x");
+  const RegionId r = h.addRegion(
+      HierarchicalCdfg::root(), RegionKind::kLoop, std::move(loop),
+      {{NodeId(1) /* pre */, port}},
+      {{/* y feeds next x: */ NodeId(0), port}});
+  (void)r;
+  EXPECT_EQ(h.regionCount(), 2u);
+  EXPECT_EQ(h.children(HierarchicalCdfg::root()).size(), 1u);
+  EXPECT_GT(h.totalOperations(), 10u);
+}
+
+TEST(Hierarchy, RejectsMalformedRegions) {
+  HierarchicalCdfg h(rootBody());
+  Cdfg body = workloads::fir(4);
+  // Binding target must be an input port.
+  EXPECT_THROW(h.addRegion(HierarchicalCdfg::root(), RegionKind::kBody,
+                           body, {{NodeId(1), body.findByName("c0")}}),
+               GraphError);
+  // Carried values only for loops.
+  Cdfg body2 = workloads::fir(4);
+  const NodeId port = body2.findByName("x0");
+  EXPECT_THROW(
+      h.addRegion(HierarchicalCdfg::root(), RegionKind::kBody, body2,
+                  {{NodeId(1), port}}, {{NodeId(5), port}}),
+      GraphError);
+}
+
+TEST(Hierarchy, FlattenUnrollsLoops) {
+  HierarchicalCdfg h(rootBody());
+  Cdfg loop;
+  const NodeId port = loop.addNode(OpKind::kInput, "acc_in");
+  const NodeId step = loop.addNode(OpKind::kAdd, "step");
+  loop.addEdge(port, step);
+  loop.addEdge(port, step);
+  h.addRegion(HierarchicalCdfg::root(), RegionKind::kLoop, std::move(loop),
+              {{NodeId(1), port}}, {{step, port}});
+
+  const Cdfg flat1 = h.flatten(1);
+  const Cdfg flat4 = h.flatten(4);
+  // Root: 2 nodes; loop body: 2 nodes per copy.
+  EXPECT_EQ(flat1.nodeCount(), 4u);
+  EXPECT_EQ(flat4.nodeCount(), 2u + 4u * 2u);
+  EXPECT_NO_THROW(flat4.checkAcyclic());
+  // The unrolled copies chain: critical path grows with unroll.
+  const sched::TimeFrames t1(flat1, sched::LatencyModel::unit());
+  const sched::TimeFrames t4(flat4, sched::LatencyModel::unit());
+  EXPECT_GT(t4.criticalPathSteps(), t1.criticalPathSteps());
+}
+
+TEST(Hierarchy, WatermarkInRegionBodySurvivesFlattening) {
+  // Watermark the loop body as its own design; after flattening with any
+  // unroll factor, the certificate detects in (at least) the first
+  // instance — the port-boundary invariance at work.
+  Cdfg body = workloads::waveFilter(8);
+  wm::SchedulingWatermarker marker({"alice", "loop-kernel"});
+  wm::SchedWmParams params;
+  params.locality.min_size = 5;
+  params.min_eligible = 3;
+  const sched::TimeFrames tf(body, params.latency);
+  params.deadline = tf.criticalPathSteps() + 3;
+  const auto mark = marker.embed(body, params);
+  ASSERT_TRUE(mark.has_value());
+  const sched::Schedule body_sched = sched::listSchedule(body);
+  const Cdfg published_body = body.stripTemporalEdges();
+
+  HierarchicalCdfg h(rootBody());
+  Cdfg region = published_body;
+  const NodeId port = region.findByName("x");
+  // Carry any real value back into the port (the last adder will do).
+  NodeId carried_value = NodeId::invalid();
+  for (const NodeId v : published_body.allNodes()) {
+    if (published_body.node(v).kind == OpKind::kAdd) {
+      carried_value = v;
+    }
+  }
+  ASSERT_TRUE(carried_value.isValid());
+  h.addRegion(HierarchicalCdfg::root(), RegionKind::kLoop, std::move(region),
+              {{NodeId(1), port}}, {{carried_value, port}});
+
+  for (const std::uint32_t unroll : {1u, 3u}) {
+    std::vector<NodeMap> maps;
+    const Cdfg flat = h.flatten(unroll, &maps);
+    // Compose a flat schedule: every instance reuses the body schedule,
+    // offset per iteration.
+    const sched::TimeFrames ft(flat, sched::LatencyModel::unit());
+    sched::Schedule flat_sched = sched::listSchedule(flat);
+    // Overwrite the first instance with the marked body schedule, shifted
+    // to a feasible offset (after the root's ops).
+    // Instead, simply re-map the body schedule onto instance 1 via maps.
+    const NodeMap& first = maps[1];
+    const std::uint32_t offset = flat_sched.makespan(flat, params.latency);
+    for (const NodeId v : published_body.allNodes()) {
+      flat_sched.set(first.at(v), body_sched.at(v) + offset);
+    }
+    const auto det = marker.detect(flat, flat_sched, mark->certificate);
+    EXPECT_TRUE(det.found) << "unroll=" << unroll;
+  }
+}
+
+}  // namespace
+}  // namespace locwm::cdfg

@@ -1,0 +1,172 @@
+// Locality derivation tests: determinism, signature dependence, and the
+// invariances detection rests on (relabeling, host embedding).
+#include <gtest/gtest.h>
+
+#include "cdfg/random_dfg.h"
+#include "cdfg/subgraph.h"
+#include "core/locality.h"
+#include "workloads/hyper.h"
+#include "workloads/iir4.h"
+
+namespace locwm::wm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+
+crypto::AuthorSignature sig() { return {"alice", "design"}; }
+
+TEST(Locality, DeriveIsDeterministic) {
+  const Cdfg g = workloads::waveFilter(6);
+  const LocalityDeriver der(g);
+  const NodeId root = der.candidateRoots().back();
+  crypto::KeyedBitstream b1(sig(), "ctx");
+  crypto::KeyedBitstream b2(sig(), "ctx");
+  LocalityParams params;
+  const auto l1 = der.derive(root, params, b1);
+  const auto l2 = der.derive(root, params, b2);
+  ASSERT_TRUE(l1.has_value());
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l1->nodes, l2->nodes);
+  EXPECT_TRUE(l1->sameShape(*l2));
+}
+
+TEST(Locality, DifferentSignaturesCarveDifferently) {
+  // Needs a bushy graph: the carve only consumes signature bits where a
+  // node has several candidate inputs.
+  cdfg::RandomDfgOptions o;
+  o.operations = 80;
+  o.inputs = 6;
+  const Cdfg g = cdfg::randomDfg(o, 99);
+  const LocalityDeriver der(g);
+  LocalityParams params;
+  params.min_size = 4;
+  std::size_t differing = 0;
+  std::size_t derivable = 0;
+  for (const NodeId root : der.candidateRoots()) {
+    crypto::KeyedBitstream ba({"alice", "d"}, "ctx");
+    crypto::KeyedBitstream bb({"bob", "d"}, "ctx");
+    const auto la = der.derive(root, params, ba);
+    const auto lb = der.derive(root, params, bb);
+    if (la && lb) {
+      ++derivable;
+      differing += la->nodes != lb->nodes;
+    }
+  }
+  ASSERT_GT(derivable, 0u);
+  EXPECT_GT(differing, 0u);  // carves are signature-specific somewhere
+}
+
+TEST(Locality, RootMustBeRealWithRealFanin) {
+  const Cdfg g = workloads::iir4Parallel();
+  const LocalityDeriver der(g);
+  crypto::KeyedBitstream bits(sig(), "ctx");
+  // Input node: not derivable.
+  EXPECT_FALSE(der.derive(g.findByName("x"), {}, bits).has_value());
+  // candidateRoots excludes pseudo-ops and fanin-free ops.
+  for (const NodeId r : der.candidateRoots()) {
+    EXPECT_FALSE(cdfg::isPseudoOp(g.node(r).kind));
+  }
+}
+
+TEST(Locality, MinSizeEnforced) {
+  const Cdfg g = workloads::iir4Parallel();
+  const LocalityDeriver der(g);
+  LocalityParams params;
+  params.min_size = 100;  // larger than the design
+  crypto::KeyedBitstream bits(sig(), "ctx");
+  for (const NodeId r : der.candidateRoots()) {
+    crypto::KeyedBitstream b(sig(), "ctx");
+    EXPECT_FALSE(der.derive(r, params, b).has_value());
+  }
+}
+
+TEST(Locality, ShapeNodeIdsAreRanks) {
+  const Cdfg g = workloads::waveFilter(6);
+  const LocalityDeriver der(g);
+  crypto::KeyedBitstream bits(sig(), "ctx");
+  const auto loc = der.derive(der.candidateRoots().back(), {}, bits);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->shape.nodeCount(), loc->nodes.size());
+  for (const NodeId v : loc->shape.allNodes()) {
+    EXPECT_TRUE(loc->shape.node(v).name.empty());  // labels scrubbed
+  }
+}
+
+TEST(Locality, RelabelInvariance) {
+  // Derive in the original, then in a permuted copy: the locality found at
+  // the mapped root must have the identical shape and the node lists must
+  // correspond under the permutation.
+  const Cdfg g = workloads::waveFilter(8);
+  std::vector<std::uint32_t> perm(g.nodeCount());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<std::uint32_t>((i * 13 + 5) % perm.size());
+  }
+  cdfg::NodeMap map;
+  const Cdfg r = cdfg::relabel(g, perm, &map);
+
+  const LocalityDeriver dg(g);
+  const LocalityDeriver dr(r);
+  LocalityParams params;
+  std::size_t checked = 0;
+  for (const NodeId root : dg.candidateRoots()) {
+    crypto::KeyedBitstream b1(sig(), "ctx");
+    crypto::KeyedBitstream b2(sig(), "ctx");
+    const auto l1 = dg.derive(root, params, b1);
+    const auto l2 = dr.derive(map.at(root), params, b2);
+    ASSERT_EQ(l1.has_value(), l2.has_value());
+    if (!l1) {
+      continue;
+    }
+    ++checked;
+    ASSERT_TRUE(shapeEquals(l1->shape, l2->shape));
+    ASSERT_EQ(l1->nodes.size(), l2->nodes.size());
+    for (std::size_t i = 0; i < l1->nodes.size(); ++i) {
+      EXPECT_EQ(map.at(l1->nodes[i]), l2->nodes[i]);
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Locality, HostEmbeddingInvariance) {
+  // Embedding the design into a host (stitched through its input ports)
+  // must not change any derived locality.
+  const Cdfg core = workloads::waveFilter(6);
+  Cdfg host = workloads::fir(12);
+  // Stitch: host values feed the core's *input pseudo-ops*.
+  std::vector<std::pair<NodeId, NodeId>> stitches;
+  for (const NodeId v : core.allNodes()) {
+    if (core.node(v).kind == cdfg::OpKind::kInput) {
+      stitches.push_back({NodeId(0), v});
+    }
+  }
+  const cdfg::NodeMap map = cdfg::embed(host, core, stitches);
+
+  const LocalityDeriver dc(core);
+  const LocalityDeriver dh(host);
+  LocalityParams params;
+  std::size_t checked = 0;
+  for (const NodeId root : dc.candidateRoots()) {
+    crypto::KeyedBitstream b1(sig(), "ctx");
+    crypto::KeyedBitstream b2(sig(), "ctx");
+    const auto l1 = dc.derive(root, params, b1);
+    const auto l2 = dh.derive(map.at(root), params, b2);
+    ASSERT_EQ(l1.has_value(), l2.has_value()) << root.value();
+    if (!l1) {
+      continue;
+    }
+    ++checked;
+    EXPECT_TRUE(shapeEquals(l1->shape, l2->shape));
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Locality, ShapeEqualsDetectsDifferences) {
+  const Cdfg a = workloads::fir(4);
+  const Cdfg b = workloads::fir(5);
+  EXPECT_FALSE(shapeEquals(a, b));
+  EXPECT_TRUE(shapeEquals(a, a));
+}
+
+}  // namespace
+}  // namespace locwm::wm

@@ -1,0 +1,148 @@
+// Second parameterized property battery: template and register watermarks
+// swept across the design suite, and covering invariants under random PPO
+// pressure.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cdfg/prng.h"
+#include "core/reg_wm.h"
+#include "core/tm_wm.h"
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+#include "sched/list_scheduler.h"
+#include "tm/cover.h"
+#include "workloads/hyper.h"
+
+namespace locwm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+
+// ---------------------------------------------------------------------------
+// Property: the template watermark round-trips (embed -> cover -> detect)
+// on every suite design, in both locality and whole-design modes.
+// ---------------------------------------------------------------------------
+class TmRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(TmRoundTrip, EmbedCoverDetect) {
+  const auto [design_index, whole] = GetParam();
+  const auto suite = workloads::hyperSuite();
+  const Cdfg& g = suite[design_index].graph;
+  const tm::TemplateLibrary lib = tm::TemplateLibrary::basicDsp();
+
+  wm::TemplateWatermarker marker({"alice", suite[design_index].name}, lib);
+  wm::TmWmParams params;
+  params.whole_design = whole;
+  params.beta = 0.0;
+  params.locality.min_size = 5;
+  params.z_explicit = 2;
+  const auto r = marker.embed(g, params);
+  if (!r) {
+    GTEST_SKIP() << "design too symmetric for this mode";
+  }
+  const tm::CoverResult cover = marker.applyCover(g, *r);
+  // Covering invariant: every real op exactly once.
+  std::vector<int> covered(g.nodeCount(), 0);
+  for (const auto& m : cover.chosen) {
+    for (const auto& p : m.pairs) {
+      ++covered[p.node.value()];
+    }
+  }
+  for (const NodeId v : g.allNodes()) {
+    ASSERT_EQ(covered[v.value()],
+              cdfg::isPseudoOp(g.node(v).kind) ? 0 : 1);
+  }
+  const auto det = marker.detect(g, cover.chosen, r->certificate);
+  EXPECT_TRUE(det.found) << det.present << "/" << det.total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TmRoundTrip,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5, 7),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Property: the register watermark round-trips on every suite design, and
+// its alias constraints never increase the register count by more than
+// the number of pairs.
+// ---------------------------------------------------------------------------
+class RegRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegRoundTrip, EmbedBindDetect) {
+  const auto suite = workloads::hyperSuite();
+  const Cdfg& g = suite[GetParam()].graph;
+  const sched::Schedule s = sched::listSchedule(g);
+
+  wm::RegisterWatermarker marker({"alice", suite[GetParam()].name});
+  wm::RegWmParams params;
+  params.locality.min_size = 5;
+  const auto r = marker.embed(g, s, params);
+  if (!r) {
+    GTEST_SKIP() << "no bindable locality";
+  }
+  const auto table = regbind::computeLifetimes(g, s);
+  const auto plain = regbind::bindRegisters(table, {});
+  regbind::BindOptions bo;
+  bo.aliases = r->aliases;
+  const auto marked = regbind::bindRegisters(table, bo);
+
+  EXPECT_TRUE(regbind::isValidBinding(table, marked));
+  EXPECT_LE(marked.register_count,
+            plain.register_count +
+                static_cast<std::uint32_t>(r->aliases.size()));
+  EXPECT_TRUE(marker.detect(g, table, marked, r->certificate).found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegRoundTrip,
+                         ::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5, 6,
+                                                        7, 8));
+
+// ---------------------------------------------------------------------------
+// Property: covering stays a valid exact cover under arbitrary PPO sets
+// (PPOs only restrict which multi-op matchings are admissible).
+// ---------------------------------------------------------------------------
+class CoverUnderPpo
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(CoverUnderPpo, AlwaysExactCover) {
+  const auto [design_index, seed] = GetParam();
+  const auto suite = workloads::hyperSuite();
+  const Cdfg& g = suite[design_index].graph;
+  const tm::TemplateLibrary lib = tm::TemplateLibrary::basicDsp();
+  const auto matchings = tm::enumerateMatchings(g, lib, {});
+
+  cdfg::SplitMix64 rng(seed);
+  tm::CoverOptions co;
+  for (const NodeId v : g.allNodes()) {
+    if (!cdfg::isPseudoOp(g.node(v).kind) && rng.chance(0.3)) {
+      co.ppo.insert(v);
+    }
+  }
+  const tm::CoverResult r = tm::cover(g, lib, matchings, co);
+  std::vector<int> covered(g.nodeCount(), 0);
+  for (const auto& m : r.chosen) {
+    if (m.template_id.isValid()) {
+      // Multi-op instances must be admissible under the PPO set.
+      EXPECT_TRUE(tm::isAdmissible(m, lib.get(m.template_id), co.ppo));
+    }
+    for (const auto& p : m.pairs) {
+      ++covered[p.node.value()];
+    }
+  }
+  for (const NodeId v : g.allNodes()) {
+    ASSERT_EQ(covered[v.value()],
+              cdfg::isPseudoOp(g.node(v).kind) ? 0 : 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverUnderPpo,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace locwm

@@ -1,0 +1,120 @@
+// Reproduction locks: the headline numbers EXPERIMENTS.md reports are
+// pinned here so refactoring cannot silently change the reproduction.
+// Each test names the paper artifact it guards.
+#include <gtest/gtest.h>
+
+#include "cdfg/subgraph.h"
+#include "core/attack.h"
+#include "core/pc.h"
+#include "core/tm_wm.h"
+#include "sched/enumeration.h"
+#include "sched/timeframes.h"
+#include "tm/solutions.h"
+#include "workloads/iir4.h"
+#include "workloads/mediabench.h"
+
+namespace locwm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+
+// --- Fig. 3 ----------------------------------------------------------------
+
+TEST(ReproLock, Fig3SectionConeCounts196) {
+  // Paper: subtree T has 166 schedules; our nearest configuration (the
+  // section-1 cone under the tightest windows) counts 196.
+  const Cdfg g = workloads::iir4Parallel();
+  std::vector<NodeId> cone;
+  for (const char* name : {"C1", "C2", "C3", "C4", "A1", "A2"}) {
+    cone.push_back(g.findByName(name));
+  }
+  std::sort(cone.begin(), cone.end());
+  const sched::TimeFrames tf(g, sched::LatencyModel::unit(),
+                             std::uint32_t{6});
+  cdfg::NodeMap map;
+  const Cdfg sub = cdfg::inducedSubgraph(g, cone, &map);
+  sched::EnumerationOptions base;
+  base.deadline = 6;
+  for (const NodeId v : cone) {
+    base.windows.push_back({map.at(v), tf.asap(v), tf.alap(v)});
+  }
+  EXPECT_EQ(sched::countSchedules(sub, base).count, 196u);
+
+  sched::EnumerationOptions constrained = base;
+  constrained.extra_edges.push_back(
+      {map.at(g.findByName("C1")), map.at(g.findByName("C3"))});
+  constrained.extra_edges.push_back(
+      {map.at(g.findByName("C2")), map.at(g.findByName("C4"))});
+  EXPECT_EQ(sched::countSchedules(sub, constrained).count, 25u);
+  // Pc = 25/196 = 0.128, the paper's 15/166 = 0.090 analogue.
+}
+
+TEST(ReproLock, Fig3FiveEdgesCutThreeDecades) {
+  const Cdfg g = workloads::iir4Parallel();
+  sched::EnumerationOptions o;
+  o.deadline = 7;
+  const std::uint64_t base = sched::countSchedules(g, o).count;
+  sched::EnumerationOptions oc = o;
+  for (const auto& e : workloads::fig3TemporalEdges(g)) {
+    oc.extra_edges.push_back(e);
+  }
+  const std::uint64_t with = sched::countSchedules(g, oc).count;
+  EXPECT_EQ(base, 1073493u);
+  EXPECT_EQ(with, 3016u);
+}
+
+// --- Fig. 4 ----------------------------------------------------------------
+
+TEST(ReproLock, Fig4A9MatchesFiveWaysExactly) {
+  const Cdfg g = workloads::iir4Parallel();
+  const auto matchings =
+      tm::enumerateMatchings(g, workloads::fig4Library());
+  const NodeId a9 = g.findByName("A9");
+  std::size_t count = 0;
+  for (const auto& m : matchings) {
+    for (const auto& p : m.pairs) {
+      count += p.node == a9;
+    }
+  }
+  EXPECT_EQ(count, 5u);  // the paper's number, reproduced exactly
+}
+
+TEST(ReproLock, Fig4PairCoverCount) {
+  const Cdfg g = workloads::iir4Parallel();
+  const auto matchings =
+      tm::enumerateMatchings(g, workloads::fig4Library());
+  const auto r = tm::countCoverings(
+      g, matchings, {g.findByName("A5"), g.findByName("A6")});
+  EXPECT_EQ(r.count, 36u);  // paper counts 6 without partials/singletons
+}
+
+// --- §IV-A tamper-resistance -------------------------------------------------
+
+TEST(ReproLock, TamperNumbersMatchThePaper) {
+  // 31,729 pairs -> P(erase) = 5.96e-7; inverting at exactly 1e-6 gives
+  // 32,040 pairs (ceil), i.e. the paper rounded the same model.
+  const double p = wm::eraseProbability(100000, 100, 31729);
+  EXPECT_NEAR(p, 5.96e-7, 5e-9);
+  const std::size_t pairs = wm::requiredAlterations(100000, 100, 1e-6);
+  EXPECT_EQ(pairs, 32040u);
+  EXPECT_NEAR(2.0 * static_cast<double>(pairs) / 100000.0, 0.64, 0.01);
+}
+
+// --- Table I platform ---------------------------------------------------------
+
+TEST(ReproLock, MediaBenchProfilesStable) {
+  const auto profiles = workloads::mediaBenchProfiles();
+  ASSERT_EQ(profiles.size(), 11u);
+  EXPECT_EQ(profiles[0].name, "adpcm");
+  EXPECT_EQ(profiles[0].operations, 296u);
+  EXPECT_EQ(profiles[5].name, "jpeg");
+  EXPECT_EQ(profiles[5].operations, 3410u);
+  // Determinism lock: the generated graph never changes.
+  const Cdfg g = workloads::buildMediaBench(profiles[0]);
+  EXPECT_EQ(g.nodeCount(), 306u);
+  EXPECT_EQ(g.edgeCount(), 488u);
+}
+
+}  // namespace
+}  // namespace locwm

@@ -1,0 +1,131 @@
+// End-to-end smoke tests: the full protect→synthesize→publish→detect story
+// on the paper's motivational example.  Deeper per-module tests live in the
+// sibling files; these establish that the pipeline holds together.
+#include <gtest/gtest.h>
+
+#include "cdfg/subgraph.h"
+#include "core/attack.h"
+#include "core/pc.h"
+#include "core/sched_wm.h"
+#include "core/tm_wm.h"
+#include "sched/list_scheduler.h"
+#include "workloads/iir4.h"
+
+namespace locwm {
+namespace {
+
+crypto::AuthorSignature author() {
+  return {"Alice Designer <alice@example.com>", "iir4-v1"};
+}
+
+TEST(Smoke, SchedulingWatermarkRoundTrip) {
+  cdfg::Cdfg g = workloads::iir4Parallel();
+  wm::SchedulingWatermarker marker(author());
+
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline = 8;  // a little slack beyond the critical path
+
+  auto embedded = marker.embed(g, params);
+  ASSERT_TRUE(embedded.has_value());
+  EXPECT_FALSE(embedded->certificate.constraints.empty());
+
+  // Synthesize with an off-the-shelf scheduler honouring the constraints.
+  const sched::Schedule schedule = sched::listSchedule(g);
+
+  // Publish: constraints are stripped; the schedule carries the mark.
+  const cdfg::Cdfg published = g.stripTemporalEdges();
+  const auto det =
+      marker.detect(published, schedule, embedded->certificate);
+  EXPECT_TRUE(det.found) << det.satisfied << "/" << det.total;
+
+  // A different author's detector must not find this certificate's mark...
+  wm::SchedulingWatermarker other({"Mallory <m@example.com>", "iir4-v1"});
+  const auto bad = other.detect(published, schedule, embedded->certificate);
+  EXPECT_FALSE(bad.found);
+}
+
+TEST(Smoke, TemplateWatermarkRoundTrip) {
+  const cdfg::Cdfg g = workloads::iir4Parallel();
+  const tm::TemplateLibrary lib = workloads::fig4Library();
+  wm::TemplateWatermarker marker(author(), lib);
+
+  wm::TmWmParams params;
+  params.locality.min_size = 4;
+  params.z_explicit = 2;
+  // The reconstruction is tiny: its interesting matchings sit on the
+  // critical path, so disable the near-critical exclusion here.
+  params.beta = 0.0;
+
+  auto embedded = marker.embed(g, params);
+  ASSERT_TRUE(embedded.has_value());
+  ASSERT_FALSE(embedded->forced.empty());
+
+  const tm::CoverResult cover = marker.applyCover(g, *embedded);
+  const auto det = marker.detect(g, cover.chosen, embedded->certificate);
+  EXPECT_TRUE(det.found) << det.present << "/" << det.total;
+}
+
+TEST(Smoke, DetectionSurvivesEmbeddingIntoHost) {
+  cdfg::Cdfg core = workloads::iir4Parallel();
+  wm::SchedulingWatermarker marker(author());
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline = 8;
+  auto embedded = marker.embed(core, params);
+  ASSERT_TRUE(embedded.has_value());
+
+  // Publish the core, then embed it into a larger host design.
+  cdfg::Cdfg published = core.stripTemporalEdges();
+  cdfg::Cdfg host = workloads::iir4Parallel();  // host of its own
+  // Perturb host labels so it is a "different" design for our purposes.
+  for (const auto v : host.allNodes()) {
+    host.setNodeName(v, "");
+  }
+  const cdfg::NodeMap map = cdfg::embed(host, published);
+
+  // The thief schedules the combined system, preserving the stolen
+  // schedule's relative order inside the core (they reuse the core as-is).
+  const sched::Schedule core_sched = sched::listSchedule(core);
+  const sched::Schedule host_sched = sched::listSchedule(host);
+  sched::Schedule combined(host.nodeCount());
+  for (const auto v : host.allNodes()) {
+    combined.set(v, host_sched.at(v));
+  }
+  // Core's schedule re-embedded with an offset.
+  for (const auto v : published.allNodes()) {
+    combined.set(map.at(v), core_sched.at(v) + 3);
+  }
+
+  const auto det = marker.detect(host, combined, embedded->certificate);
+  EXPECT_TRUE(det.found) << det.satisfied << "/" << det.total;
+}
+
+TEST(Smoke, PcOfTheMotivationalExample) {
+  cdfg::Cdfg g = workloads::iir4Parallel();
+  wm::SchedulingWatermarker marker(author());
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline = 8;
+  auto embedded = marker.embed(g, params);
+  ASSERT_TRUE(embedded.has_value());
+
+  const auto pc = wm::exactSchedulingPc(embedded->certificate, 2);
+  EXPECT_TRUE(pc.exact);
+  EXPECT_GT(pc.schedules_unconstrained, pc.schedules_constrained);
+  EXPECT_LT(pc.log10_pc, 0.0);
+}
+
+TEST(Smoke, TamperModelReproducesPaperNumbers) {
+  // §IV-A: 100k ops, 100 edges, erase chance 1e-6 → ≈31.7k pairs ≈ 63%.
+  const std::size_t pairs = wm::requiredAlterations(100000, 100, 1e-6);
+  EXPECT_NEAR(static_cast<double>(pairs), 31729.0, 1500.0);
+  const double fraction = 2.0 * static_cast<double>(pairs) / 100000.0;
+  EXPECT_NEAR(fraction, 0.63, 0.02);
+}
+
+}  // namespace
+}  // namespace locwm

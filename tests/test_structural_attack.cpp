@@ -1,0 +1,174 @@
+// Structural-attack robustness: copy-insertion (edge splitting with no-op
+// moves) must be fully transparent to detection; op-insertion breaks only
+// the localities it touches.
+#include <gtest/gtest.h>
+
+#include "cdfg/prng.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+namespace locwm::wm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::EdgeKind;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+/// Rebuilds `g` with `count` random data edges split by kCopy nodes.
+/// Deterministic in `seed`.
+Cdfg splitEdgesWithCopies(const Cdfg& g, std::size_t count,
+                          std::uint64_t seed) {
+  cdfg::SplitMix64 rng(seed);
+  // Pick data-edge indices to split.
+  std::vector<bool> split(g.edgeCount(), false);
+  std::vector<std::uint32_t> data_edges;
+  for (const cdfg::EdgeId e : g.allEdges()) {
+    if (g.edge(e).kind == EdgeKind::kData) {
+      data_edges.push_back(e.value());
+    }
+  }
+  for (std::size_t i = 0; i < count && !data_edges.empty(); ++i) {
+    split[data_edges[rng.below(data_edges.size())]] = true;
+  }
+  Cdfg out;
+  for (const NodeId v : g.allNodes()) {
+    out.addNode(g.node(v).kind, g.node(v).name);
+  }
+  std::size_t n = 0;
+  for (const cdfg::EdgeId e : g.allEdges()) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (split[e.value()]) {
+      const NodeId mov =
+          out.addNode(OpKind::kCopy, "mov" + std::to_string(n++));
+      out.addEdge(ed.src, mov, EdgeKind::kData);
+      out.addEdge(mov, ed.dst, EdgeKind::kData);
+    } else {
+      out.addEdge(ed.src, ed.dst, ed.kind);
+    }
+  }
+  return out;
+}
+
+TEST(StructuralAttack, CopyInsertionIsTransparent) {
+  Cdfg g = workloads::waveFilter(8);
+  SchedulingWatermarker marker({"alice", "copyattack"});
+  SchedWmParams params;
+  params.locality.min_size = 5;
+  params.min_eligible = 3;
+  const sched::TimeFrames tf(g, params.latency);
+  params.deadline = tf.criticalPathSteps() + 3;
+  const auto r = marker.embed(g, params);
+  ASSERT_TRUE(r.has_value());
+  const sched::Schedule s = sched::listSchedule(g);
+  const Cdfg published = g.stripTemporalEdges();
+
+  for (const std::size_t copies : {3u, 10u, 25u}) {
+    const Cdfg attacked = splitEdgesWithCopies(published, copies, copies);
+    // The attacker must schedule the copies too; original ops keep their
+    // relative order (copies squeeze into fresh late steps).
+    sched::Schedule as(attacked.nodeCount());
+    for (const NodeId v : published.allNodes()) {
+      as.set(v, s.at(v) * 2);  // dilate to make room for copies
+    }
+    for (std::uint32_t v = static_cast<std::uint32_t>(published.nodeCount());
+         v < attacked.nodeCount(); ++v) {
+      // A copy sits between its producer and consumer.
+      const NodeId mov(v);
+      const NodeId src = attacked.dataPredecessors(mov).front();
+      as.set(mov, as.at(src) + 1);
+    }
+    const auto det = marker.detect(attacked, as, r->certificate);
+    EXPECT_TRUE(det.found) << copies << " copies: " << det.satisfied << "/"
+                           << det.total;
+  }
+}
+
+TEST(StructuralAttack, CopyChainsAndFanoutContractCorrectly) {
+  // x + x through one copy must contract back to a double edge; chains of
+  // copies collapse.
+  Cdfg plain;
+  const NodeId in = plain.addNode(OpKind::kInput);
+  const NodeId a = plain.addNode(OpKind::kAdd, "a");
+  const NodeId b = plain.addNode(OpKind::kAdd, "b");
+  plain.addEdge(in, a);
+  plain.addEdge(a, b);
+  plain.addEdge(a, b);  // b = a + a
+
+  Cdfg tricky;
+  const NodeId in2 = tricky.addNode(OpKind::kInput);
+  const NodeId a2 = tricky.addNode(OpKind::kAdd, "a");
+  const NodeId b2 = tricky.addNode(OpKind::kAdd, "b");
+  const NodeId c1 = tricky.addNode(OpKind::kCopy);
+  const NodeId c2 = tricky.addNode(OpKind::kCopy);
+  tricky.addEdge(in2, a2);
+  tricky.addEdge(a2, c1);   // a -> copy -> copy -> b
+  tricky.addEdge(c1, c2);   //   and copy1 also feeds b directly:
+  tricky.addEdge(c2, b2);   // two paths == double edge after contraction
+  tricky.addEdge(c1, b2);
+
+  const LocalityDeriver dp(plain);
+  const LocalityDeriver dt(tricky);
+  crypto::KeyedBitstream bits1({"k", "1"}, "c");
+  crypto::KeyedBitstream bits2({"k", "1"}, "c");
+  LocalityParams lp;
+  lp.min_size = 2;
+  const auto l1 = dp.derive(b, lp, bits1);
+  const auto l2 = dt.derive(b2, lp, bits2);
+  ASSERT_TRUE(l1.has_value());
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_TRUE(shapeEquals(l1->shape, l2->shape));
+}
+
+TEST(StructuralAttack, WholeDesignSurvivesCopies) {
+  const Cdfg g = workloads::lattice(5);
+  const Cdfg attacked = splitEdgesWithCopies(g, 8, 99);
+  const auto a = LocalityDeriver(g).wholeDesign();
+  const auto b = LocalityDeriver(attacked).wholeDesign();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(shapeEquals(a->shape, b->shape));
+}
+
+TEST(StructuralAttack, RealOpInsertionBreaksOnlyTouchedLocalities) {
+  // Splitting edges with *real* adders changes structure for good — the
+  // affected localities are lost, which is exactly why the paper embeds
+  // several marks.  Untouched localities must keep working.
+  Cdfg g = workloads::waveFilter(10);
+  SchedulingWatermarker marker({"alice", "addattack"});
+  SchedWmParams params;
+  params.locality.min_size = 5;
+  params.min_eligible = 3;
+  const sched::TimeFrames tf(g, params.latency);
+  params.deadline = tf.criticalPathSteps() + 3;
+  const auto marks = marker.embedMany(g, 4, params);
+  ASSERT_GE(marks.size(), 3u);
+  const sched::Schedule s = sched::listSchedule(g);
+  Cdfg published = g.stripTemporalEdges();
+
+  // Insert one real op far from the first mark's locality: split an edge
+  // incident to the highest-id output region.
+  const NodeId victim = published.findByName("y");
+  const NodeId producer = published.dataPredecessors(victim).front();
+  const NodeId extra = published.addNode(OpKind::kAdd, "obf");
+  published.addEdge(producer, extra, EdgeKind::kData);
+  published.addEdge(extra, victim, EdgeKind::kData);
+
+  sched::Schedule s2(published.nodeCount());
+  for (std::uint32_t v = 0; v + 1 < published.nodeCount(); ++v) {
+    s2.set(NodeId(v), s.at(NodeId(v)) * 2);
+  }
+  s2.set(extra, s2.at(producer) + 1);
+
+  std::size_t survived = 0;
+  for (const auto& m : marks) {
+    survived += marker.detect(published, s2, m.certificate).found;
+  }
+  // At least one mark must survive a single localized structural edit.
+  EXPECT_GE(survived, 1u);
+}
+
+}  // namespace
+}  // namespace locwm::wm

@@ -1,0 +1,184 @@
+// Deeper template-matching coverage: 3-op templates (chains and trees),
+// commutative-position enumeration, partial-instantiation counting, and
+// exact-vs-greedy covering on designs where multi-op templates chain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tm/cover.h"
+#include "tm/matching.h"
+#include "tm/solutions.h"
+#include "tm/template.h"
+#include "workloads/hyper.h"
+
+namespace locwm::tm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+/// mac3: add(mul(·,·), add(·,·)) — a 3-op tree template.
+Template mac3() {
+  return Template{"mac3",
+                  {{OpKind::kAdd, {1, 2}},
+                   {OpKind::kMul, {}},
+                   {OpKind::kAdd, {}}}};
+}
+
+/// chain3: add(add(add(·,·),·),·) — a 3-op chain.
+Template chain3() {
+  return Template{"chain3",
+                  {{OpKind::kAdd, {1}},
+                   {OpKind::kAdd, {2}},
+                   {OpKind::kAdd, {}}}};
+}
+
+TEST(Templates3, SubsetCountsForTree) {
+  const Template t = mac3();
+  t.check();
+  // Connected subsets of a root with two children: 6 (see test_tm).
+  EXPECT_EQ(t.connectedSubsets().size(), 6u);
+}
+
+TEST(Templates3, FullTreeMatchOnHandGraph) {
+  // y = (a*b) + (c+d): exactly one full mac3 embedding.
+  Cdfg g;
+  const NodeId a = g.addNode(OpKind::kInput);
+  const NodeId b = g.addNode(OpKind::kInput);
+  const NodeId c = g.addNode(OpKind::kInput);
+  const NodeId d = g.addNode(OpKind::kInput);
+  const NodeId m = g.addNode(OpKind::kMul, "m");
+  const NodeId s = g.addNode(OpKind::kAdd, "s");
+  const NodeId y = g.addNode(OpKind::kAdd, "y");
+  g.addEdge(a, m);
+  g.addEdge(b, m);
+  g.addEdge(c, s);
+  g.addEdge(d, s);
+  g.addEdge(m, y);
+  g.addEdge(s, y);
+
+  TemplateLibrary lib;
+  lib.add(mac3());
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  ASSERT_EQ(matchings.size(), 1u);
+  EXPECT_EQ(matchings[0].pairs.size(), 3u);
+  EXPECT_EQ(matchings[0].pairs[0].node, y);
+  EXPECT_EQ(matchings[0].pairs[1].node, m);
+  EXPECT_EQ(matchings[0].pairs[2].node, s);
+}
+
+TEST(Templates3, SymmetricChildrenEnumerateBothAssignments) {
+  // y = (a+b) + (c+d) against add(add, add): the two child adds can take
+  // either template slot -> 2 full matchings.
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId s1 = g.addNode(OpKind::kAdd, "s1");
+  const NodeId s2 = g.addNode(OpKind::kAdd, "s2");
+  const NodeId y = g.addNode(OpKind::kAdd, "y");
+  g.addEdge(in, s1);
+  g.addEdge(in, s1);
+  g.addEdge(in, s2);
+  g.addEdge(in, s2);
+  g.addEdge(s1, y);
+  g.addEdge(s2, y);
+
+  TemplateLibrary lib;
+  lib.add(Template{"aa2",
+                   {{OpKind::kAdd, {1, 2}},
+                    {OpKind::kAdd, {}},
+                    {OpKind::kAdd, {}}}});
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  EXPECT_EQ(matchings.size(), 2u);  // (s1,s2) and (s2,s1)
+}
+
+TEST(Templates3, Chain3MatchesFirChains) {
+  // In a FIR reduction tree, chain3 full matches follow add chains.
+  const Cdfg g = workloads::fir(8);
+  TemplateLibrary lib;
+  lib.add(chain3());
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  for (const Matching& m : matchings) {
+    ASSERT_EQ(m.pairs.size(), 3u);
+    // The chain must be a real dependence chain.
+    EXPECT_TRUE(g.hasEdge(m.pairs[1].node, m.pairs[0].node,
+                          cdfg::EdgeKind::kData));
+    EXPECT_TRUE(g.hasEdge(m.pairs[2].node, m.pairs[1].node,
+                          cdfg::EdgeKind::kData));
+  }
+  EXPECT_GE(matchings.size(), 1u);
+}
+
+TEST(Templates3, BiggerTemplatesReduceModuleCount) {
+  const Cdfg g = workloads::fir(8);
+  TemplateLibrary two;
+  two.add(Template{"aa", {{OpKind::kAdd, {1}}, {OpKind::kAdd, {}}}});
+  TemplateLibrary three = two;
+  three.add(chain3());
+
+  const auto m2 = enumerateMatchings(g, two, {});
+  const auto m3 = enumerateMatchings(g, three, {});
+  CoverOptions exact;
+  exact.exact = true;
+  const CoverResult c2 = cover(g, two, m2, exact);
+  const CoverResult c3 = cover(g, three, m3, exact);
+  EXPECT_LE(c3.module_count, c2.module_count);
+}
+
+TEST(Templates3, PartialSubsetsOfTreeMatchIndividually) {
+  // A lone multiplication matches mac3's mul slot as a partial instance.
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId m = g.addNode(OpKind::kMul, "m");
+  g.addEdge(in, m);
+  TemplateLibrary lib;
+  lib.add(mac3());
+  const auto matchings = enumerateMatchings(g, lib, {});
+  // Subsets containing only op1 (the mul).
+  std::size_t mul_partials = 0;
+  for (const Matching& match : matchings) {
+    if (match.pairs.size() == 1 && match.pairs[0].op_index == 1) {
+      ++mul_partials;
+      EXPECT_EQ(match.pairs[0].node, m);
+    }
+  }
+  EXPECT_EQ(mul_partials, 1u);
+}
+
+TEST(Templates3, SolutionsGrowWithLibraryRichness) {
+  const Cdfg g = workloads::fir(8);
+  TemplateLibrary small;
+  small.add(Template{"aa", {{OpKind::kAdd, {1}}, {OpKind::kAdd, {}}}});
+  TemplateLibrary big = small;
+  big.add(chain3());
+
+  // Pick an internal add with an add predecessor.
+  NodeId target = NodeId::invalid();
+  for (const NodeId v : g.allNodes()) {
+    if (g.node(v).kind == OpKind::kAdd) {
+      for (const NodeId p : g.dataPredecessors(v)) {
+        if (g.node(p).kind == OpKind::kAdd) {
+          target = v;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(target.isValid());
+  const auto small_count =
+      countCoverings(g, enumerateMatchings(g, small, {}), {target});
+  const auto big_count =
+      countCoverings(g, enumerateMatchings(g, big, {}), {target});
+  EXPECT_GE(big_count.count, small_count.count);
+}
+
+}  // namespace
+}  // namespace locwm::tm

@@ -1,0 +1,346 @@
+// Template-matching substrate tests: template validation, subset
+// enumeration, matcher correctness (including the paper's "A9 matches five
+// ways" fact), covering, and Solutions(m) counting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tm/cover.h"
+#include "tm/library_io.h"
+#include "tm/matching.h"
+#include "tm/solutions.h"
+#include "tm/template.h"
+#include "workloads/iir4.h"
+
+namespace locwm::tm {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+TEST(Template, CheckRejectsMalformedTrees) {
+  // Child index not greater than parent.
+  Template bad1{"bad1", {{OpKind::kAdd, {0}}}};
+  EXPECT_THROW(bad1.check(), Error);
+  // Child referenced twice.
+  Template bad2{"bad2",
+                {{OpKind::kAdd, {1, 1}}, {OpKind::kAdd, {}}}};
+  EXPECT_THROW(bad2.check(), Error);
+  // Orphan op.
+  Template bad3{"bad3",
+                {{OpKind::kAdd, {}}, {OpKind::kAdd, {}}}};
+  EXPECT_THROW(bad3.check(), Error);
+  // Empty.
+  Template bad4{"bad4", {}};
+  EXPECT_THROW(bad4.check(), Error);
+}
+
+TEST(Template, ConnectedSubsetsOfChain) {
+  // Chain of 3 ops (0 <- 1 <- 2): subsets {0},{1},{2},{01},{12},{012}.
+  Template t{"chain3",
+             {{OpKind::kAdd, {1}}, {OpKind::kAdd, {2}}, {OpKind::kAdd, {}}}};
+  t.check();
+  EXPECT_EQ(t.connectedSubsets().size(), 6u);
+}
+
+TEST(Template, ConnectedSubsetsOfVee) {
+  // Root with two children: {0},{1},{2},{01},{02},{012} — {12} is NOT
+  // connected.
+  Template t{"vee",
+             {{OpKind::kAdd, {1, 2}}, {OpKind::kAdd, {}}, {OpKind::kAdd, {}}}};
+  t.check();
+  const auto subsets = t.connectedSubsets();
+  EXPECT_EQ(subsets.size(), 6u);
+  for (const auto& s : subsets) {
+    if (s.size() == 2) {
+      EXPECT_EQ(s[0], 0u);  // every 2-subset contains the root
+    }
+  }
+}
+
+TEST(Library, BasicDspHasSevenTemplates) {
+  const TemplateLibrary lib = TemplateLibrary::basicDsp();
+  EXPECT_EQ(lib.size(), 7u);
+  EXPECT_THROW((void)lib.get(TemplateId(99)), Error);
+}
+
+TEST(Matcher, A9MatchesExactlyFiveWays) {
+  // §IV-B: "operation A9 can be matched in five different ways: as first
+  // addition in T1, as second addition in T1 with no mapping for the first
+  // addition, or as A5 or A7 as first additions, and as an addition in T2."
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  const NodeId a9 = g.findByName("A9");
+  std::size_t count = 0;
+  for (const Matching& m : matchings) {
+    for (const MatchPair& p : m.pairs) {
+      if (p.node == a9) {
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Matcher, FullMatchRequiresDataEdge) {
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId m = g.addNode(OpKind::kMul, "m");
+  const NodeId a = g.addNode(OpKind::kAdd, "a");
+  g.addEdge(in, m);
+  g.addEdge(m, a);
+  TemplateLibrary lib;
+  lib.add(Template{"mac", {{OpKind::kAdd, {1}}, {OpKind::kMul, {}}}});
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  ASSERT_EQ(matchings.size(), 1u);
+  EXPECT_EQ(matchings[0].pairs.size(), 2u);
+  EXPECT_EQ(matchings[0].pairs[0].node, a);
+  EXPECT_EQ(matchings[0].pairs[1].node, m);
+}
+
+TEST(Matcher, RestrictToLimitsNodes) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  MatchOptions mo;
+  mo.restrict_to = {g.findByName("A5"), g.findByName("A6")};
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  for (const Matching& m : matchings) {
+    for (const MatchPair& p : m.pairs) {
+      EXPECT_TRUE(p.node == g.findByName("A5") ||
+                  p.node == g.findByName("A6"));
+    }
+  }
+  // The (A6 root, A5 child) pair must be among them.
+  const bool has_pair = std::any_of(
+      matchings.begin(), matchings.end(),
+      [](const Matching& m) { return m.pairs.size() == 2; });
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(Matcher, NoPartialNoSingletonMode) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  for (const Matching& m : enumerateMatchings(g, lib, mo)) {
+    EXPECT_EQ(m.pairs.size(), 2u);  // both templates have 2 ops
+  }
+}
+
+TEST(Matcher, AdmissibilityUnderPpo) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  MatchOptions mo;
+  mo.allow_partial = false;
+  mo.include_singletons = false;
+  const auto matchings = enumerateMatchings(g, lib, mo);
+  // Find the (A6 root, A5 child) T1 matching; hide A5 behind a PPO.
+  const NodeId a5 = g.findByName("A5");
+  const NodeId a6 = g.findByName("A6");
+  for (const Matching& m : matchings) {
+    if (m.pairs.size() == 2 && m.pairs[0].node == a6 &&
+        m.pairs[1].node == a5) {
+      const Template& tmpl = lib.get(m.template_id);
+      EXPECT_TRUE(isAdmissible(m, tmpl, {}));
+      PpoSet ppo{a5};
+      EXPECT_FALSE(isAdmissible(m, tmpl, ppo));
+      PpoSet other{a6};  // the root's variable is the module output: fine
+      EXPECT_TRUE(isAdmissible(m, tmpl, other));
+    }
+  }
+}
+
+TEST(Cover, EveryRealOpCoveredExactlyOnce) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  const CoverResult r = cover(g, lib, matchings);
+  std::vector<int> covered(g.nodeCount(), 0);
+  for (const Matching& m : r.chosen) {
+    for (const MatchPair& p : m.pairs) {
+      ++covered[p.node.value()];
+    }
+  }
+  for (const NodeId v : g.allNodes()) {
+    const int expected = cdfg::isPseudoOp(g.node(v).kind) ? 0 : 1;
+    EXPECT_EQ(covered[v.value()], expected) << v.value();
+  }
+  EXPECT_EQ(r.module_count, r.chosen.size());
+}
+
+TEST(Cover, ExactBeatsOrMatchesGreedy) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  const CoverResult greedy = cover(g, lib, matchings);
+  CoverOptions exact;
+  exact.exact = true;
+  const CoverResult best = cover(g, lib, matchings, exact);
+  EXPECT_TRUE(best.proven_optimal);
+  EXPECT_LE(best.module_count, greedy.module_count);
+}
+
+TEST(Cover, ForcedMatchingAppears) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  auto matchings = enumerateMatchings(g, lib);
+  // Force the (A6, A5) pair.
+  const NodeId a5 = g.findByName("A5");
+  const NodeId a6 = g.findByName("A6");
+  Matching forced;
+  for (const Matching& m : matchings) {
+    if (m.pairs.size() == 2 && m.pairs[0].node == a6 &&
+        m.pairs[1].node == a5) {
+      forced = m;
+    }
+  }
+  ASSERT_EQ(forced.pairs.size(), 2u);
+  CoverOptions co;
+  co.forced = {forced};
+  const CoverResult r = cover(g, lib, matchings, co);
+  EXPECT_EQ(r.chosen.front().key(), forced.key());
+}
+
+TEST(Cover, OverlappingForcedMatchingsRejected) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  Matching m1 = singletonMatching(g.findByName("A5"));
+  Matching m2 = singletonMatching(g.findByName("A5"));
+  CoverOptions co;
+  co.forced = {m1, m2};
+  EXPECT_THROW((void)cover(g, lib, matchings, co), WatermarkError);
+}
+
+TEST(Cover, PpoBlocksSpanningMatchings) {
+  // With every A-node's producer promoted, only singleton covers remain.
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  CoverOptions co;
+  for (const NodeId v : g.allNodes()) {
+    if (!cdfg::isPseudoOp(g.node(v).kind)) {
+      co.ppo.insert(v);
+    }
+  }
+  const CoverResult r = cover(g, lib, matchings, co);
+  EXPECT_EQ(r.singleton_count, r.module_count);
+}
+
+TEST(Solutions, PairCoverCountPositive) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  const auto r = countCoverings(
+      g, matchings, {g.findByName("A5"), g.findByName("A6")});
+  EXPECT_TRUE(r.exact);
+  // The paper's figure quotes 6 for its variant; our reconstruction with
+  // partial matchings and singletons included is strictly richer.
+  EXPECT_GE(r.count, 6u);
+}
+
+TEST(Solutions, SingletonOnlyNodeHasOneCover) {
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId s = g.addNode(OpKind::kSub, "s");
+  g.addEdge(in, s);
+  TemplateLibrary lib;
+  lib.add(Template{"t", {{OpKind::kAdd, {1}}, {OpKind::kAdd, {}}}});
+  const auto matchings = enumerateMatchings(g, lib);
+  const auto r = countCoverings(g, matchings, {s});
+  EXPECT_EQ(r.count, 1u);  // only its own trivial module
+}
+
+TEST(Solutions, WithoutSingletonsCountsDropOrVanish) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  SolutionsOptions with;
+  SolutionsOptions without;
+  without.include_singletons = false;
+  const auto a = countCoverings(g, matchings,
+                                {g.findByName("A5"), g.findByName("A6")},
+                                with);
+  const auto b = countCoverings(g, matchings,
+                                {g.findByName("A5"), g.findByName("A6")},
+                                without);
+  EXPECT_GT(a.count, b.count);
+}
+
+TEST(Matching, KeyIsStableAndDistinct) {
+  Matching a;
+  a.template_id = TemplateId(1);
+  a.pairs = {{NodeId(3), 0}, {NodeId(5), 1}};
+  Matching b = a;
+  EXPECT_EQ(a.key(), b.key());
+  b.pairs[1].node = NodeId(6);
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(a.nodes().size(), 2u);
+  EXPECT_EQ(a.nodes()[0], NodeId(3));
+}
+
+TEST(LibraryIo, RoundTrip) {
+  const TemplateLibrary lib = TemplateLibrary::basicDsp();
+  const std::string text = libraryToString(lib);
+  const TemplateLibrary back = parseLibraryString(text);
+  ASSERT_EQ(back.size(), lib.size());
+  for (const TemplateId id : lib.allIds()) {
+    EXPECT_EQ(back.get(id).name, lib.get(id).name);
+    ASSERT_EQ(back.get(id).ops.size(), lib.get(id).ops.size());
+    for (std::size_t i = 0; i < lib.get(id).ops.size(); ++i) {
+      EXPECT_EQ(back.get(id).ops[i].kind, lib.get(id).ops[i].kind);
+      EXPECT_EQ(back.get(id).ops[i].children, lib.get(id).ops[i].children);
+    }
+  }
+  EXPECT_EQ(libraryToString(back), text);
+}
+
+TEST(LibraryIo, ParseErrors) {
+  EXPECT_THROW((void)parseLibraryString(""), ParseError);
+  EXPECT_THROW((void)parseLibraryString("tmlib v2\n"), ParseError);
+  EXPECT_THROW((void)parseLibraryString("tmlib v1\ntemplate t\nop 1 add\n"),
+               ParseError);  // non-dense op index
+  EXPECT_THROW((void)parseLibraryString("tmlib v1\ntemplate t\nop 0 zorp\n"),
+               ParseError);  // unknown op
+  EXPECT_THROW((void)parseLibraryString("tmlib v1\ntemplate t\nop 0 add\n"),
+               ParseError);  // unterminated
+  // Malformed tree shape surfaces as a ParseError too.
+  EXPECT_THROW(
+      (void)parseLibraryString("tmlib v1\ntemplate t\nop 0 add 0\nend\n"),
+      ParseError);
+}
+
+TEST(LibraryIo, CoverRoundTrip) {
+  const Cdfg g = workloads::iir4Parallel();
+  const TemplateLibrary lib = workloads::fig4Library();
+  const auto matchings = enumerateMatchings(g, lib);
+  const CoverResult r = cover(g, lib, matchings);
+  const std::string text = coverToString(r.chosen);
+  const auto back = parseCoverString(text, lib, g.nodeCount());
+  ASSERT_EQ(back.size(), r.chosen.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].key(), r.chosen[i].key());
+  }
+}
+
+TEST(LibraryIo, CoverParseErrors) {
+  const TemplateLibrary lib = TemplateLibrary::basicDsp();
+  EXPECT_THROW((void)parseCoverString("", lib, 5), ParseError);
+  EXPECT_THROW((void)parseCoverString("tmcover v1\nsingle 9\n", lib, 5),
+               ParseError);
+  EXPECT_THROW((void)parseCoverString("tmcover v1\nuse 99 0:0\n", lib, 5),
+               ParseError);
+  EXPECT_THROW((void)parseCoverString("tmcover v1\nuse 0 zz\n", lib, 5),
+               ParseError);
+  EXPECT_THROW((void)parseCoverString("tmcover v1\nuse 0\n", lib, 5),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace locwm::tm

@@ -1,0 +1,171 @@
+// VLIW machine-model tests: machine description, scheduler constraints
+// (issue width, unit pools, latencies), and watermark overhead behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cdfg/random_dfg.h"
+#include "core/sched_wm.h"
+#include "vliw/cache.h"
+#include "vliw/machine.h"
+#include "vliw/vliw_scheduler.h"
+#include "workloads/mediabench.h"
+
+namespace locwm::vliw {
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+TEST(Machine, PaperMachineShape) {
+  const VliwMachine m = VliwMachine::paperMachine();
+  EXPECT_EQ(m.issue_width, 4u);
+  ASSERT_EQ(m.pools.size(), 3u);
+  EXPECT_EQ(m.pools[0].count, 4u);  // ALUs
+  EXPECT_EQ(m.pools[1].count, 2u);  // memory
+  EXPECT_EQ(m.pools[2].count, 2u);  // branch
+  EXPECT_EQ(m.poolFor(cdfg::FuClass::kAlu), 0u);
+  EXPECT_EQ(m.poolFor(cdfg::FuClass::kMul), 0u);  // muls share the ALUs
+  EXPECT_EQ(m.poolFor(cdfg::FuClass::kMem), 1u);
+  EXPECT_EQ(m.poolFor(cdfg::FuClass::kBranch), 2u);
+  EXPECT_THROW((void)m.poolFor(cdfg::FuClass::kNone), Error);
+  EXPECT_EQ(m.latency.latency(OpKind::kMul), 2u);
+  EXPECT_EQ(m.latency.latency(OpKind::kLoad), 2u);
+  EXPECT_EQ(m.latency.latency(OpKind::kAdd), 1u);
+}
+
+TEST(Scheduler, RespectsIssueWidthAndPools) {
+  // 10 independent adds on the paper machine: at most 4 issue per cycle.
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  for (int i = 0; i < 10; ++i) {
+    g.addEdge(in, g.addNode(OpKind::kAdd));
+  }
+  const VliwMachine m = VliwMachine::paperMachine();
+  const VliwScheduleResult r = vliwSchedule(g, m);
+  EXPECT_EQ(r.cycles, 3u);  // ceil(10/4)
+  std::map<std::uint32_t, int> per_cycle;
+  for (const NodeId v : g.allNodes()) {
+    if (g.node(v).kind == OpKind::kAdd) {
+      ++per_cycle[r.schedule.at(v)];
+    }
+  }
+  for (const auto& [cycle, count] : per_cycle) {
+    EXPECT_LE(count, 4);
+  }
+}
+
+TEST(Scheduler, MemoryPoolIsTheBottleneck) {
+  // 8 independent loads: 2 memory units -> 4 issue cycles + latency tail.
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  for (int i = 0; i < 8; ++i) {
+    g.addEdge(in, g.addNode(OpKind::kLoad));
+  }
+  const VliwMachine m = VliwMachine::paperMachine();
+  const VliwScheduleResult r = vliwSchedule(g, m);
+  EXPECT_EQ(r.cycles, 5u);  // last load issues at cycle 3, +2 latency
+}
+
+TEST(Scheduler, LatencyGatesDependants) {
+  Cdfg g;
+  const NodeId in = g.addNode(OpKind::kInput);
+  const NodeId mul = g.addNode(OpKind::kMul);
+  const NodeId add = g.addNode(OpKind::kAdd);
+  g.addEdge(in, mul);
+  g.addEdge(mul, add);
+  const VliwMachine m = VliwMachine::paperMachine();
+  const VliwScheduleResult r = vliwSchedule(g, m);
+  EXPECT_EQ(r.schedule.at(mul), 0u);
+  EXPECT_EQ(r.schedule.at(add), 2u);  // waits out the 2-cycle multiply
+  EXPECT_EQ(r.cycles, 3u);
+}
+
+TEST(Scheduler, ScheduleIsAlwaysValid) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cdfg::RandomDfgOptions o;
+    o.operations = 120;
+    o.w_load = 1.0;
+    o.w_store = 0.5;
+    o.w_branch = 0.5;
+    const Cdfg g = cdfg::randomDfg(o, seed);
+    const VliwMachine m = VliwMachine::paperMachine();
+    const VliwScheduleResult r = vliwSchedule(g, m);
+    EXPECT_FALSE(sched::validate(g, r.schedule, m.latency).has_value())
+        << seed;
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+  }
+}
+
+TEST(Scheduler, TemporalEdgesAddBoundedOverhead) {
+  // Watermark a MediaBench-profile region and measure the cycle overhead —
+  // the Table I experiment in miniature.  Overhead must be small.
+  workloads::MediaBenchProfile profile = workloads::mediaBenchProfiles()[0];
+  Cdfg g = workloads::buildMediaBench(profile);
+  const VliwMachine m = VliwMachine::paperMachine();
+  const std::uint32_t base = vliwSchedule(g, m).cycles;
+
+  wm::SchedulingWatermarker marker({"alice", profile.name});
+  wm::SchedWmParams params;
+  params.locality.min_size = 6;
+  params.deadline = base + 8;
+  params.latency = m.latency;
+  const auto r = marker.embed(g, params);
+  ASSERT_TRUE(r.has_value());
+  const std::uint32_t marked = vliwSchedule(g, m).cycles;
+  EXPECT_GE(marked, base);
+  const double overhead =
+      100.0 * (static_cast<double>(marked) - base) / base;
+  EXPECT_LT(overhead, 10.0);
+}
+
+TEST(Scheduler, IgnoringTemporalEdgesRestoresBaseline) {
+  workloads::MediaBenchProfile profile = workloads::mediaBenchProfiles()[0];
+  Cdfg g = workloads::buildMediaBench(profile);
+  const VliwMachine m = VliwMachine::paperMachine();
+  const std::uint32_t base = vliwSchedule(g, m).cycles;
+  wm::SchedulingWatermarker marker({"alice", profile.name});
+  wm::SchedWmParams params;
+  params.locality.min_size = 6;
+  params.deadline = base + 8;
+  params.latency = m.latency;
+  (void)marker.embed(g, params);
+  VliwScheduleOptions ignore;
+  ignore.honor_temporal = false;
+  EXPECT_EQ(vliwSchedule(g, m, ignore).cycles, base);
+}
+
+TEST(Cache, MissRatioModel) {
+  const CacheModel cache;  // 8 KB
+  EXPECT_DOUBLE_EQ(cache.missRatio(4 * 1024), 0.0);   // fits
+  EXPECT_DOUBLE_EQ(cache.missRatio(8 * 1024), 0.0);   // exactly fits
+  EXPECT_NEAR(cache.missRatio(16 * 1024), 0.5, 1e-12);
+  EXPECT_NEAR(cache.missRatio(64 * 1024), 0.875, 1e-12);
+}
+
+TEST(Cache, StallsScaleWithMemoryOpsAndWorkingSet) {
+  workloads::MediaBenchProfile p = workloads::mediaBenchProfiles()[1];
+  const Cdfg g = workloads::buildMediaBench(p);
+  const CacheModel cache;
+  EXPECT_EQ(estimateCacheStalls(g, cache, 4 * 1024), 0u);
+  const std::uint64_t mid = estimateCacheStalls(g, cache, 32 * 1024);
+  const std::uint64_t big = estimateCacheStalls(g, cache, 256 * 1024);
+  EXPECT_GT(mid, 0u);
+  EXPECT_GT(big, mid);
+  // No memory ops -> no stalls.
+  const Cdfg pure = workloads::buildMediaBench([] {
+    workloads::MediaBenchProfile q;
+    q.name = "pure";
+    q.operations = 100;
+    q.mem_fraction = 1e-9;
+    q.branch_fraction = 1e-9;
+    q.seed = 5;
+    return q;
+  }());
+  EXPECT_EQ(estimateCacheStalls(pure, cache, 256 * 1024), 0u);
+}
+
+}  // namespace
+}  // namespace locwm::vliw

@@ -1,0 +1,609 @@
+// locwm — command-line driver for the local-watermarking library.
+//
+// Typical protect/detect round trip:
+//
+//   locwm gen wave 10 -o core.cdfg
+//   locwm embed core.cdfg -i "Acme Inc." -n core-v1
+//         -o marked.cdfg -c core.wmc --marks 3   (one line)
+//   locwm schedule marked.cdfg -o core.sched
+//   locwm strip marked.cdfg -o published.cdfg
+//   ... the published design + schedule circulate ...
+//   locwm detect published.cdfg core.sched core.wmc -i "Acme Inc." -n core-v1
+//
+// Files: designs use the cdfg/io.h text format; certificates the
+// core/certificate_io.h format; schedules are lines of "<node> <step>".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/dot.h"
+#include "cdfg/io.h"
+#include "core/certificate_io.h"
+#include "core/tm_wm.h"
+#include "tm/cover.h"
+#include "tm/library_io.h"
+#include "core/pc.h"
+#include "core/reg_wm.h"
+#include "core/sched_wm.h"
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+#include "sched/list_scheduler.h"
+#include "sched/schedule_io.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+#include "workloads/iir4.h"
+#include "workloads/mediabench.h"
+
+namespace {
+
+using namespace locwm;
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "locwm: %s\n", message.c_str());
+  std::exit(2);
+}
+
+void usage() {
+  std::puts(
+      "usage: locwm <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  gen <kind> [size] -o FILE      generate a benchmark design\n"
+      "                                 kinds: iir4, fir, lattice, wave,\n"
+      "                                 cascade, dct8, wavelet, volterra,\n"
+      "                                 ctrl2, mediabench:<app>\n"
+      "  info FILE                      print design statistics\n"
+      "  dot FILE [-o FILE]             export Graphviz DOT\n"
+      "  embed FILE -i ID -n NONCE -o MARKED -c CERTBASE [--marks N]\n"
+      "                                 [--deadline D] [--kfrac F]\n"
+      "  schedule FILE -o SCHED [--deadline D]\n"
+      "  strip FILE -o FILE             remove temporal edges (publish)\n"
+      "  detect FILE SCHED CERT... -i ID -n NONCE\n"
+      "                                 scan a suspect for each certificate\n"
+      "  embed-reg FILE SCHED -i ID -n NONCE -c CERT -o BINDING\n"
+      "                                 bind registers with a watermark\n"
+      "  detect-reg FILE SCHED BINDING CERT... -i ID -n NONCE\n"
+      "                                 scan a register binding\n"
+      "  verify-cert CERT...            sanity-check certificate files\n"
+      "  gen-lib -o FILE                write the built-in template library\n"
+      "  embed-tm FILE -i ID -n NONCE -c CERT -o COVER [--lib FILE]\n"
+      "                                 cover the design with a watermark\n"
+      "  detect-tm FILE COVER CERT... -i ID -n NONCE [--lib FILE]\n"
+      "                                 scan a template cover");
+  std::exit(2);
+}
+
+cdfg::Cdfg loadDesign(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    die("cannot open design file '" + path + "'");
+  }
+  return cdfg::parse(in);
+}
+
+void saveText(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    die("cannot write '" + path + "'");
+  }
+  out << text;
+}
+
+sched::Schedule loadSchedule(const std::string& path, std::size_t nodes) {
+  std::ifstream in(path);
+  if (!in) {
+    die("cannot open schedule file '" + path + "'");
+  }
+  sched::Schedule s(nodes);
+  std::uint32_t node = 0;
+  std::uint32_t step = 0;
+  while (in >> node >> step) {
+    if (node >= nodes) {
+      die("schedule references node " + std::to_string(node) +
+          " outside the design");
+    }
+    s.set(cdfg::NodeId(node), step);
+  }
+  return s;
+}
+
+/// Pulls "-x value" / "--flag value" style options out of argv.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  [[nodiscard]] std::optional<std::string> get(
+      const std::string& name) const {
+    for (const auto& [k, v] : options) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string require(const std::string& name,
+                                    const std::string& what) const {
+    const auto v = get(name);
+    if (!v) {
+      die("missing " + name + " (" + what + ")");
+    }
+    return *v;
+  }
+};
+
+Args parseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.size() > 1 && a.front() == '-') {
+      if (i + 1 >= argc) {
+        die("option " + a + " needs a value");
+      }
+      args.options.emplace_back(a, argv[++i]);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmdGen(const Args& args) {
+  if (args.positional.empty()) {
+    die("gen: which design?");
+  }
+  const std::string kind = args.positional[0];
+  const std::size_t size =
+      args.positional.size() > 1 ? std::stoul(args.positional[1]) : 8;
+  cdfg::Cdfg g;
+  if (kind == "iir4") {
+    g = workloads::iir4Parallel();
+  } else if (kind == "fir") {
+    g = workloads::fir(size);
+  } else if (kind == "lattice") {
+    g = workloads::lattice(size);
+  } else if (kind == "wave") {
+    g = workloads::waveFilter(size);
+  } else if (kind == "cascade") {
+    g = workloads::iirCascade(size);
+  } else if (kind == "dct8") {
+    g = workloads::dct8();
+  } else if (kind == "wavelet") {
+    g = workloads::wavelet(size);
+  } else if (kind == "volterra") {
+    g = workloads::volterra(size);
+  } else if (kind == "ctrl2") {
+    g = workloads::controller2();
+  } else if (kind.rfind("mediabench:", 0) == 0) {
+    const std::string app = kind.substr(std::strlen("mediabench:"));
+    bool found = false;
+    for (const auto& p : workloads::mediaBenchProfiles()) {
+      if (p.name == app) {
+        g = workloads::buildMediaBench(p);
+        found = true;
+      }
+    }
+    if (!found) {
+      die("unknown mediabench app '" + app + "'");
+    }
+  } else {
+    die("unknown design kind '" + kind + "'");
+  }
+  saveText(args.require("-o", "output design file"),
+           cdfg::printToString(g));
+  std::printf("wrote %zu nodes, %zu edges\n", g.nodeCount(), g.edgeCount());
+  return 0;
+}
+
+int cmdInfo(const Args& args) {
+  if (args.positional.empty()) {
+    die("info: which file?");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const cdfg::StructuralAnalysis an(g);
+  std::size_t real = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  for (const cdfg::NodeId v : g.allNodes()) {
+    const auto k = g.node(v).kind;
+    real += !cdfg::isPseudoOp(k);
+    inputs += k == cdfg::OpKind::kInput;
+    outputs += k == cdfg::OpKind::kOutput;
+  }
+  std::printf("nodes            %zu (%zu ops, %zu inputs, %zu outputs)\n",
+              g.nodeCount(), real, inputs, outputs);
+  std::printf("edges            %zu (%zu temporal)\n", g.edgeCount(),
+              g.temporalEdges().size());
+  std::printf("critical path    %u operations\n", an.criticalPathLength());
+  const sched::TimeFrames tf(g, sched::LatencyModel::unit());
+  std::printf("min steps        %u\n", tf.criticalPathSteps());
+  return 0;
+}
+
+int cmdDot(const Args& args) {
+  if (args.positional.empty()) {
+    die("dot: which file?");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const std::string dot = cdfg::toDot(g);
+  if (const auto out = args.get("-o")) {
+    saveText(*out, dot);
+  } else {
+    std::fputs(dot.c_str(), stdout);
+  }
+  return 0;
+}
+
+crypto::AuthorSignature signatureOf(const Args& args) {
+  return {args.require("-i", "author identity"),
+          args.require("-n", "design nonce")};
+}
+
+int cmdEmbed(const Args& args) {
+  if (args.positional.empty()) {
+    die("embed: which design?");
+  }
+  cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const auto sig = signatureOf(args);
+  wm::SchedulingWatermarker marker(sig);
+
+  wm::SchedWmParams params;
+  const sched::TimeFrames tf(g, params.latency);
+  params.deadline = args.get("--deadline")
+                        ? std::stoul(*args.get("--deadline"))
+                        : tf.criticalPathSteps() + 3;
+  if (const auto kf = args.get("--kfrac")) {
+    params.k_fraction = std::stod(*kf);
+  }
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  const std::size_t count =
+      args.get("--marks") ? std::stoul(*args.get("--marks")) : 1;
+
+  const auto marks = marker.embedMany(g, count, params);
+  if (marks.empty()) {
+    die("no locality satisfied the embedding parameters");
+  }
+  saveText(args.require("-o", "marked design output"),
+           cdfg::printToString(g));
+  const std::string base = args.require("-c", "certificate output base");
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    const std::string path =
+        marks.size() == 1 ? base : base + "." + std::to_string(i);
+    saveText(path, wm::certificateToString(marks[i].certificate));
+    std::printf("mark %zu: %zu constraints -> %s\n", i,
+                marks[i].certificate.constraints.size(), path.c_str());
+  }
+  return 0;
+}
+
+int cmdSchedule(const Args& args) {
+  if (args.positional.empty()) {
+    die("schedule: which design?");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const sched::Schedule s = sched::listSchedule(g);
+  saveText(args.require("-o", "schedule output"),
+           sched::scheduleToString(g, s));
+  std::printf("scheduled into %u steps\n",
+              s.makespan(g, sched::LatencyModel::unit()));
+  return 0;
+}
+
+int cmdStrip(const Args& args) {
+  if (args.positional.empty()) {
+    die("strip: which design?");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  saveText(args.require("-o", "published design output"),
+           cdfg::printToString(g.stripTemporalEdges()));
+  return 0;
+}
+
+int cmdDetect(const Args& args) {
+  if (args.positional.size() < 3) {
+    die("detect: need <design> <schedule> <certificate>...");
+  }
+  const cdfg::Cdfg suspect = loadDesign(args.positional[0]);
+  const sched::Schedule s =
+      loadSchedule(args.positional[1], suspect.nodeCount());
+  const auto sig = signatureOf(args);
+  const wm::SchedulingWatermarker marker(sig);
+
+  int found = 0;
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    std::ifstream in(args.positional[i]);
+    if (!in) {
+      die("cannot open certificate '" + args.positional[i] + "'");
+    }
+    const auto cert = wm::parseSchedCertificate(in);
+    const auto det = marker.detect(suspect, s, cert);
+    // Proof strength: the locality's schedule-count ratio, times the
+    // number of places the locality shape occurs ("the number of nodes
+    // from which one can find the subtree T", §IV-B's multiplier).
+    std::string strength = "n/a";
+    if (det.found) {
+      try {
+        const auto pc = wm::exactSchedulingPc(cert, 2);
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "Pc<=%.2e",
+                      pc.pc() * static_cast<double>(det.shape_matches));
+        strength = buf;
+      } catch (const Error&) {
+        strength = "Pc n/a (locality too large to enumerate)";
+      }
+    }
+    std::printf("%-24s %s (%zu/%zu constraints, %zu shape matches, %s)\n",
+                args.positional[i].c_str(),
+                det.found ? "DETECTED" : "not found", det.satisfied,
+                det.total, det.shape_matches, strength.c_str());
+    found += det.found;
+  }
+  return found > 0 ? 0 : 1;
+}
+
+std::string bindingText(const regbind::LifetimeTable& table,
+                        const regbind::Binding& binding) {
+  std::ostringstream os;
+  os << "registers " << binding.register_count << '\n';
+  for (std::size_t i = 0; i < table.values.size(); ++i) {
+    os << table.values[i].producer.value() << ' ' << binding.reg_of[i]
+       << '\n';
+  }
+  return os.str();
+}
+
+regbind::Binding loadBinding(const std::string& path,
+                             const regbind::LifetimeTable& table) {
+  std::ifstream in(path);
+  if (!in) {
+    die("cannot open binding file '" + path + "'");
+  }
+  regbind::Binding binding;
+  binding.reg_of.assign(table.values.size(), 0);
+  std::string word;
+  if (!(in >> word >> binding.register_count) || word != "registers") {
+    die("malformed binding file (missing 'registers N' header)");
+  }
+  std::uint32_t node = 0;
+  std::uint32_t reg = 0;
+  while (in >> node >> reg) {
+    if (node >= table.index_of.size() ||
+        table.index_of[node] == regbind::LifetimeTable::npos) {
+      die("binding references non-value node " + std::to_string(node));
+    }
+    binding.reg_of[table.index_of[node]] = reg;
+  }
+  return binding;
+}
+
+int cmdEmbedReg(const Args& args) {
+  if (args.positional.size() < 2) {
+    die("embed-reg: need <design> <schedule>");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const sched::Schedule s =
+      loadSchedule(args.positional[1], g.nodeCount());
+  wm::RegisterWatermarker marker(signatureOf(args));
+  wm::RegWmParams params;
+  params.locality.min_size = 5;
+  const auto r = marker.embed(g, s, params);
+  if (!r) {
+    die("no locality satisfied the embedding parameters");
+  }
+  const auto table = regbind::computeLifetimes(g, s);
+  regbind::BindOptions bo;
+  bo.aliases = r->aliases;
+  const auto binding = regbind::bindRegisters(table, bo);
+  saveText(args.require("-o", "binding output"), bindingText(table, binding));
+  saveText(args.require("-c", "certificate output"),
+           wm::certificateToString(r->certificate));
+  std::printf("bound %zu values into %u registers with %zu shared pairs\n",
+              table.values.size(), binding.register_count,
+              r->aliases.size());
+  return 0;
+}
+
+int cmdDetectReg(const Args& args) {
+  if (args.positional.size() < 4) {
+    die("detect-reg: need <design> <schedule> <binding> <certificate>...");
+  }
+  const cdfg::Cdfg suspect = loadDesign(args.positional[0]);
+  const sched::Schedule s =
+      loadSchedule(args.positional[1], suspect.nodeCount());
+  const auto table = regbind::computeLifetimes(suspect, s);
+  const auto binding = loadBinding(args.positional[2], table);
+  wm::RegisterWatermarker marker(signatureOf(args));
+  int found = 0;
+  for (std::size_t i = 3; i < args.positional.size(); ++i) {
+    std::ifstream in(args.positional[i]);
+    if (!in) {
+      die("cannot open certificate '" + args.positional[i] + "'");
+    }
+    const auto cert = wm::parseRegCertificate(in);
+    const auto det = marker.detect(suspect, table, binding, cert);
+    std::printf("%-24s %s (%zu/%zu pairs, %zu shape matches)\n",
+                args.positional[i].c_str(),
+                det.found ? "DETECTED" : "not found", det.shared, det.total,
+                det.shape_matches);
+    found += det.found;
+  }
+  return found > 0 ? 0 : 1;
+}
+
+tm::TemplateLibrary loadLibrary(const Args& args) {
+  if (const auto path = args.get("--lib")) {
+    std::ifstream in(*path);
+    if (!in) {
+      die("cannot open template library '" + *path + "'");
+    }
+    return tm::parseLibrary(in);
+  }
+  return tm::TemplateLibrary::basicDsp();
+}
+
+int cmdGenLib(const Args& args) {
+  saveText(args.require("-o", "library output"),
+           tm::libraryToString(tm::TemplateLibrary::basicDsp()));
+  return 0;
+}
+
+int cmdEmbedTm(const Args& args) {
+  if (args.positional.empty()) {
+    die("embed-tm: which design?");
+  }
+  const cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const tm::TemplateLibrary lib = loadLibrary(args);
+  wm::TemplateWatermarker marker(signatureOf(args), lib);
+  wm::TmWmParams params;
+  params.whole_design = true;
+  params.beta = 0.0;
+  const auto r = marker.embed(g, params);
+  if (!r) {
+    die("no locality satisfied the embedding parameters");
+  }
+  const tm::CoverResult cover = marker.applyCover(g, *r);
+  saveText(args.require("-o", "cover output"),
+           tm::coverToString(cover.chosen));
+  saveText(args.require("-c", "certificate output"),
+           wm::certificateToString(r->certificate));
+  std::printf("covered with %zu modules; %zu matchings enforced\n",
+              cover.module_count, r->forced.size());
+  return 0;
+}
+
+int cmdDetectTm(const Args& args) {
+  if (args.positional.size() < 3) {
+    die("detect-tm: need <design> <cover> <certificate>...");
+  }
+  const cdfg::Cdfg suspect = loadDesign(args.positional[0]);
+  const tm::TemplateLibrary lib = loadLibrary(args);
+  std::ifstream cin_(args.positional[1]);
+  if (!cin_) {
+    die("cannot open cover '" + args.positional[1] + "'");
+  }
+  const auto cover = tm::parseCover(cin_, lib, suspect.nodeCount());
+  wm::TemplateWatermarker marker(signatureOf(args), lib);
+  int found = 0;
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    std::ifstream in(args.positional[i]);
+    if (!in) {
+      die("cannot open certificate '" + args.positional[i] + "'");
+    }
+    const auto cert = wm::parseTmCertificate(in);
+    const auto det = marker.detect(suspect, cover, cert);
+    std::printf("%-24s %s (%zu/%zu matchings)\n", args.positional[i].c_str(),
+                det.found ? "DETECTED" : "not found", det.present,
+                det.total);
+    found += det.found;
+  }
+  return found > 0 ? 0 : 1;
+}
+
+int cmdVerifyCert(const Args& args) {
+  if (args.positional.empty()) {
+    die("verify-cert: which file?");
+  }
+  int bad = 0;
+  for (const std::string& path : args.positional) {
+    std::ifstream in(path);
+    if (!in) {
+      die("cannot open certificate '" + path + "'");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    try {
+      const auto cert = wm::parseSchedCertificate(text);
+      std::printf("%-24s sched: %zu-op locality, %zu constraints",
+                  path.c_str(), cert.shape.nodeCount(),
+                  cert.constraints.size());
+      try {
+        const auto pc = wm::exactSchedulingPc(cert, 2);
+        std::printf(", Pc = %.2e\n", pc.pc());
+      } catch (const Error&) {
+        std::printf(", Pc not enumerable\n");
+      }
+      continue;
+    } catch (const ParseError&) {
+    }
+    try {
+      const auto cert = wm::parseTmCertificate(text);
+      std::printf("%-24s tm: %zu-op locality, %zu matchings%s\n",
+                  path.c_str(), cert.shape.nodeCount(),
+                  cert.matchings.size(),
+                  cert.whole_design ? " (whole-design)" : "");
+      continue;
+    } catch (const ParseError&) {
+    }
+    try {
+      const auto cert = wm::parseRegCertificate(text);
+      std::printf("%-24s reg: %zu-op locality, %zu shared pairs\n",
+                  path.c_str(), cert.shape.nodeCount(), cert.pairs.size());
+      continue;
+    } catch (const ParseError& e) {
+      std::printf("%-24s INVALID: %s\n", path.c_str(), e.what());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+  }
+  const std::string cmd = argv[1];
+  const Args args = parseArgs(argc, argv, 2);
+  try {
+    if (cmd == "gen") {
+      return cmdGen(args);
+    }
+    if (cmd == "info") {
+      return cmdInfo(args);
+    }
+    if (cmd == "dot") {
+      return cmdDot(args);
+    }
+    if (cmd == "embed") {
+      return cmdEmbed(args);
+    }
+    if (cmd == "schedule") {
+      return cmdSchedule(args);
+    }
+    if (cmd == "strip") {
+      return cmdStrip(args);
+    }
+    if (cmd == "detect") {
+      return cmdDetect(args);
+    }
+    if (cmd == "embed-reg") {
+      return cmdEmbedReg(args);
+    }
+    if (cmd == "detect-reg") {
+      return cmdDetectReg(args);
+    }
+    if (cmd == "verify-cert") {
+      return cmdVerifyCert(args);
+    }
+    if (cmd == "gen-lib") {
+      return cmdGenLib(args);
+    }
+    if (cmd == "embed-tm") {
+      return cmdEmbedTm(args);
+    }
+    if (cmd == "detect-tm") {
+      return cmdDetectTm(args);
+    }
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  usage();
+}

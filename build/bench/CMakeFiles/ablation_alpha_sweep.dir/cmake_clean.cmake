@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_sweep.dir/ablation_alpha_sweep.cpp.o"
+  "CMakeFiles/ablation_alpha_sweep.dir/ablation_alpha_sweep.cpp.o.d"
+  "ablation_alpha_sweep"
+  "ablation_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_false_positive.dir/ablation_false_positive.cpp.o"
+  "CMakeFiles/ablation_false_positive.dir/ablation_false_positive.cpp.o.d"
+  "ablation_false_positive"
+  "ablation_false_positive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_false_positive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

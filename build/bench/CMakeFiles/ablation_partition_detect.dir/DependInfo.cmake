@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_partition_detect.cpp" "bench/CMakeFiles/ablation_partition_detect.dir/ablation_partition_detect.cpp.o" "gcc" "bench/CMakeFiles/ablation_partition_detect.dir/ablation_partition_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/locwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/locwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/regbind/CMakeFiles/locwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/locwm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/locwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/locwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/locwm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

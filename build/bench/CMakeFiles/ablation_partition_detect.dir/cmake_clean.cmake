@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_detect.dir/ablation_partition_detect.cpp.o"
+  "CMakeFiles/ablation_partition_detect.dir/ablation_partition_detect.cpp.o.d"
+  "ablation_partition_detect"
+  "ablation_partition_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

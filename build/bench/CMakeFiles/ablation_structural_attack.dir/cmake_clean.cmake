@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_structural_attack.dir/ablation_structural_attack.cpp.o"
+  "CMakeFiles/ablation_structural_attack.dir/ablation_structural_attack.cpp.o.d"
+  "ablation_structural_attack"
+  "ablation_structural_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structural_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

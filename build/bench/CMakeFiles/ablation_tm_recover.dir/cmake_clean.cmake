@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tm_recover.dir/ablation_tm_recover.cpp.o"
+  "CMakeFiles/ablation_tm_recover.dir/ablation_tm_recover.cpp.o.d"
+  "ablation_tm_recover"
+  "ablation_tm_recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tm_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_tamper_resistance.dir/disc_tamper_resistance.cpp.o"
+  "CMakeFiles/disc_tamper_resistance.dir/disc_tamper_resistance.cpp.o.d"
+  "disc_tamper_resistance"
+  "disc_tamper_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_tamper_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for disc_tamper_resistance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_regbind_coloring.dir/ext_regbind_coloring.cpp.o"
+  "CMakeFiles/ext_regbind_coloring.dir/ext_regbind_coloring.cpp.o.d"
+  "ext_regbind_coloring"
+  "ext_regbind_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_regbind_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

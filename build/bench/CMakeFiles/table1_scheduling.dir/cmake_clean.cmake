@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_scheduling.dir/table1_scheduling.cpp.o"
+  "CMakeFiles/table1_scheduling.dir/table1_scheduling.cpp.o.d"
+  "table1_scheduling"
+  "table1_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_template.dir/table2_template.cpp.o"
+  "CMakeFiles/table2_template.dir/table2_template.cpp.o.d"
+  "table2_template"
+  "table2_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

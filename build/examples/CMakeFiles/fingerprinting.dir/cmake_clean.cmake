@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprinting.dir/fingerprinting.cpp.o"
+  "CMakeFiles/fingerprinting.dir/fingerprinting.cpp.o.d"
+  "fingerprinting"
+  "fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fingerprinting.
+# This may be replaced when dependencies are built.

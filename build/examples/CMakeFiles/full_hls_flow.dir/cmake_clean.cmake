@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_hls_flow.dir/full_hls_flow.cpp.o"
+  "CMakeFiles/full_hls_flow.dir/full_hls_flow.cpp.o.d"
+  "full_hls_flow"
+  "full_hls_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_hls_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/looped_kernel.dir/looped_kernel.cpp.o"
+  "CMakeFiles/looped_kernel.dir/looped_kernel.cpp.o.d"
+  "looped_kernel"
+  "looped_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/looped_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_binding.dir/register_binding.cpp.o"
+  "CMakeFiles/register_binding.dir/register_binding.cpp.o.d"
+  "register_binding"
+  "register_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_integration.dir/soc_integration.cpp.o"
+  "CMakeFiles/soc_integration.dir/soc_integration.cpp.o.d"
+  "soc_integration"
+  "soc_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_protection.dir/template_protection.cpp.o"
+  "CMakeFiles/template_protection.dir/template_protection.cpp.o.d"
+  "template_protection"
+  "template_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

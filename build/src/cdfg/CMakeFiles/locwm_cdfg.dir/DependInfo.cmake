@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/analysis.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/analysis.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/analysis.cpp.o.d"
+  "/root/repo/src/cdfg/dot.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/dot.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/dot.cpp.o.d"
+  "/root/repo/src/cdfg/graph.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/graph.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/graph.cpp.o.d"
+  "/root/repo/src/cdfg/hierarchy.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/hierarchy.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cdfg/io.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/io.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/io.cpp.o.d"
+  "/root/repo/src/cdfg/operation.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/operation.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/operation.cpp.o.d"
+  "/root/repo/src/cdfg/ordering.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/ordering.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/ordering.cpp.o.d"
+  "/root/repo/src/cdfg/random_dfg.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/random_dfg.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/random_dfg.cpp.o.d"
+  "/root/repo/src/cdfg/subgraph.cpp" "src/cdfg/CMakeFiles/locwm_cdfg.dir/subgraph.cpp.o" "gcc" "src/cdfg/CMakeFiles/locwm_cdfg.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_cdfg.dir/analysis.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/analysis.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/dot.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/dot.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/graph.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/graph.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/hierarchy.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/io.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/io.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/operation.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/operation.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/ordering.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/ordering.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/random_dfg.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/random_dfg.cpp.o.d"
+  "CMakeFiles/locwm_cdfg.dir/subgraph.cpp.o"
+  "CMakeFiles/locwm_cdfg.dir/subgraph.cpp.o.d"
+  "liblocwm_cdfg.a"
+  "liblocwm_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

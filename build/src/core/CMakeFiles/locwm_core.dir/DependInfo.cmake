@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cpp" "src/core/CMakeFiles/locwm_core.dir/attack.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/attack.cpp.o.d"
+  "/root/repo/src/core/certificate_io.cpp" "src/core/CMakeFiles/locwm_core.dir/certificate_io.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/certificate_io.cpp.o.d"
+  "/root/repo/src/core/global_wm.cpp" "src/core/CMakeFiles/locwm_core.dir/global_wm.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/global_wm.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/core/CMakeFiles/locwm_core.dir/locality.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/locality.cpp.o.d"
+  "/root/repo/src/core/pc.cpp" "src/core/CMakeFiles/locwm_core.dir/pc.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/pc.cpp.o.d"
+  "/root/repo/src/core/reg_wm.cpp" "src/core/CMakeFiles/locwm_core.dir/reg_wm.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/reg_wm.cpp.o.d"
+  "/root/repo/src/core/sched_wm.cpp" "src/core/CMakeFiles/locwm_core.dir/sched_wm.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/sched_wm.cpp.o.d"
+  "/root/repo/src/core/tm_wm.cpp" "src/core/CMakeFiles/locwm_core.dir/tm_wm.cpp.o" "gcc" "src/core/CMakeFiles/locwm_core.dir/tm_wm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/locwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/locwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/locwm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/regbind/CMakeFiles/locwm_regbind.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

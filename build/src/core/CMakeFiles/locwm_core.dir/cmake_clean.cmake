@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_core.dir/attack.cpp.o"
+  "CMakeFiles/locwm_core.dir/attack.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/certificate_io.cpp.o"
+  "CMakeFiles/locwm_core.dir/certificate_io.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/global_wm.cpp.o"
+  "CMakeFiles/locwm_core.dir/global_wm.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/locality.cpp.o"
+  "CMakeFiles/locwm_core.dir/locality.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/pc.cpp.o"
+  "CMakeFiles/locwm_core.dir/pc.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/reg_wm.cpp.o"
+  "CMakeFiles/locwm_core.dir/reg_wm.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/sched_wm.cpp.o"
+  "CMakeFiles/locwm_core.dir/sched_wm.cpp.o.d"
+  "CMakeFiles/locwm_core.dir/tm_wm.cpp.o"
+  "CMakeFiles/locwm_core.dir/tm_wm.cpp.o.d"
+  "liblocwm_core.a"
+  "liblocwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_crypto.dir/bitstream.cpp.o"
+  "CMakeFiles/locwm_crypto.dir/bitstream.cpp.o.d"
+  "CMakeFiles/locwm_crypto.dir/rc4.cpp.o"
+  "CMakeFiles/locwm_crypto.dir/rc4.cpp.o.d"
+  "CMakeFiles/locwm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/locwm_crypto.dir/sha256.cpp.o.d"
+  "liblocwm_crypto.a"
+  "liblocwm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblocwm_crypto.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regbind/binding.cpp" "src/regbind/CMakeFiles/locwm_regbind.dir/binding.cpp.o" "gcc" "src/regbind/CMakeFiles/locwm_regbind.dir/binding.cpp.o.d"
+  "/root/repo/src/regbind/lifetime.cpp" "src/regbind/CMakeFiles/locwm_regbind.dir/lifetime.cpp.o" "gcc" "src/regbind/CMakeFiles/locwm_regbind.dir/lifetime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/locwm_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

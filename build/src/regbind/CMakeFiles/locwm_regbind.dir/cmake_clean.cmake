@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_regbind.dir/binding.cpp.o"
+  "CMakeFiles/locwm_regbind.dir/binding.cpp.o.d"
+  "CMakeFiles/locwm_regbind.dir/lifetime.cpp.o"
+  "CMakeFiles/locwm_regbind.dir/lifetime.cpp.o.d"
+  "liblocwm_regbind.a"
+  "liblocwm_regbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_regbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bb_scheduler.cpp" "src/sched/CMakeFiles/locwm_sched.dir/bb_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/bb_scheduler.cpp.o.d"
+  "/root/repo/src/sched/enumeration.cpp" "src/sched/CMakeFiles/locwm_sched.dir/enumeration.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/enumeration.cpp.o.d"
+  "/root/repo/src/sched/force_directed.cpp" "src/sched/CMakeFiles/locwm_sched.dir/force_directed.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/force_directed.cpp.o.d"
+  "/root/repo/src/sched/latency.cpp" "src/sched/CMakeFiles/locwm_sched.dir/latency.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/latency.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/locwm_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/locwm_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/sched/CMakeFiles/locwm_sched.dir/schedule_io.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/timeframes.cpp" "src/sched/CMakeFiles/locwm_sched.dir/timeframes.cpp.o" "gcc" "src/sched/CMakeFiles/locwm_sched.dir/timeframes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

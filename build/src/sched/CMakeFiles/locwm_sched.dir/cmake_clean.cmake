@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_sched.dir/bb_scheduler.cpp.o"
+  "CMakeFiles/locwm_sched.dir/bb_scheduler.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/enumeration.cpp.o"
+  "CMakeFiles/locwm_sched.dir/enumeration.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/force_directed.cpp.o"
+  "CMakeFiles/locwm_sched.dir/force_directed.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/latency.cpp.o"
+  "CMakeFiles/locwm_sched.dir/latency.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/locwm_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/schedule.cpp.o"
+  "CMakeFiles/locwm_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/schedule_io.cpp.o"
+  "CMakeFiles/locwm_sched.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/locwm_sched.dir/timeframes.cpp.o"
+  "CMakeFiles/locwm_sched.dir/timeframes.cpp.o.d"
+  "liblocwm_sched.a"
+  "liblocwm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/cover.cpp" "src/tm/CMakeFiles/locwm_tm.dir/cover.cpp.o" "gcc" "src/tm/CMakeFiles/locwm_tm.dir/cover.cpp.o.d"
+  "/root/repo/src/tm/library_io.cpp" "src/tm/CMakeFiles/locwm_tm.dir/library_io.cpp.o" "gcc" "src/tm/CMakeFiles/locwm_tm.dir/library_io.cpp.o.d"
+  "/root/repo/src/tm/matching.cpp" "src/tm/CMakeFiles/locwm_tm.dir/matching.cpp.o" "gcc" "src/tm/CMakeFiles/locwm_tm.dir/matching.cpp.o.d"
+  "/root/repo/src/tm/solutions.cpp" "src/tm/CMakeFiles/locwm_tm.dir/solutions.cpp.o" "gcc" "src/tm/CMakeFiles/locwm_tm.dir/solutions.cpp.o.d"
+  "/root/repo/src/tm/template.cpp" "src/tm/CMakeFiles/locwm_tm.dir/template.cpp.o" "gcc" "src/tm/CMakeFiles/locwm_tm.dir/template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_tm.dir/cover.cpp.o"
+  "CMakeFiles/locwm_tm.dir/cover.cpp.o.d"
+  "CMakeFiles/locwm_tm.dir/library_io.cpp.o"
+  "CMakeFiles/locwm_tm.dir/library_io.cpp.o.d"
+  "CMakeFiles/locwm_tm.dir/matching.cpp.o"
+  "CMakeFiles/locwm_tm.dir/matching.cpp.o.d"
+  "CMakeFiles/locwm_tm.dir/solutions.cpp.o"
+  "CMakeFiles/locwm_tm.dir/solutions.cpp.o.d"
+  "CMakeFiles/locwm_tm.dir/template.cpp.o"
+  "CMakeFiles/locwm_tm.dir/template.cpp.o.d"
+  "liblocwm_tm.a"
+  "liblocwm_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

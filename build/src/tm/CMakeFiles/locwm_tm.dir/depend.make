@@ -1,0 +1,2 @@
+# Empty dependencies file for locwm_tm.
+# This may be replaced when dependencies are built.

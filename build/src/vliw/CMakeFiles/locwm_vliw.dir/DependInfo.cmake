@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vliw/cache.cpp" "src/vliw/CMakeFiles/locwm_vliw.dir/cache.cpp.o" "gcc" "src/vliw/CMakeFiles/locwm_vliw.dir/cache.cpp.o.d"
+  "/root/repo/src/vliw/machine.cpp" "src/vliw/CMakeFiles/locwm_vliw.dir/machine.cpp.o" "gcc" "src/vliw/CMakeFiles/locwm_vliw.dir/machine.cpp.o.d"
+  "/root/repo/src/vliw/vliw_scheduler.cpp" "src/vliw/CMakeFiles/locwm_vliw.dir/vliw_scheduler.cpp.o" "gcc" "src/vliw/CMakeFiles/locwm_vliw.dir/vliw_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/locwm_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_vliw.dir/cache.cpp.o"
+  "CMakeFiles/locwm_vliw.dir/cache.cpp.o.d"
+  "CMakeFiles/locwm_vliw.dir/machine.cpp.o"
+  "CMakeFiles/locwm_vliw.dir/machine.cpp.o.d"
+  "CMakeFiles/locwm_vliw.dir/vliw_scheduler.cpp.o"
+  "CMakeFiles/locwm_vliw.dir/vliw_scheduler.cpp.o.d"
+  "liblocwm_vliw.a"
+  "liblocwm_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

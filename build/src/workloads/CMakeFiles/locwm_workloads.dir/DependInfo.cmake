@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hyper.cpp" "src/workloads/CMakeFiles/locwm_workloads.dir/hyper.cpp.o" "gcc" "src/workloads/CMakeFiles/locwm_workloads.dir/hyper.cpp.o.d"
+  "/root/repo/src/workloads/iir4.cpp" "src/workloads/CMakeFiles/locwm_workloads.dir/iir4.cpp.o" "gcc" "src/workloads/CMakeFiles/locwm_workloads.dir/iir4.cpp.o.d"
+  "/root/repo/src/workloads/mediabench.cpp" "src/workloads/CMakeFiles/locwm_workloads.dir/mediabench.cpp.o" "gcc" "src/workloads/CMakeFiles/locwm_workloads.dir/mediabench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/locwm_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

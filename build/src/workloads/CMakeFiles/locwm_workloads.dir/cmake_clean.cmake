@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm_workloads.dir/hyper.cpp.o"
+  "CMakeFiles/locwm_workloads.dir/hyper.cpp.o.d"
+  "CMakeFiles/locwm_workloads.dir/iir4.cpp.o"
+  "CMakeFiles/locwm_workloads.dir/iir4.cpp.o.d"
+  "CMakeFiles/locwm_workloads.dir/mediabench.cpp.o"
+  "CMakeFiles/locwm_workloads.dir/mediabench.cpp.o.d"
+  "liblocwm_workloads.a"
+  "liblocwm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

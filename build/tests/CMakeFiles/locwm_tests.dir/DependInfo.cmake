@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/locwm_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_canonical.cpp" "tests/CMakeFiles/locwm_tests.dir/test_canonical.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_canonical.cpp.o.d"
+  "/root/repo/tests/test_certio.cpp" "tests/CMakeFiles/locwm_tests.dir/test_certio.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_certio.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/locwm_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/locwm_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_enumeration.cpp" "tests/CMakeFiles/locwm_tests.dir/test_enumeration.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_enumeration.cpp.o.d"
+  "/root/repo/tests/test_global_wm.cpp" "tests/CMakeFiles/locwm_tests.dir/test_global_wm.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_global_wm.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/locwm_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/locwm_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_locality.cpp" "tests/CMakeFiles/locwm_tests.dir/test_locality.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_locality.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/locwm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_properties2.cpp" "tests/CMakeFiles/locwm_tests.dir/test_properties2.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_properties2.cpp.o.d"
+  "/root/repo/tests/test_regbind.cpp" "tests/CMakeFiles/locwm_tests.dir/test_regbind.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_regbind.cpp.o.d"
+  "/root/repo/tests/test_repro_lock.cpp" "tests/CMakeFiles/locwm_tests.dir/test_repro_lock.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_repro_lock.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/locwm_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/locwm_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_structural_attack.cpp" "tests/CMakeFiles/locwm_tests.dir/test_structural_attack.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_structural_attack.cpp.o.d"
+  "/root/repo/tests/test_templates3.cpp" "tests/CMakeFiles/locwm_tests.dir/test_templates3.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_templates3.cpp.o.d"
+  "/root/repo/tests/test_tm.cpp" "tests/CMakeFiles/locwm_tests.dir/test_tm.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_tm.cpp.o.d"
+  "/root/repo/tests/test_vliw.cpp" "tests/CMakeFiles/locwm_tests.dir/test_vliw.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_vliw.cpp.o.d"
+  "/root/repo/tests/test_wm.cpp" "tests/CMakeFiles/locwm_tests.dir/test_wm.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_wm.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/locwm_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/locwm_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/locwm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/locwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/regbind/CMakeFiles/locwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/locwm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/locwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/locwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/locwm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/locwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locwm.dir/locwm_cli.cpp.o"
+  "CMakeFiles/locwm.dir/locwm_cli.cpp.o.d"
+  "locwm"
+  "locwm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

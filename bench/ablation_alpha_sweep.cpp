@@ -16,8 +16,9 @@
 #include "vliw/vliw_scheduler.h"
 #include "workloads/mediabench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ablation_alpha_sweep", argc, argv);
   bench::banner("ABL-A  eligibility bound alpha vs proof strength/overhead",
                 "design-choice ablation for §IV-A (Table I's alpha = 0.2/0.5)");
 
@@ -57,6 +58,8 @@ int main() {
       if (edges.empty()) {
         std::printf("%-8s %-6.1f | %4s %10s %12s %8s\n", profile.name.c_str(),
                     alpha, "-", "-", "-", "-");
+        report.row({{"app", profile.name}, {"alpha", alpha},
+                    {"embedded", false}});
         continue;
       }
       const auto pc = wm::approxSchedulingPc(original, edges,
@@ -64,10 +67,19 @@ int main() {
       const cdfg::Cdfg realized = wm::realizeWithDummyOps(g);
       const std::uint32_t cycles =
           vliw::vliwSchedule(realized, machine).cycles;
+      const double overhead =
+          100.0 * (static_cast<double>(cycles) - base) / base;
       std::printf("%-8s %-6.1f | %4zu %10.2f %12.3f %7.2f%%\n",
                   profile.name.c_str(), alpha, edges.size(), pc.log10_pc,
-                  pc.log10_pc / static_cast<double>(edges.size()),
-                  100.0 * (static_cast<double>(cycles) - base) / base);
+                  pc.log10_pc / static_cast<double>(edges.size()), overhead);
+      report.row({{"app", profile.name},
+                  {"alpha", alpha},
+                  {"embedded", true},
+                  {"k", static_cast<std::uint64_t>(edges.size())},
+                  {"log10_pc", pc.log10_pc},
+                  {"log10_pc_per_edge",
+                   pc.log10_pc / static_cast<double>(edges.size())},
+                  {"ovhd_pct", overhead}});
     }
   }
   std::printf(

@@ -22,8 +22,9 @@
 #include "workloads/hyper.h"
 #include "workloads/mediabench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ablation_false_positive", argc, argv);
   bench::banner("ABL-FP  detection specificity (false-positive controls)",
                 "negative controls behind the paper's 1-Pc authorship proof");
 
@@ -104,6 +105,12 @@ int main() {
                 pct(wrongkey_hits, wrongkey_total),
                 pct(coincidences, coincidence_total),
                 pct(resynth, resynth_total));
+    report.row({{"min_size", static_cast<std::uint64_t>(min_size)},
+                {"unrelated_hit_pct", pct(unrelated_hits, unrelated_total)},
+                {"wrongkey_hit_pct", pct(wrongkey_hits, wrongkey_total)},
+                {"unmarked_pc_hat_pct",
+                 pct(coincidences, coincidence_total)},
+                {"resynth_pc_hat_pct", pct(resynth, resynth_total)}});
   }
   std::printf(
       "\nexpected shape: unrelated and wrong-key hits vanish once the\n"

@@ -15,8 +15,9 @@
 #include "sched/timeframes.h"
 #include "workloads/hyper.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ablation_k_sweep", argc, argv);
   bench::banner("ABL-K  proof strength vs overhead as K grows",
                 "design-choice ablation for §IV-A (Table I's K = 0.2 tau)");
 
@@ -59,6 +60,13 @@ int main() {
                 peaks[static_cast<std::size_t>(cdfg::FuClass::kMul)],
                 peaks[static_cast<std::size_t>(cdfg::FuClass::kAlu)],
                 s.makespan(g, fd.latency));
+    report.row(
+        {{"k_frac", kf},
+         {"edges", static_cast<std::uint64_t>(edges.size())},
+         {"log10_pc", pc.log10_pc},
+         {"fds_mul", peaks[static_cast<std::size_t>(cdfg::FuClass::kMul)]},
+         {"fds_alu", peaks[static_cast<std::size_t>(cdfg::FuClass::kAlu)]},
+         {"steps", s.makespan(g, fd.latency)}});
   }
   std::printf(
       "\nexpected shape: log10 Pc falls roughly linearly with K (each edge\n"

@@ -20,8 +20,9 @@
 #include "workloads/hyper.h"
 #include "workloads/mediabench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ablation_partition_detect", argc, argv);
   bench::banner("ABL-CUT  detection under embedding and partition cutting",
                 "the §I/§III motivation for *local* watermarks");
 
@@ -88,6 +89,12 @@ int main() {
     std::snprintf(label, sizeof label, "%zu-op synthetic SoC", host_ops);
     std::printf("  %-28s %12zu %11zu/%zu %8s\n", label, host.nodeCount(),
                 found, marks.size(), gfound ? "yes" : "LOST");
+    report.row({{"scenario", "embed"},
+                {"host_ops", static_cast<std::uint64_t>(host_ops)},
+                {"total_nodes", static_cast<std::uint64_t>(host.nodeCount())},
+                {"local_detected", static_cast<std::uint64_t>(found)},
+                {"local_total", static_cast<std::uint64_t>(marks.size())},
+                {"global_detected", gfound}});
   }
 
   // --- Scenario 2: cutting partitions out of the core. ---
@@ -116,6 +123,12 @@ int main() {
     std::snprintf(label, sizeof label, "radius %u", radius);
     std::printf("  %-28s %12zu %11zu/%zu %8s\n", label, cut.nodeCount(),
                 found, marks.size(), gfound ? "yes" : "LOST");
+    report.row({{"scenario", "cut"},
+                {"radius", radius},
+                {"cut_nodes", static_cast<std::uint64_t>(cut.nodeCount())},
+                {"local_detected", static_cast<std::uint64_t>(found)},
+                {"local_total", static_cast<std::uint64_t>(marks.size())},
+                {"global_detected", gfound}});
   }
   std::printf(
       "\nexpected shape: embedding never hides the LOCAL marks (the\n"

@@ -77,7 +77,8 @@ Attacked splitEdges(const Cdfg& g, const sched::Schedule& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("ablation_structural_attack", argc, argv);
   bench::banner("ABL-STRUCT  structural laundering vs local watermarks",
                 "copy transparency + the many-small-marks argument (§I)");
 
@@ -115,6 +116,11 @@ int main() {
     }
     std::printf("%-10s %8zu | %13zu/%zu %13zu/%zu\n", "split", count,
                 alive_copy, marks.size(), alive_real, marks.size());
+    report.row({{"edit", "split"},
+                {"count", static_cast<std::uint64_t>(count)},
+                {"copies_alive", static_cast<std::uint64_t>(alive_copy)},
+                {"real_ops_alive", static_cast<std::uint64_t>(alive_real)},
+                {"marks", static_cast<std::uint64_t>(marks.size())}});
   }
   // Second dimension: the identification radius Δ trades uniqueness for
   // edit-robustness — a smaller context ball is hit by fewer random edits.
@@ -134,6 +140,10 @@ int main() {
       alive += marker.detect(a.graph, a.schedule, m.certificate).found;
     }
     std::printf("%-10u | %9zu/%zu\n", delta, alive, marks2.size());
+    report.row({{"edit", "radius"},
+                {"delta", delta},
+                {"marks_alive", static_cast<std::uint64_t>(alive)},
+                {"marks", static_cast<std::uint64_t>(marks2.size())}});
   }
 
   std::printf(

@@ -11,8 +11,9 @@
 #include "tm/cover.h"
 #include "workloads/hyper.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ablation_tm_recover", argc, argv);
   bench::banner("ABL-TMR  re-covering attack on template watermarks",
                 "the §IV-B tamper-resistance argument for matchings");
 
@@ -51,6 +52,12 @@ int main() {
                 design.name.c_str(), r->forced.size(), d1.present, d1.total,
                 d2.present, d2.total,
                 bench::pcString(pc.log10_pc).c_str());
+    report.row({{"design", design.name},
+                {"z", static_cast<std::uint64_t>(r->forced.size())},
+                {"greedy_hit", static_cast<std::uint64_t>(d1.present)},
+                {"exact_hit", static_cast<std::uint64_t>(d2.present)},
+                {"total", static_cast<std::uint64_t>(d1.total)},
+                {"pc", bench::pcString(pc.log10_pc)}});
   }
   std::printf(
       "\nexpected shape: fresh covers reproduce only a fraction of the\n"

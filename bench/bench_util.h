@@ -1,10 +1,17 @@
 // Small shared helpers for the reproduction benches: fixed-width table
-// printing and common formatting, so every binary emits the same style of
+// printing, common formatting, and a machine-readable mirror of the
+// printed tables (JsonReport), so every binary emits the same style of
 // rows the paper's tables use.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "obs/json.h"
 
 namespace locwm::bench {
 
@@ -24,11 +31,123 @@ inline void banner(const std::string& title, const std::string& source) {
   rule(78);
 }
 
-/// Formats a log10 probability as "1e<exp>" the way the paper quotes Pc.
+/// Formats a log10 probability in scientific notation the way the paper
+/// quotes Pc: mantissa in [1, 10) with one decimal and an integer
+/// exponent, e.g. log10 Pc = -5.3 -> "5.0e-6" (never "1e-5.3").
 inline std::string pcString(double log10_pc) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "1e%.1f", log10_pc);
+  if (std::isnan(log10_pc)) {
+    return "nan";
+  }
+  if (std::isinf(log10_pc)) {
+    return log10_pc < 0 ? "0" : "inf";
+  }
+  double exponent = std::floor(log10_pc);
+  double mantissa = std::pow(10.0, log10_pc - exponent);
+  // One-decimal rounding can carry the mantissa up to 10.0.
+  if (mantissa >= 9.95) {
+    mantissa /= 10.0;
+    exponent += 1.0;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1fe%d", mantissa,
+                static_cast<int>(exponent));
   return buf;
 }
+
+/// One named cell of a table row, pre-rendered as JSON.
+struct Field {
+  std::string name;
+  std::string json;
+
+  Field(std::string n, const std::string& v)
+      : name(std::move(n)), json(obs::jsonString(v)) {}
+  Field(std::string n, const char* v)
+      : name(std::move(n)), json(obs::jsonString(v)) {}
+  Field(std::string n, double v)
+      : name(std::move(n)), json(obs::jsonNumber(v)) {}
+  Field(std::string n, std::uint64_t v)
+      : name(std::move(n)), json(std::to_string(v)) {}
+  Field(std::string n, std::uint32_t v)
+      : name(std::move(n)), json(std::to_string(v)) {}
+  Field(std::string n, int v) : name(std::move(n)), json(std::to_string(v)) {}
+  Field(std::string n, bool v)
+      : name(std::move(n)), json(v ? "true" : "false") {}
+};
+
+/// Machine-readable mirror of a bench's printed table.  Construct with
+/// argv; `--json [FILE]` enables it (FILE defaults to bench_<name>.json).
+/// Call row() with the same values the table printf uses; the file —
+/// {"bench": <name>, "rows": [{...}, ...]} — is written on destruction.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") != 0) {
+        continue;
+      }
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        path_ = argv[i + 1];
+      } else {
+        path_ = "bench_" + name_ + ".json";
+      }
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void row(std::initializer_list<Field> fields) {
+    if (!enabled()) {
+      return;
+    }
+    std::string r = "{";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) {
+        r += ", ";
+      }
+      first = false;
+      r += obs::jsonString(f.name);
+      r += ": ";
+      r += f.json;
+    }
+    r += "}";
+    rows_.push_back(std::move(r));
+  }
+
+  /// Writes the report now (also runs at destruction).  Returns false if
+  /// the file cannot be opened; a failure is also reported on stderr.
+  bool write() {
+    if (!enabled() || written_) {
+      return true;
+    }
+    written_ = true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\"bench\": %s, \"rows\": [",
+                 obs::jsonString(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(out, "%s\n  %s", i == 0 ? "" : ",", rows_[i].c_str());
+    }
+    std::fprintf(out, "\n]}\n");
+    std::fclose(out);
+    std::printf("json rows -> %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;  // empty = disabled
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace locwm::bench

@@ -20,8 +20,9 @@
 #include "sched/timeframes.h"
 #include "workloads/mediabench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("disc_tamper_resistance", argc, argv);
   bench::banner("DISC1  tamper resistance of scheduling watermarks",
                 "Kirovski & Potkonjak, TCAD 22(9) 2003, §IV-A discussion");
 
@@ -99,6 +100,13 @@ int main() {
     std::printf("  %10zu %10zu %10zu/%zu %13zu/%zu\n",
                 static_cast<std::size_t>(moves), touched_total / kRuns,
                 intact_total, kRuns * marks.size(), erased_runs, kRuns);
+    report.row(
+        {{"moves", static_cast<std::uint64_t>(moves)},
+         {"touched_mean", static_cast<std::uint64_t>(touched_total / kRuns)},
+         {"marks_intact", static_cast<std::uint64_t>(intact_total)},
+         {"marks_checked", static_cast<std::uint64_t>(kRuns * marks.size())},
+         {"runs_fully_erased", static_cast<std::uint64_t>(erased_runs)},
+         {"runs", static_cast<std::uint64_t>(kRuns)}});
   }
   std::printf(
       "\npaper shape to match: light tampering leaves (nearly) all local\n"

@@ -14,8 +14,9 @@
 #include "sched/list_scheduler.h"
 #include "workloads/hyper.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("ext_regbind_coloring", argc, argv);
   bench::banner("EXT-REG  local watermarks on register binding (coloring)",
                 "instantiates the generic §III protocol on a third task");
 
@@ -38,6 +39,10 @@ int main() {
       std::printf("%-7s %6zu %6u | %3s %9s %9s | %12s %9s\n",
                   design.name.c_str(), table.values.size(),
                   plain.register_count, "-", "-", "-", "-", "-");
+      report.row({{"design", design.name},
+                  {"vals", static_cast<std::uint64_t>(table.values.size())},
+                  {"regs", plain.register_count},
+                  {"embedded", false}});
       continue;
     }
     regbind::BindOptions bo;
@@ -45,14 +50,23 @@ int main() {
     const auto marked = regbind::bindRegisters(table, bo);
     const auto det = marker.detect(g, table, marked, r->certificate);
     const auto ctrl = marker.detect(g, table, plain, r->certificate);
+    const std::string pc = bench::pcString(
+        wm::approxBindingLog10Pc(det.total, plain.register_count));
     std::printf("%-7s %6zu %6u | %3zu %9u %6zu/%zu | %9zu/%zu %9s\n",
                 design.name.c_str(), table.values.size(),
                 plain.register_count, r->aliases.size(),
                 marked.register_count, det.shared, det.total, ctrl.shared,
-                ctrl.total,
-                bench::pcString(wm::approxBindingLog10Pc(
-                                    det.total, plain.register_count))
-                    .c_str());
+                ctrl.total, pc.c_str());
+    report.row({{"design", design.name},
+                {"vals", static_cast<std::uint64_t>(table.values.size())},
+                {"regs", plain.register_count},
+                {"embedded", true},
+                {"k", static_cast<std::uint64_t>(r->aliases.size())},
+                {"regs_wm", marked.register_count},
+                {"detected_pairs", static_cast<std::uint64_t>(det.shared)},
+                {"total_pairs", static_cast<std::uint64_t>(det.total)},
+                {"ctrl_shared", static_cast<std::uint64_t>(ctrl.shared)},
+                {"pc", pc}});
   }
   std::printf(
       "\nexpected shape: the alias constraints cost zero-to-one registers,\n"

@@ -18,8 +18,9 @@
 #include "sched/timeframes.h"
 #include "workloads/iir4.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("fig3_scheduling_example", argc, argv);
   bench::banner("FIG3  scheduling watermark on the 4th-order parallel IIR",
                 "Kirovski & Potkonjak, TCAD 22(9) 2003, Fig. 3");
 
@@ -65,12 +66,16 @@ int main() {
     std::printf("  %-46s %12llu   (paper: 15)\n",
                 "schedules satisfying the 5 watermark edges",
                 static_cast<unsigned long long>(with.count));
+    const double pc = with.count == 0
+                          ? 0.0
+                          : static_cast<double>(with.count) /
+                                static_cast<double>(unconstrained.count);
     std::printf("  %-46s %12.4f   (paper: 15/166 = 0.0904)\n",
-                "Pc (coincidence likelihood)",
-                with.count == 0
-                    ? 0.0
-                    : static_cast<double>(with.count) /
-                          static_cast<double>(unconstrained.count));
+                "Pc (coincidence likelihood)", pc);
+    report.row({{"slack", slack},
+                {"unconstrained_schedules", unconstrained.count},
+                {"constrained_schedules", with.count},
+                {"pc", pc}});
 
     std::printf("  per-edge Psi pairs (PsiW / PsiN), paper example: 10/77\n");
     for (const auto& [src, dst] : edges) {

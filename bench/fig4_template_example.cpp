@@ -18,8 +18,9 @@
 #include "tm/solutions.h"
 #include "workloads/iir4.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("fig4_template_example", argc, argv);
   bench::banner("FIG4  template watermark on the 4th-order parallel IIR",
                 "Kirovski & Potkonjak, TCAD 22(9) 2003, Fig. 4");
 
@@ -84,5 +85,13 @@ int main() {
   const auto det = marker.detect(g, cover.chosen, r->certificate);
   std::printf("detection on the covered design: %s (%zu/%zu matchings)\n",
               det.found ? "FOUND" : "missing", det.present, det.total);
+  report.row({{"matchings_total", static_cast<std::uint64_t>(matchings.size())},
+              {"solutions_a5_a6", a56.count},
+              {"enforced", static_cast<std::uint64_t>(r->forced.size())},
+              {"pc", pc.pc()},
+              {"log10_pc", pc.log10_pc},
+              {"cover_modules", static_cast<std::uint64_t>(cover.module_count)},
+              {"base_modules", static_cast<std::uint64_t>(base.module_count)},
+              {"detected", det.found}});
   return 0;
 }

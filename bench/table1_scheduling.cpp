@@ -22,8 +22,9 @@
 #include "vliw/vliw_scheduler.h"
 #include "workloads/mediabench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("table1_scheduling", argc, argv);
   bench::banner(
       "TAB1  scheduling watermarks on MediaBench / 4-issue VLIW",
       "Kirovski & Potkonjak, TCAD 22(9) 2003, Table I");
@@ -53,6 +54,8 @@ int main() {
         std::max<std::size_t>(2, profile.operations / 600);
     std::printf("%-12s %6zu |", profile.name.c_str(), profile.operations);
     std::size_t k_report = 0;
+    std::vector<std::string> pc_cells;
+    std::vector<double> ovhd_cells;
     for (const double alpha : {0.2, 0.5}) {
       cdfg::Cdfg g = workloads::buildMediaBench(profile);
       wm::SchedulingWatermarker marker(
@@ -84,11 +87,19 @@ int main() {
           vliw::vliwSchedule(realized, machine).cycles + stalls);
       const double overhead =
           100.0 * (static_cast<double>(cycles) - base) / base;
-      std::printf(" %10s %7.2f%% |", bench::pcString(pc.log10_pc).c_str(),
-                  overhead);
+      pc_cells.push_back(bench::pcString(pc.log10_pc));
+      ovhd_cells.push_back(overhead);
+      std::printf(" %10s %7.2f%% |", pc_cells.back().c_str(), overhead);
       k_report = edges.size();
     }
     std::printf(" %5zu\n", k_report);
+    report.row({{"app", profile.name},
+                {"n", static_cast<std::uint64_t>(profile.operations)},
+                {"pc_a02", pc_cells[0]},
+                {"ovhd_pct_a02", ovhd_cells[0]},
+                {"pc_a05", pc_cells[1]},
+                {"ovhd_pct_a05", ovhd_cells[1]},
+                {"k", static_cast<std::uint64_t>(k_report)}});
   }
 
   std::printf(

@@ -30,8 +30,9 @@ std::size_t variableCount(const locwm::cdfg::Cdfg& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace locwm;
+  bench::JsonReport report("table2_template", argc, argv);
   bench::banner("TAB2  template watermarks on the HYPER design suite",
                 "Kirovski & Potkonjak, TCAD 22(9) 2003, Table II");
 
@@ -66,6 +67,11 @@ int main() {
       std::printf("%-7s %-38.38s %5u %5u %5zu | %6s %7s %9s\n",
                   design.name.c_str(), design.description.c_str(), csteps,
                   tf.criticalPathSteps(), vars, "-", "-", "-");
+      report.row({{"design", design.name},
+                  {"steps", csteps},
+                  {"cpath", tf.criticalPathSteps()},
+                  {"vars", static_cast<std::uint64_t>(vars)},
+                  {"embedded", false}});
       continue;
     }
     const auto marked = marker.applyCover(g, *r, /*exact=*/true);
@@ -87,6 +93,14 @@ int main() {
                 design.name.c_str(), design.description.c_str(), csteps,
                 tf.criticalPathSteps(), vars, enforced_pct, module_increase,
                 bench::pcString(pc.log10_pc).c_str());
+    report.row({{"design", design.name},
+                {"steps", csteps},
+                {"cpath", tf.criticalPathSteps()},
+                {"vars", static_cast<std::uint64_t>(vars)},
+                {"embedded", true},
+                {"enforced_pct", enforced_pct},
+                {"module_increase_pct", module_increase},
+                {"pc", bench::pcString(pc.log10_pc)}});
   }
 
   std::printf(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.h"
+
 namespace locwm::cdfg {
 
 namespace {
@@ -38,6 +40,7 @@ NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
   // nodes one step further away — and additionally folds in fanout
   // structure, which fanin-only criteria cannot see (two taps feeding the
   // same adder are separated by *who consumes them*, not by their inputs).
+  LOCWM_OBS_SPAN("cdfg.ordering");
   const auto& g = analysis.graph();
   NodeOrdering result;
   result.ordered = nodes;
@@ -143,6 +146,8 @@ NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
   }
   out.unique = classes == n;
   out.max_depth_used = depth;
+  LOCWM_OBS_COUNT("cdfg.ordering.refine_rounds", depth);
+  LOCWM_OBS_COUNT("cdfg.ordering.runs", 1);
   return out;
 }
 

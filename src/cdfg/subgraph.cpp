@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace locwm::cdfg {
 
 Cdfg inducedSubgraph(const Cdfg& g, const std::vector<NodeId>& nodes,
                      NodeMap* outMap) {
+  LOCWM_OBS_COUNT("cdfg.subgraph.induced", 1);
   Cdfg sub;
   NodeMap map;
   map.reserve(nodes.size());

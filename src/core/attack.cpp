@@ -6,6 +6,7 @@
 
 #include "cdfg/error.h"
 #include "cdfg/prng.h"
+#include "obs/obs.h"
 
 namespace locwm::wm {
 
@@ -14,6 +15,7 @@ using cdfg::NodeId;
 
 PerturbResult perturbSchedule(const cdfg::Cdfg& g, const sched::Schedule& s,
                               const PerturbOptions& options) {
+  LOCWM_OBS_SPAN("core.attack.perturb");
   cdfg::SplitMix64 rng(options.seed);
   PerturbResult result;
   result.schedule = s;
@@ -99,6 +101,8 @@ PerturbResult perturbSchedule(const cdfg::Cdfg& g, const sched::Schedule& s,
     }
   }
   result.ops_touched = touched.size();
+  LOCWM_OBS_COUNT("core.attack.moves_attempted", result.attempted);
+  LOCWM_OBS_COUNT("core.attack.moves_changed", result.changed);
   return result;
 }
 

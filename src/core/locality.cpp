@@ -5,6 +5,7 @@
 
 #include "cdfg/error.h"
 #include "cdfg/subgraph.h"
+#include "obs/obs.h"
 
 namespace locwm::wm {
 
@@ -160,8 +161,11 @@ std::vector<NodeId> realSuccs(const cdfg::Cdfg& g, NodeId v) {
 std::optional<Locality> LocalityDeriver::derive(
     NodeId root, const LocalityParams& params,
     crypto::KeyedBitstream& bits) const {
+  LOCWM_OBS_SPAN("core.locality.derive");
+  LOCWM_OBS_COUNT("core.locality.derive_calls", 1);
   const cdfg::Cdfg& g = *graph_;
   if (isTransparent(g, root)) {
+    LOCWM_OBS_COUNT("core.locality.rejected", 1);
     return std::nullopt;
   }
 
@@ -205,6 +209,7 @@ std::optional<Locality> LocalityDeriver::derive(
   const std::vector<NodeId> to_nodes = ball(params.max_distance,
                                             /*undirected=*/false);
   if (to_nodes.size() < params.min_size) {
+    LOCWM_OBS_COUNT("core.locality.rejected", 1);
     return std::nullopt;
   }
   // --- Step 1b: the *identification context*: the undirected ball of the
@@ -239,6 +244,7 @@ std::optional<Locality> LocalityDeriver::derive(
   }
   const NodeId root_in_to = to_map.at(root);
   if (rank_of[root_in_to.value()] == kTied) {
+    LOCWM_OBS_COUNT("core.locality.rejected", 1);
     return std::nullopt;
   }
 
@@ -297,6 +303,7 @@ std::optional<Locality> LocalityDeriver::derive(
     }
   }
   if (carved_local.size() < params.min_size) {
+    LOCWM_OBS_COUNT("core.locality.rejected", 1);
     return std::nullopt;
   }
 
@@ -323,6 +330,8 @@ std::optional<Locality> LocalityDeriver::derive(
   for (const NodeId v : result.shape.allNodes()) {
     result.shape.setNodeName(v, {});
   }
+  LOCWM_OBS_COUNT("core.locality.accepted", 1);
+  LOCWM_OBS_COUNT("core.locality.nodes_carved", result.nodes.size());
   return result;
 }
 

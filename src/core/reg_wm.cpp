@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 #include "regbind/lifetime.h"
 
 namespace locwm::wm {
@@ -14,6 +15,7 @@ using cdfg::NodeId;
 std::optional<RegEmbedResult> RegisterWatermarker::embed(
     const cdfg::Cdfg& g, const sched::Schedule& s, const RegWmParams& params,
     std::size_t index) const {
+  LOCWM_OBS_SPAN("core.reg_wm.embed");
   const std::string context = "reg-wm/" + std::to_string(index);
   crypto::KeyedBitstream root_bits(signature_, context + "/root");
 
@@ -122,14 +124,19 @@ std::optional<RegEmbedResult> RegisterWatermarker::embed(
       }
     }
     result.locality = std::move(*loc);
+    LOCWM_OBS_COUNT("core.reg_wm.embeds", 1);
+    LOCWM_OBS_COUNT("core.reg_wm.pairs_encoded",
+                    result.certificate.pairs.size());
     return result;
   }
+  LOCWM_OBS_COUNT("core.reg_wm.embed_failures", 1);
   return std::nullopt;
 }
 
 RegDetectResult RegisterWatermarker::detect(
     const cdfg::Cdfg& suspect, const regbind::LifetimeTable& table,
     const regbind::Binding& binding, const RegCertificate& certificate) const {
+  LOCWM_OBS_SPAN("core.reg_wm.detect");
   RegDetectResult best;
   best.total = certificate.pairs.size();
   best.root = NodeId::invalid();

@@ -5,6 +5,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/error.h"
+#include "obs/obs.h"
 #include "sched/timeframes.h"
 
 namespace locwm::wm {
@@ -99,6 +100,7 @@ cdfg::Cdfg stripRealizedDummies(const cdfg::Cdfg& realized,
 
 std::optional<SchedEmbedResult> SchedulingWatermarker::embed(
     cdfg::Cdfg& g, const SchedWmParams& params, std::size_t index) const {
+  LOCWM_OBS_SPAN("core.sched_wm.embed");
   const std::string context = "sched-wm/" + std::to_string(index);
   crypto::KeyedBitstream root_bits(signature_, context + "/root");
 
@@ -115,6 +117,7 @@ std::optional<SchedEmbedResult> SchedulingWatermarker::embed(
               .criticalPathSteps());
 
   for (std::size_t attempt = 0; attempt < params.max_root_retries; ++attempt) {
+    LOCWM_OBS_COUNT("core.sched_wm.roots_tried", 1);
     const NodeId root = roots[root_bits.below(roots.size())];
     crypto::KeyedBitstream carve_bits(signature_, context + "/carve");
     std::optional<Locality> loc =
@@ -243,8 +246,12 @@ std::optional<SchedEmbedResult> SchedulingWatermarker::embed(
       }
     }
     result.locality = std::move(*loc);
+    LOCWM_OBS_COUNT("core.sched_wm.embeds", 1);
+    LOCWM_OBS_COUNT("core.sched_wm.constraints_added",
+                    result.certificate.constraints.size());
     return result;
   }
+  LOCWM_OBS_COUNT("core.sched_wm.embed_failures", 1);
   return std::nullopt;
 }
 
@@ -269,10 +276,12 @@ SchedDetector::SchedDetector(const SchedulingWatermarker& marker,
                              const cdfg::Cdfg& suspect,
                              const WatermarkCertificate& certificate)
     : certificate_(&certificate) {
+  LOCWM_OBS_SPAN("core.sched_wm.detect_scan");
   const cdfg::OpKind root_kind =
       certificate.shape.node(NodeId(certificate.root_rank)).kind;
   const LocalityDeriver deriver(suspect);
   for (const NodeId root : deriver.candidateRoots()) {
+    LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", 1);
     // Cheap pre-filter: a shape match requires the root's operation kind
     // to equal the certificate root's kind.
     if (suspect.node(root).kind != root_kind) {
@@ -287,6 +296,7 @@ SchedDetector::SchedDetector(const SchedulingWatermarker& marker,
     }
     matches_.push_back(Match{root, loc->nodes});
   }
+  LOCWM_OBS_COUNT("core.sched_wm.detect_shape_matches", matches_.size());
 }
 
 SchedDetectResult SchedDetector::check(const sched::Schedule& schedule) const {

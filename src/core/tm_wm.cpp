@@ -7,6 +7,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/error.h"
+#include "obs/obs.h"
 
 namespace locwm::wm {
 
@@ -14,6 +15,7 @@ using cdfg::NodeId;
 
 std::optional<TmEmbedResult> TemplateWatermarker::embed(
     const cdfg::Cdfg& g, const TmWmParams& params, std::size_t index) const {
+  LOCWM_OBS_SPAN("core.tm_wm.embed");
   const std::string context = "tm-wm/" + std::to_string(index);
   crypto::KeyedBitstream root_bits(signature_, context + "/root");
 
@@ -207,8 +209,12 @@ std::optional<TmEmbedResult> TemplateWatermarker::embed(
     result.certificate.whole_design = params.whole_design;
     result.certificate.shape = loc->shape;
     result.locality = std::move(*loc);
+    LOCWM_OBS_COUNT("core.tm_wm.embeds", 1);
+    LOCWM_OBS_COUNT("core.tm_wm.matchings_enforced",
+                    result.certificate.matchings.size());
     return result;
   }
+  LOCWM_OBS_COUNT("core.tm_wm.embed_failures", 1);
   return std::nullopt;
 }
 
@@ -227,6 +233,7 @@ tm::CoverResult TemplateWatermarker::applyCover(const cdfg::Cdfg& g,
 TmDetectResult TemplateWatermarker::detect(
     const cdfg::Cdfg& suspect, const std::vector<tm::Matching>& cover,
     const TmCertificate& certificate) const {
+  LOCWM_OBS_SPAN("core.tm_wm.detect");
   TmDetectResult best;
   best.total = certificate.matchings.size();
   best.root = NodeId::invalid();

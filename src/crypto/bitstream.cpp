@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace locwm::crypto {
 
 namespace {
@@ -40,16 +42,19 @@ KeyedBitstream::KeyedBitstream(const AuthorSignature& signature,
             }
             return deriveKey(signature, context);
           }(),
-          /*drop=*/256) {}
+          /*drop=*/256) {
+  LOCWM_OBS_COUNT("crypto.bitstream.streams_keyed", 1);
+}
 
 bool KeyedBitstream::nextBit() {
   if (bits_left_ == 0) {
     current_ = rc4_.nextByte();
     bits_left_ = 8;
+    LOCWM_OBS_COUNT("crypto.bitstream.bytes_drawn", 1);
   }
   --bits_left_;
   ++bits_consumed_;
-  return ((current_ >> bits_left_) & 1u) != 0;
+  return ((static_cast<unsigned>(current_) >> bits_left_) & 1u) != 0;
 }
 
 std::uint64_t KeyedBitstream::nextBits(unsigned count) {

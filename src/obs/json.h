@@ -1,0 +1,73 @@
+// Minimal JSON string formatting shared by the observability exporters
+// and the bench table writers.  Only what our exporters need: escaping,
+// and locale-independent number formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace locwm::obs {
+
+/// Appends `text` to `out` as the *contents* of a JSON string (no quotes),
+/// escaping the characters RFC 8259 requires.
+inline void appendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `text` as a quoted JSON string.
+inline std::string jsonString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  appendJsonEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// A double as a JSON number ("null" for non-finite values, which JSON
+/// cannot represent).
+inline std::string jsonNumber(double value) {
+  if (value != value || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace locwm::obs

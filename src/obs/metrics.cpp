@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace locwm::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void setEnabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot(
+    bool nonzero_only) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c->value();
+    if (nonzero_only && v == 0) {
+      continue;
+    }
+    out.push_back(Sample{name, static_cast<std::int64_t>(v), false});
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::int64_t v = g->value();
+    if (nonzero_only && v == 0) {
+      continue;
+    }
+    out.push_back(Sample{name, v, true});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::snapshotJson() const {
+  const std::vector<Sample> samples = snapshot();
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (s.is_gauge) {
+      continue;
+    }
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    " + jsonString(s.name) + ": " + std::to_string(s.value);
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  first = true;
+  for (const Sample& s : samples) {
+    if (!s.is_gauge) {
+      continue;
+    }
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    " + jsonString(s.name) + ": " + std::to_string(s.value);
+  }
+  json += first ? "}\n" : "\n  }\n";
+  json += "}\n";
+  return json;
+}
+
+bool MetricsRegistry::writeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << snapshotJson();
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (const auto& [name, g] : gauges_) {
+    g->reset();
+  }
+}
+
+}  // namespace locwm::obs

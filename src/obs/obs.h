@@ -1,0 +1,89 @@
+// locwm::obs — the instrumentation surface the passes use.
+//
+// All instrumentation in the library goes through these macros, never the
+// classes directly, so one switch controls everything:
+//
+//   * Compile time: build with -DLOCWM_OBS_ENABLED=0 (CMake option
+//     LOCWM_OBS=OFF) and every macro expands to nothing — zero overhead,
+//     no obs symbols referenced from the passes.
+//   * Runtime: obs::setEnabled(true) arms recording.  Until then each
+//     macro costs a single relaxed atomic load (and spans skip the clock
+//     read), and nothing is formatted, registered, or allocated.
+//
+// Naming conventions (see docs/OBSERVABILITY.md):
+//   spans     "module.pass"            e.g. "sched.list"
+//   counters  "module.pass.event"      e.g. "sched.bb.steps_explored"
+//   gauges    "module.pass.level"      e.g. "sched.list.ready_peak"
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef LOCWM_OBS_ENABLED
+#define LOCWM_OBS_ENABLED 1
+#endif
+
+#if LOCWM_OBS_ENABLED
+
+#define LOCWM_OBS_CONCAT_IMPL(a, b) a##b
+#define LOCWM_OBS_CONCAT(a, b) LOCWM_OBS_CONCAT_IMPL(a, b)
+
+/// Declares an RAII span covering the rest of the enclosing scope.
+/// `name` must be a string literal.
+#define LOCWM_OBS_SPAN(name) \
+  const ::locwm::obs::ObsSpan LOCWM_OBS_CONCAT(locwm_obs_span_, __LINE__)(name)
+
+/// Adds `delta` to the named counter.  The registry handle is resolved
+/// once per call site and cached in a function-local static.
+#define LOCWM_OBS_COUNT(name, delta)                                  \
+  do {                                                                \
+    if (::locwm::obs::enabled()) {                                    \
+      static ::locwm::obs::Counter& locwm_obs_counter_ =              \
+          ::locwm::obs::MetricsRegistry::instance().counter(name);    \
+      locwm_obs_counter_.add(static_cast<std::uint64_t>(delta));      \
+    }                                                                 \
+  } while (0)
+
+/// Raises the named gauge to `value` if higher (high-water mark).
+#define LOCWM_OBS_GAUGE_MAX(name, value)                              \
+  do {                                                                \
+    if (::locwm::obs::enabled()) {                                    \
+      static ::locwm::obs::Gauge& locwm_obs_gauge_ =                  \
+          ::locwm::obs::MetricsRegistry::instance().gauge(name);      \
+      locwm_obs_gauge_.raiseTo(static_cast<std::int64_t>(value));     \
+    }                                                                 \
+  } while (0)
+
+/// Sets the named gauge to `value`.
+#define LOCWM_OBS_GAUGE_SET(name, value)                              \
+  do {                                                                \
+    if (::locwm::obs::enabled()) {                                    \
+      static ::locwm::obs::Gauge& locwm_obs_gauge_ =                  \
+          ::locwm::obs::MetricsRegistry::instance().gauge(name);      \
+      locwm_obs_gauge_.set(static_cast<std::int64_t>(value));         \
+    }                                                                 \
+  } while (0)
+
+#else  // !LOCWM_OBS_ENABLED
+
+#define LOCWM_OBS_SPAN(name) static_cast<void>(0)
+#define LOCWM_OBS_COUNT(name, delta) \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(delta);      \
+    }                                \
+  } while (0)
+#define LOCWM_OBS_GAUGE_MAX(name, value) \
+  do {                                   \
+    if (false) {                         \
+      static_cast<void>(value);          \
+    }                                    \
+  } while (0)
+#define LOCWM_OBS_GAUGE_SET(name, value) \
+  do {                                   \
+    if (false) {                         \
+      static_cast<void>(value);          \
+    }                                    \
+  } while (0)
+
+#endif  // LOCWM_OBS_ENABLED

@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace locwm::obs {
+
+namespace {
+
+/// Trace epoch: the steady-clock instant of the first nowNs() call.
+/// Relative timestamps keep trace files small and diff-friendly.
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Dense thread index for the Chrome "tid" field; assigned on first use.
+std::uint32_t threadIndex() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+// The innermost live span on this thread, for parent/child attribution.
+thread_local ObsSpan* t_current_span = nullptr;
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+std::uint64_t nowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::record(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+std::uint64_t TraceBuffer::totalRecorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void TraceBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceBuffer::chromeTraceJson() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    if (!first) {
+      json += ',';
+    }
+    first = false;
+    // Chrome expects microseconds; keep sub-microsecond precision.
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":%s,\"cat\":\"pass\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"depth\":%u}}",
+                  jsonString(e.name).c_str(),
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid, e.depth);
+    json += buf;
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}\n";
+  return json;
+}
+
+bool TraceBuffer::writeChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << chromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+PassTimer& PassTimer::instance() {
+  static PassTimer timer;
+  return timer;
+}
+
+void PassTimer::record(const char* name, std::uint64_t total_ns,
+                       std::uint64_t self_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stats_.find(std::string_view(name));
+  PassStat& stat = it != stats_.end()
+                       ? it->second
+                       : stats_.emplace(name, PassStat{name, 0, 0, 0})
+                             .first->second;
+  ++stat.calls;
+  stat.total_ns += total_ns;
+  stat.self_ns += self_ns;
+}
+
+std::vector<PassStat> PassTimer::report() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PassStat> out;
+  out.reserve(stats_.size());
+  for (const auto& [name, stat] : stats_) {
+    out.push_back(stat);
+  }
+  std::sort(out.begin(), out.end(), [](const PassStat& a, const PassStat& b) {
+    if (a.total_ns != b.total_ns) {
+      return a.total_ns > b.total_ns;
+    }
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void PassTimer::printReport(std::FILE* out) const {
+  const std::vector<PassStat> stats = report();
+  std::fprintf(out, "%-40s %8s %12s %12s\n", "pass", "calls", "total ms",
+               "self ms");
+  for (const PassStat& s : stats) {
+    std::fprintf(out, "%-40s %8llu %12.3f %12.3f\n", s.name.c_str(),
+                 static_cast<unsigned long long>(s.calls),
+                 static_cast<double>(s.total_ns) / 1e6,
+                 static_cast<double>(s.self_ns) / 1e6);
+  }
+}
+
+void PassTimer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+}
+
+ObsSpan::ObsSpan(const char* name) noexcept : name_(name) {
+  if (!enabled()) {
+    return;
+  }
+  active_ = true;
+  parent_ = t_current_span;
+  t_current_span = this;
+  ++t_depth;
+  start_ns_ = nowNs();
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) {
+    return;
+  }
+  const std::uint64_t dur = nowNs() - start_ns_;
+  t_current_span = parent_;
+  const std::uint32_t depth = --t_depth;
+  if (parent_ != nullptr) {
+    parent_->child_ns_ += dur;
+  }
+  TraceBuffer::instance().record(
+      TraceEvent{name_, start_ns_, dur, threadIndex(), depth});
+  PassTimer::instance().record(name_, dur,
+                               dur > child_ns_ ? dur - child_ns_ : 0);
+}
+
+std::string statsJson() {
+  const std::string metrics = MetricsRegistry::instance().snapshotJson();
+  // Splice the passes array into the metrics object: drop the final "}\n".
+  std::string json = metrics.substr(0, metrics.rfind('}'));
+  // snapshotJson() ends the gauges object with "  }\n" or "}"; ensure a
+  // separating comma before the passes key.
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+    json.pop_back();
+  }
+  json += ",\n  \"passes\": [";
+  const std::vector<PassStat> stats = PassTimer::instance().report();
+  bool first = true;
+  for (const PassStat& s : stats) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    {\"name\": " + jsonString(s.name) +
+            ", \"calls\": " + std::to_string(s.calls) +
+            ", \"total_ms\": " +
+            jsonNumber(static_cast<double>(s.total_ns) / 1e6) +
+            ", \"self_ms\": " +
+            jsonNumber(static_cast<double>(s.self_ns) / 1e6) + "}";
+  }
+  json += first ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  return json;
+}
+
+bool writeStatsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << statsJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace locwm::obs

@@ -1,0 +1,120 @@
+// Scoped pass tracing.
+//
+// ObsSpan is an RAII span over one pass invocation: construction stamps a
+// monotonic clock, destruction records a completed event into a fixed-size
+// thread-safe ring buffer and folds the duration into the per-pass
+// aggregate (PassTimer).  Spans nest; a thread-local stack attributes
+// child time to parents so the report can show self vs. total time.
+//
+// The buffer exports Chrome trace-event JSON ("traceEvents" array of
+// "ph":"X" complete events) loadable in chrome://tracing or Perfetto.
+//
+// Cost model: with obs disabled at runtime the span constructor is one
+// relaxed atomic load and a bool store — no clock read, no allocation.
+// Compiled out entirely when LOCWM_OBS_ENABLED is 0 (see obs/obs.h).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace locwm::obs {
+
+/// One completed span.  `name` must be a string literal (or otherwise
+/// outlive the buffer): spans are recorded on hot paths and must not copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< relative to the process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< dense per-process thread index
+  std::uint32_t depth = 0; ///< nesting depth at record time
+};
+
+/// Fixed-capacity ring of completed spans (oldest events overwritten).
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 1u << 16;
+
+  static TraceBuffer& instance();
+
+  void record(const TraceEvent& event);
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events recorded since the last clear(), including overwritten ones.
+  [[nodiscard]] std::uint64_t totalRecorded() const;
+
+  void clear();
+
+  /// Chrome trace-event JSON (chrome://tracing, Perfetto "open trace").
+  [[nodiscard]] std::string chromeTraceJson() const;
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Wall-time aggregate of one span name.
+struct PassStat {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;  ///< inclusive of children
+  std::uint64_t self_ns = 0;   ///< total minus directly nested spans
+};
+
+/// Per-pass aggregate over all recorded spans (not subject to the ring
+/// buffer's capacity — every span lands here).
+class PassTimer {
+ public:
+  static PassTimer& instance();
+
+  void record(const char* name, std::uint64_t total_ns,
+              std::uint64_t self_ns);
+
+  /// Aggregates sorted by descending total time.
+  [[nodiscard]] std::vector<PassStat> report() const;
+
+  /// Fixed-width human-readable report (the "--report" table).
+  void printReport(std::FILE* out) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PassStat, std::less<>> stats_;
+};
+
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name) noexcept;
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  ObsSpan* parent_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Nanoseconds on the monotonic clock, relative to the process trace
+/// epoch (first observability use).
+[[nodiscard]] std::uint64_t nowNs() noexcept;
+
+/// Writes the combined stats document — metric snapshot plus pass-timer
+/// report — as one JSON object:
+///   {"counters": {...}, "gauges": {...}, "passes": [...]}
+[[nodiscard]] std::string statsJson();
+bool writeStatsJson(const std::string& path);
+
+}  // namespace locwm::obs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 #include "sched/force_directed.h"
 #include "sched/timeframes.h"
 
@@ -100,6 +101,7 @@ struct SearchState {
 
 BranchBoundResult branchBoundSchedule(const cdfg::Cdfg& g,
                                       const BranchBoundOptions& options) {
+  LOCWM_OBS_SPAN("sched.bb");
   const TimeFrames tf(g, options.latency, options.deadline,
                       options.honor_temporal);
   const std::uint32_t deadline = tf.deadline();
@@ -158,6 +160,9 @@ BranchBoundResult branchBoundSchedule(const cdfg::Cdfg& g,
   result.cost = st.best_cost;
   result.proven_optimal = !st.budget_hit;
   result.steps_explored = st.steps;
+  LOCWM_OBS_COUNT("sched.bb.steps_explored", st.steps);
+  LOCWM_OBS_COUNT("sched.bb.budget_hits", st.budget_hit ? 1 : 0);
+  LOCWM_OBS_COUNT("sched.bb.runs", 1);
   return result;
 }
 

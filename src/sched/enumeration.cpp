@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 #include "sched/timeframes.h"
 
 namespace locwm::sched {
@@ -175,16 +176,23 @@ Enumerator makeEnumerator(const cdfg::Cdfg& g,
 
 CountResult countSchedules(const cdfg::Cdfg& g,
                            const EnumerationOptions& options) {
+  LOCWM_OBS_SPAN("sched.enum.count");
   Enumerator en = makeEnumerator(g, options);
   en.run(0);
+  LOCWM_OBS_COUNT("sched.enum.states", en.steps);
+  LOCWM_OBS_COUNT("sched.enum.schedules", en.count);
+  LOCWM_OBS_COUNT("sched.enum.budget_hits", en.budget_hit ? 1 : 0);
   return CountResult{en.count, !en.budget_hit, en.steps};
 }
 
 void enumerateSchedules(const cdfg::Cdfg& g, const EnumerationOptions& options,
                         const std::function<bool(const Schedule&)>& visit) {
+  LOCWM_OBS_SPAN("sched.enum.visit");
   Enumerator en = makeEnumerator(g, options);
   en.visit = &visit;
   en.run(0);
+  LOCWM_OBS_COUNT("sched.enum.states", en.steps);
+  LOCWM_OBS_COUNT("sched.enum.schedules", en.count);
 }
 
 PsiPair countPsi(const cdfg::Cdfg& g, NodeId src, NodeId dst,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 #include "sched/timeframes.h"
 
 namespace locwm::sched {
@@ -93,6 +94,7 @@ double distributionCost(const cdfg::Cdfg& g, const LatencyModel& lat,
 
 Schedule forceDirectedSchedule(const cdfg::Cdfg& g,
                                const ForceDirectedOptions& options) {
+  LOCWM_OBS_SPAN("sched.fd");
   const LatencyModel& lat = options.latency;
   const TimeFrames tf(g, lat, options.deadline, options.honor_temporal);
   const std::uint32_t deadline = tf.deadline();
@@ -129,6 +131,7 @@ Schedule forceDirectedSchedule(const cdfg::Cdfg& g,
         Frames trial = frames;
         trial.lo[v.value()] = t;
         trial.hi[v.value()] = t;
+        LOCWM_OBS_COUNT("sched.fd.trial_placements", 1);
         if (!propagate(g, lat, options.honor_temporal, trial)) {
           continue;
         }
@@ -149,6 +152,7 @@ Schedule forceDirectedSchedule(const cdfg::Cdfg& g,
                                  "forceDirectedSchedule: propagation failed");
     fixed[best_node.value()] = true;
     --remaining;
+    LOCWM_OBS_COUNT("sched.fd.nodes_fixed", 1);
   }
 
   Schedule s(g.nodeCount());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cdfg/analysis.h"
+#include "obs/obs.h"
 
 namespace locwm::sched {
 
@@ -13,6 +14,7 @@ using cdfg::NodeId;
 
 Schedule listSchedule(const cdfg::Cdfg& g,
                       const ListSchedulerOptions& options) {
+  LOCWM_OBS_SPAN("sched.list");
   const LatencyModel& lat = options.latency;
   Schedule s(g.nodeCount());
 
@@ -54,6 +56,7 @@ Schedule listSchedule(const cdfg::Cdfg& g,
   };
 
   std::size_t scheduled = 0;
+  std::size_t ready_peak = ready.size();
   while (scheduled < g.nodeCount()) {
     detail::check<ScheduleError>(!ready.empty(),
                                  "listSchedule: dependence cycle");
@@ -100,9 +103,12 @@ Schedule listSchedule(const cdfg::Cdfg& g,
           std::max(earliest[ed.dst.value()], t + gap);
       if (--pending[ed.dst.value()] == 0) {
         ready.push({keyOf(ed.dst), ed.dst});
+        ready_peak = std::max(ready_peak, ready.size());
       }
     }
   }
+  LOCWM_OBS_GAUGE_MAX("sched.list.ready_peak", ready_peak);
+  LOCWM_OBS_COUNT("sched.list.nodes_scheduled", scheduled);
   return s;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 
 namespace locwm::tm {
 
@@ -92,6 +93,7 @@ struct ExactCover {
 CoverResult cover(const cdfg::Cdfg& g, const TemplateLibrary& lib,
                   const std::vector<Matching>& candidates,
                   const CoverOptions& options) {
+  LOCWM_OBS_SPAN("tm.cover");
   CoverResult result;
   std::vector<bool> covered(g.nodeCount(), false);
 
@@ -178,6 +180,7 @@ CoverResult cover(const cdfg::Cdfg& g, const TemplateLibrary& lib,
           static_cast<std::uint32_t>(usable.size() + i));
     }
     search.dfs(0);
+    LOCWM_OBS_COUNT("tm.cover.dfs_steps", search.steps);
     for (const std::uint32_t mi : search.best_choice) {
       result.chosen.push_back(*all[mi]);
       if (!all[mi]->template_id.isValid()) {
@@ -221,6 +224,9 @@ CoverResult cover(const cdfg::Cdfg& g, const TemplateLibrary& lib,
   }
 
   result.module_count = result.chosen.size();
+  LOCWM_OBS_COUNT("tm.cover.modules", result.module_count);
+  LOCWM_OBS_COUNT("tm.cover.singletons", result.singleton_count);
+  LOCWM_OBS_COUNT("tm.cover.runs", 1);
   return result;
 }
 

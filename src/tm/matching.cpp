@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "cdfg/error.h"
+#include "obs/obs.h"
 
 namespace locwm::tm {
 
@@ -101,6 +102,7 @@ struct MatcherState {
 std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
                                          const TemplateLibrary& lib,
                                          const MatchOptions& options) {
+  LOCWM_OBS_SPAN("tm.match");
   std::vector<Matching> out;
 
   std::vector<bool> allowed;
@@ -177,6 +179,8 @@ std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
       }
     }
   }
+  LOCWM_OBS_COUNT("tm.match.matchings_enumerated", out.size());
+  LOCWM_OBS_COUNT("tm.match.runs", 1);
   return out;
 }
 

@@ -17,6 +17,20 @@ cd "$DIR"
 # Detection must succeed with the right key...
 "$LW" detect published.cdfg core.sched cert.wmc.0 cert.wmc.1 -i "CI Author" -n it-1
 
+# ...including quietly (exit code carries the verdict; stdout is empty)...
+OUT=$("$LW" detect published.cdfg core.sched cert.wmc.0 -i "CI Author" -n it-1 -q)
+test -z "$OUT"
+
+# ...and with observability on: the trace is Chrome trace-event JSON and
+# the stats snapshot carries counters and pass timings.
+"$LW" detect published.cdfg core.sched cert.wmc.0 -i "CI Author" -n it-1 \
+      --trace trace.json --stats stats.json --report 2> report.txt
+grep -q '"traceEvents"' trace.json
+grep -q '"counters"' stats.json
+grep -q '"passes"' stats.json
+grep -q 'core.sched_wm' stats.json
+grep -q 'calls' report.txt
+
 # Register-binding round trip.
 "$LW" schedule published.cdfg -o pub.sched
 "$LW" embed-reg published.cdfg pub.sched -i "CI Author" -n it-1 -c reg.wmc -o reg.bind

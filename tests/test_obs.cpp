@@ -1,0 +1,347 @@
+// Observability (locwm::obs): span nesting and ordering, Chrome-trace and
+// stats JSON well-formedness, counter determinism under fixed keys, and
+// the disabled-mode guarantees.  Also covers bench::pcString, whose
+// scientific-notation fix rides on the same PR as the obs subsystem.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/sched_wm.h"
+#include "obs/obs.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+namespace {
+
+using namespace locwm;
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON well-formedness checker, so the trace
+// and stats exports are validated by actually parsing them back rather
+// than by spot-checking substrings.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse() {
+    skipWs();
+    if (!value()) {
+      return false;
+    }
+    skipWs();
+    return p_ == end_;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+
+  void skipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (end_ - p_ < static_cast<std::ptrdiff_t>(word.size()) ||
+        std::string_view(p_, word.size()) != word) {
+      return false;
+    }
+    p_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (p_ == end_ || *p_ != '"') {
+      return false;
+    }
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ == end_) {
+      return false;
+    }
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    bool digits = false;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+')) {
+      digits = digits || (*p_ >= '0' && *p_ <= '9');
+      ++p_;
+    }
+    return digits && p_ != start;
+  }
+  bool members(char close, bool with_keys) {
+    skipWs();
+    if (p_ != end_ && *p_ == close) {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (with_keys) {
+        if (!string()) {
+          return false;
+        }
+        skipWs();
+        if (p_ == end_ || *p_ != ':') {
+          return false;
+        }
+        ++p_;
+      }
+      if (!value()) {
+        return false;
+      }
+      skipWs();
+      if (p_ == end_) {
+        return false;
+      }
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == close) {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    skipWs();
+    if (p_ == end_) {
+      return false;
+    }
+    switch (*p_) {
+      case '{':
+        ++p_;
+        return members('}', /*with_keys=*/true);
+      case '[':
+        ++p_;
+        return members(']', /*with_keys=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+};
+
+/// Resets every obs singleton to a clean, enabled state.
+void resetObs(bool enabled) {
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceBuffer::instance().clear();
+  obs::PassTimer::instance().clear();
+  obs::setEnabled(enabled);
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { resetObs(true); }
+  void TearDown() override { resetObs(false); }
+};
+
+#if LOCWM_OBS_ENABLED
+
+TEST_F(ObsTest, SpanNestingRecordsInnerFirstWithDepths) {
+  {
+    LOCWM_OBS_SPAN("outer");
+    {
+      LOCWM_OBS_SPAN("inner");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) {
+        sink = sink + i;
+      }
+    }
+  }
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceBuffer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner completes first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span contains the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].dur_ns, events[0].dur_ns);
+}
+
+TEST_F(ObsTest, PassTimerAttributesSelfVersusChildTime) {
+  {
+    LOCWM_OBS_SPAN("parent");
+    { LOCWM_OBS_SPAN("child"); }
+    { LOCWM_OBS_SPAN("child"); }
+  }
+  const std::vector<obs::PassStat> stats =
+      obs::PassTimer::instance().report();
+  ASSERT_EQ(stats.size(), 2u);
+  const obs::PassStat* parent = nullptr;
+  const obs::PassStat* child = nullptr;
+  for (const obs::PassStat& s : stats) {
+    (s.name == "parent" ? parent : child) = &s;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(parent->calls, 1u);
+  EXPECT_EQ(child->calls, 2u);
+  EXPECT_LE(parent->self_ns, parent->total_ns);
+  // Parent self time excludes the two child spans.
+  EXPECT_LE(parent->self_ns + child->total_ns,
+            parent->total_ns + 1);  // +1: integer truncation slack
+}
+
+TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
+  {
+    LOCWM_OBS_SPAN("alpha");
+    { LOCWM_OBS_SPAN("beta \"quoted\" \\ name"); }
+  }
+  const std::string json = obs::TraceBuffer::instance().chromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("beta \\\"quoted\\\" \\\\ name"), std::string::npos);
+}
+
+TEST_F(ObsTest, StatsJsonParsesBackAndCarriesAllSections) {
+  LOCWM_OBS_COUNT("test.stats.events", 3);
+  LOCWM_OBS_GAUGE_MAX("test.stats.level", 7);
+  { LOCWM_OBS_SPAN("test.stats.pass"); }
+  const std::string json = obs::statsJson();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.stats.events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.stats.level\": 7"), std::string::npos);
+}
+
+TEST_F(ObsTest, CountersAndGaugesAccumulate) {
+  LOCWM_OBS_COUNT("test.acc.count", 2);
+  LOCWM_OBS_COUNT("test.acc.count", 3);
+  LOCWM_OBS_GAUGE_MAX("test.acc.peak", 5);
+  LOCWM_OBS_GAUGE_MAX("test.acc.peak", 2);  // below peak: no effect
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("test.acc.count").value(), 5u);
+  EXPECT_EQ(reg.gauge("test.acc.peak").value(), 5);
+}
+
+TEST_F(ObsTest, RingBufferOverwritesOldestButCountsAll) {
+  auto& buf = obs::TraceBuffer::instance();
+  for (std::size_t i = 0; i < obs::TraceBuffer::kCapacity + 10; ++i) {
+    buf.record(obs::TraceEvent{"e", i, 1, 0, 0});
+  }
+  EXPECT_EQ(buf.totalRecorded(), obs::TraceBuffer::kCapacity + 10);
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), obs::TraceBuffer::kCapacity);
+  // Oldest-first: the first surviving event is number 10.
+  EXPECT_EQ(events.front().start_ns, 10u);
+  EXPECT_EQ(events.back().start_ns, obs::TraceBuffer::kCapacity + 9);
+}
+
+// The flagship determinism property: instrumentation counts algorithmic
+// work, never time, so two identical keyed runs must produce bit-identical
+// counter snapshots.
+TEST_F(ObsTest, CountersDeterministicAcrossIdenticalSeededRuns) {
+  auto run = [] {
+    obs::MetricsRegistry::instance().reset();
+    const cdfg::Cdfg g = workloads::hyperSuite()[0].graph;
+    wm::SchedulingWatermarker marker({"alice", "determinism"});
+    wm::SchedWmParams params;
+    params.locality.min_size = 4;
+    params.min_eligible = 2;
+    const sched::TimeFrames tf(g, params.latency);
+    params.deadline = tf.criticalPathSteps() + 3;
+    cdfg::Cdfg marked = g;
+    (void)marker.embedMany(marked, 2, params);
+    (void)sched::listSchedule(marked);
+    return obs::MetricsRegistry::instance().snapshot(/*nonzero_only=*/true);
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].value, second[i].value) << first[i].name;
+  }
+}
+
+#endif  // LOCWM_OBS_ENABLED
+
+// Holds compiled-in-but-runtime-disabled AND compiled-out alike.
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::setEnabled(false);
+  const std::uint64_t before = obs::TraceBuffer::instance().totalRecorded();
+  {
+    LOCWM_OBS_SPAN("ghost");
+    LOCWM_OBS_COUNT("test.ghost.count", 42);
+    LOCWM_OBS_GAUGE_MAX("test.ghost.peak", 42);
+  }
+  EXPECT_EQ(obs::TraceBuffer::instance().totalRecorded(), before);
+  EXPECT_TRUE(obs::PassTimer::instance().report().empty());
+  // The disabled macros never registered the metrics at all.
+  for (const auto& s :
+       obs::MetricsRegistry::instance().snapshot(/*nonzero_only=*/false)) {
+    EXPECT_NE(s.name, "test.ghost.count");
+    EXPECT_NE(s.name, "test.ghost.peak");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bench::pcString: well-formed scientific notation (mantissa.digit e int),
+// never the old malformed "1e-5.3" shape.
+TEST(PcString, EmitsMantissaAndIntegerExponent) {
+  EXPECT_EQ(bench::pcString(-5.3), "5.0e-6");
+  EXPECT_EQ(bench::pcString(-6.0), "1.0e-6");
+  EXPECT_EQ(bench::pcString(0.0), "1.0e0");
+  EXPECT_EQ(bench::pcString(3.0), "1.0e3");
+  EXPECT_EQ(bench::pcString(-0.04), "9.1e-1");
+}
+
+TEST(PcString, RoundingCarryPromotesTheExponent) {
+  // 10^-0.001 = 0.9977... -> mantissa would round to 10.0 at one decimal.
+  EXPECT_EQ(bench::pcString(-5.001), "1.0e-5");
+}
+
+TEST(PcString, NonFiniteInputs) {
+  EXPECT_EQ(bench::pcString(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(bench::pcString(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(bench::pcString(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(PcString, NeverContainsAFractionalExponent) {
+  for (const double v : {-27.45, -13.37, -1.05, -0.5, 2.79}) {
+    const std::string s = bench::pcString(v);
+    const std::size_t e = s.find('e');
+    ASSERT_NE(e, std::string::npos) << s;
+    EXPECT_EQ(s.find('.', e), std::string::npos)
+        << "fractional exponent in " << s;
+  }
+}
+
+}  // namespace

@@ -12,6 +12,12 @@
 //
 // Files: designs use the cdfg/io.h text format; certificates the
 // core/certificate_io.h format; schedules are lines of "<node> <step>".
+//
+// Observability: `--trace FILE` writes a Chrome trace-event JSON of every
+// pass span (open in chrome://tracing or https://ui.perfetto.dev),
+// `--stats FILE` writes the counter/gauge/pass-timer snapshot as JSON,
+// `--report` prints the per-pass wall-time table to stderr at exit.
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +32,7 @@
 #include "cdfg/io.h"
 #include "core/certificate_io.h"
 #include "core/tm_wm.h"
+#include "obs/obs.h"
 #include "tm/cover.h"
 #include "tm/library_io.h"
 #include "core/pc.h"
@@ -49,7 +56,21 @@ using namespace locwm;
   std::exit(2);
 }
 
-void usage() {
+// -q/--quiet suppresses informational output (results still drive the
+// exit code, so scripts lose nothing).
+bool g_quiet = false;
+
+void note(const char* format, ...) {
+  if (g_quiet) {
+    return;
+  }
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+}
+
+[[noreturn]] void usage() {
   std::puts(
       "usage: locwm <command> [args]\n"
       "\n"
@@ -75,7 +96,21 @@ void usage() {
       "  embed-tm FILE -i ID -n NONCE -c CERT -o COVER [--lib FILE]\n"
       "                                 cover the design with a watermark\n"
       "  detect-tm FILE COVER CERT... -i ID -n NONCE [--lib FILE]\n"
-      "                                 scan a template cover");
+      "                                 scan a template cover\n"
+      "\n"
+      "global options (any command):\n"
+      "  -q, --quiet                    suppress informational output\n"
+      "  --trace FILE                   write Chrome trace-event JSON\n"
+      "                                 (chrome://tracing / Perfetto)\n"
+      "  --stats FILE                   write counters/gauges/pass times\n"
+      "                                 as JSON\n"
+      "  --report                       print per-pass wall-time table to\n"
+      "                                 stderr at exit\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success; for detect commands: at least one mark detected\n"
+      "  1  detect commands: no mark detected (verify-cert: invalid cert)\n"
+      "  2  usage or I/O error");
   std::exit(2);
 }
 
@@ -127,6 +162,9 @@ struct Args {
     }
     return std::nullopt;
   }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return get(name).has_value();
+  }
   [[nodiscard]] std::string require(const std::string& name,
                                     const std::string& what) const {
     const auto v = get(name);
@@ -137,11 +175,19 @@ struct Args {
   }
 };
 
+bool isBooleanFlag(const std::string& name) {
+  return name == "-q" || name == "--quiet" || name == "--report";
+}
+
 Args parseArgs(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.size() > 1 && a.front() == '-') {
+      if (isBooleanFlag(a)) {
+        args.options.emplace_back(a, "");
+        continue;
+      }
       if (i + 1 >= argc) {
         die("option " + a + " needs a value");
       }
@@ -196,7 +242,7 @@ int cmdGen(const Args& args) {
   }
   saveText(args.require("-o", "output design file"),
            cdfg::printToString(g));
-  std::printf("wrote %zu nodes, %zu edges\n", g.nodeCount(), g.edgeCount());
+  note("wrote %zu nodes, %zu edges\n", g.nodeCount(), g.edgeCount());
   return 0;
 }
 
@@ -276,8 +322,8 @@ int cmdEmbed(const Args& args) {
     const std::string path =
         marks.size() == 1 ? base : base + "." + std::to_string(i);
     saveText(path, wm::certificateToString(marks[i].certificate));
-    std::printf("mark %zu: %zu constraints -> %s\n", i,
-                marks[i].certificate.constraints.size(), path.c_str());
+    note("mark %zu: %zu constraints -> %s\n", i,
+         marks[i].certificate.constraints.size(), path.c_str());
   }
   return 0;
 }
@@ -290,8 +336,8 @@ int cmdSchedule(const Args& args) {
   const sched::Schedule s = sched::listSchedule(g);
   saveText(args.require("-o", "schedule output"),
            sched::scheduleToString(g, s));
-  std::printf("scheduled into %u steps\n",
-              s.makespan(g, sched::LatencyModel::unit()));
+  note("scheduled into %u steps\n",
+       s.makespan(g, sched::LatencyModel::unit()));
   return 0;
 }
 
@@ -338,10 +384,9 @@ int cmdDetect(const Args& args) {
         strength = "Pc n/a (locality too large to enumerate)";
       }
     }
-    std::printf("%-24s %s (%zu/%zu constraints, %zu shape matches, %s)\n",
-                args.positional[i].c_str(),
-                det.found ? "DETECTED" : "not found", det.satisfied,
-                det.total, det.shape_matches, strength.c_str());
+    note("%-24s %s (%zu/%zu constraints, %zu shape matches, %s)\n",
+         args.positional[i].c_str(), det.found ? "DETECTED" : "not found",
+         det.satisfied, det.total, det.shape_matches, strength.c_str());
     found += det.found;
   }
   return found > 0 ? 0 : 1;
@@ -403,9 +448,8 @@ int cmdEmbedReg(const Args& args) {
   saveText(args.require("-o", "binding output"), bindingText(table, binding));
   saveText(args.require("-c", "certificate output"),
            wm::certificateToString(r->certificate));
-  std::printf("bound %zu values into %u registers with %zu shared pairs\n",
-              table.values.size(), binding.register_count,
-              r->aliases.size());
+  note("bound %zu values into %u registers with %zu shared pairs\n",
+       table.values.size(), binding.register_count, r->aliases.size());
   return 0;
 }
 
@@ -427,10 +471,9 @@ int cmdDetectReg(const Args& args) {
     }
     const auto cert = wm::parseRegCertificate(in);
     const auto det = marker.detect(suspect, table, binding, cert);
-    std::printf("%-24s %s (%zu/%zu pairs, %zu shape matches)\n",
-                args.positional[i].c_str(),
-                det.found ? "DETECTED" : "not found", det.shared, det.total,
-                det.shape_matches);
+    note("%-24s %s (%zu/%zu pairs, %zu shape matches)\n",
+         args.positional[i].c_str(), det.found ? "DETECTED" : "not found",
+         det.shared, det.total, det.shape_matches);
     found += det.found;
   }
   return found > 0 ? 0 : 1;
@@ -472,8 +515,8 @@ int cmdEmbedTm(const Args& args) {
            tm::coverToString(cover.chosen));
   saveText(args.require("-c", "certificate output"),
            wm::certificateToString(r->certificate));
-  std::printf("covered with %zu modules; %zu matchings enforced\n",
-              cover.module_count, r->forced.size());
+  note("covered with %zu modules; %zu matchings enforced\n",
+       cover.module_count, r->forced.size());
   return 0;
 }
 
@@ -497,9 +540,8 @@ int cmdDetectTm(const Args& args) {
     }
     const auto cert = wm::parseTmCertificate(in);
     const auto det = marker.detect(suspect, cover, cert);
-    std::printf("%-24s %s (%zu/%zu matchings)\n", args.positional[i].c_str(),
-                det.found ? "DETECTED" : "not found", det.present,
-                det.total);
+    note("%-24s %s (%zu/%zu matchings)\n", args.positional[i].c_str(),
+         det.found ? "DETECTED" : "not found", det.present, det.total);
     found += det.found;
   }
   return found > 0 ? 0 : 1;
@@ -554,6 +596,49 @@ int cmdVerifyCert(const Args& args) {
   return bad == 0 ? 0 : 1;
 }
 
+int runCommand(const std::string& cmd, const Args& args) {
+  if (cmd == "gen") {
+    return cmdGen(args);
+  }
+  if (cmd == "info") {
+    return cmdInfo(args);
+  }
+  if (cmd == "dot") {
+    return cmdDot(args);
+  }
+  if (cmd == "embed") {
+    return cmdEmbed(args);
+  }
+  if (cmd == "schedule") {
+    return cmdSchedule(args);
+  }
+  if (cmd == "strip") {
+    return cmdStrip(args);
+  }
+  if (cmd == "detect") {
+    return cmdDetect(args);
+  }
+  if (cmd == "embed-reg") {
+    return cmdEmbedReg(args);
+  }
+  if (cmd == "detect-reg") {
+    return cmdDetectReg(args);
+  }
+  if (cmd == "verify-cert") {
+    return cmdVerifyCert(args);
+  }
+  if (cmd == "gen-lib") {
+    return cmdGenLib(args);
+  }
+  if (cmd == "embed-tm") {
+    return cmdEmbedTm(args);
+  }
+  if (cmd == "detect-tm") {
+    return cmdDetectTm(args);
+  }
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -562,48 +647,31 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args = parseArgs(argc, argv, 2);
+
+  g_quiet = args.has("-q") || args.has("--quiet");
+  const std::optional<std::string> trace_path = args.get("--trace");
+  const std::optional<std::string> stats_path = args.get("--stats");
+  const bool report = args.has("--report");
+  if (trace_path || stats_path || report) {
+    obs::setEnabled(true);
+  }
+
+  int rc = 2;
   try {
-    if (cmd == "gen") {
-      return cmdGen(args);
-    }
-    if (cmd == "info") {
-      return cmdInfo(args);
-    }
-    if (cmd == "dot") {
-      return cmdDot(args);
-    }
-    if (cmd == "embed") {
-      return cmdEmbed(args);
-    }
-    if (cmd == "schedule") {
-      return cmdSchedule(args);
-    }
-    if (cmd == "strip") {
-      return cmdStrip(args);
-    }
-    if (cmd == "detect") {
-      return cmdDetect(args);
-    }
-    if (cmd == "embed-reg") {
-      return cmdEmbedReg(args);
-    }
-    if (cmd == "detect-reg") {
-      return cmdDetectReg(args);
-    }
-    if (cmd == "verify-cert") {
-      return cmdVerifyCert(args);
-    }
-    if (cmd == "gen-lib") {
-      return cmdGenLib(args);
-    }
-    if (cmd == "embed-tm") {
-      return cmdEmbedTm(args);
-    }
-    if (cmd == "detect-tm") {
-      return cmdDetectTm(args);
-    }
+    rc = runCommand(cmd, args);
   } catch (const std::exception& e) {
     die(e.what());
   }
-  usage();
+
+  if (trace_path &&
+      !obs::TraceBuffer::instance().writeChromeTrace(*trace_path)) {
+    die("cannot write trace file '" + *trace_path + "'");
+  }
+  if (stats_path && !obs::writeStatsJson(*stats_path)) {
+    die("cannot write stats file '" + *stats_path + "'");
+  }
+  if (report) {
+    obs::PassTimer::instance().printReport(stderr);
+  }
+  return rc;
 }

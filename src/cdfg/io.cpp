@@ -28,7 +28,9 @@ std::string printToString(const Cdfg& g) {
   return os.str();
 }
 
-Cdfg parse(std::istream& is) {
+namespace {
+
+Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
   Cdfg g;
   std::string line;
   std::size_t lineno = 0;
@@ -94,7 +96,23 @@ Cdfg parse(std::istream& is) {
         fail("unknown edge kind '" + kindName + "'");
       }
       if (src >= g.nodeCount() || dst >= g.nodeCount()) {
-        fail("edge references undeclared node");
+        if (!issues) {
+          fail("edge references undeclared node");
+        }
+        issues->push_back(
+            {ParseIssue::Kind::kDanglingEdge, lineno, src, dst, kind});
+        continue;
+      }
+      if (issues && src == dst) {
+        issues->push_back(
+            {ParseIssue::Kind::kSelfEdge, lineno, src, dst, kind});
+        continue;
+      }
+      if (issues && kind == EdgeKind::kTemporal &&
+          g.hasEdge(NodeId(src), NodeId(dst), EdgeKind::kTemporal)) {
+        issues->push_back(
+            {ParseIssue::Kind::kDuplicateTemporal, lineno, src, dst, kind});
+        continue;
       }
       g.addEdge(NodeId(src), NodeId(dst), kind);
     } else {
@@ -104,13 +122,34 @@ Cdfg parse(std::istream& is) {
   if (!sawHeader) {
     throw ParseError("cdfg parse error: empty input");
   }
-  g.checkAcyclic();
+  if (!issues) {
+    g.checkAcyclic();
+  } else {
+    try {
+      g.checkAcyclic();
+    } catch (const GraphError&) {
+      issues->push_back({ParseIssue::Kind::kCycle, 0, 0, 0, EdgeKind::kData});
+    }
+  }
   return g;
+}
+
+}  // namespace
+
+Cdfg parse(std::istream& is) { return parseImpl(is, nullptr); }
+
+Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues) {
+  return parseImpl(is, &issues);
 }
 
 Cdfg parseString(const std::string& text) {
   std::istringstream is(text);
   return parse(is);
+}
+
+Cdfg parseString(const std::string& text, std::vector<ParseIssue>& issues) {
+  std::istringstream is(text);
+  return parse(is, issues);
 }
 
 }  // namespace locwm::cdfg

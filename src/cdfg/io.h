@@ -10,9 +10,11 @@
 // exactly: parse(print(g)) is structurally identical to g.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "cdfg/graph.h"
 
@@ -24,11 +26,37 @@ void print(std::ostream& os, const Cdfg& g);
 /// Renders `g` to a string.
 [[nodiscard]] std::string printToString(const Cdfg& g);
 
+/// One structural problem found while parsing in lenient mode (see the
+/// two-argument parse() overload).  The offending edge is dropped and
+/// parsing continues, so a linter can report every problem with a stable
+/// diagnostic code instead of stopping at the first.
+struct ParseIssue {
+  enum class Kind : std::uint8_t {
+    kDanglingEdge,       ///< edge endpoint is not a declared node
+    kSelfEdge,           ///< edge with src == dst
+    kDuplicateTemporal,  ///< the same temporal edge listed twice
+    kCycle,              ///< dependence cycle (all edges are kept)
+  };
+  Kind kind = Kind::kDanglingEdge;
+  std::size_t line = 0;  ///< 1-based source line (0 for kCycle)
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  EdgeKind edge_kind = EdgeKind::kData;
+};
+
 /// Parses a graph from the text format.  Throws ParseError on malformed
 /// input.
 [[nodiscard]] Cdfg parse(std::istream& is);
 
+/// Lenient parse for static analysis: structural violations (dangling or
+/// self edges, duplicate temporal edges, cycles) are recorded in `issues`
+/// instead of throwing; offending edges are dropped, cyclic edge sets are
+/// kept.  Syntax errors still throw ParseError.
+[[nodiscard]] Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues);
+
 /// Parses a graph from a string.
 [[nodiscard]] Cdfg parseString(const std::string& text);
+[[nodiscard]] Cdfg parseString(const std::string& text,
+                               std::vector<ParseIssue>& issues);
 
 }  // namespace locwm::cdfg

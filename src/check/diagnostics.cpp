@@ -1,0 +1,83 @@
+#include "check/diagnostics.h"
+
+#include "obs/json.h"
+
+namespace locwm::check {
+
+std::string_view severityName(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Report::add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+void Report::merge(Report other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+std::size_t Report::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    n += d.severity == s;
+  }
+  return n;
+}
+
+std::string Report::renderText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.artifact;
+    out += ": ";
+    out += severityName(d.severity);
+    out += ' ';
+    out += d.code;
+    out += ": ";
+    out += d.message;
+    if (!d.location.empty()) {
+      out += " [";
+      out += d.location;
+      out += ']';
+    }
+    if (!d.hint.empty()) {
+      out += "\n  hint: ";
+      out += d.hint;
+    }
+    out += '\n';
+  }
+  out += std::to_string(count(Severity::kError)) + " error(s), " +
+         std::to_string(count(Severity::kWarning)) + " warning(s), " +
+         std::to_string(count(Severity::kInfo)) + " info(s)\n";
+  return out;
+}
+
+std::string Report::renderJson() const {
+  std::string out = "{\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"code\": " + obs::jsonString(d.code) +
+           ", \"severity\": " + obs::jsonString(severityName(d.severity)) +
+           ", \"artifact\": " + obs::jsonString(d.artifact) +
+           ", \"location\": " + obs::jsonString(d.location) +
+           ", \"message\": " + obs::jsonString(d.message) +
+           ", \"hint\": " + obs::jsonString(d.hint) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"summary\": {\"errors\": " +
+         std::to_string(count(Severity::kError)) +
+         ", \"warnings\": " + std::to_string(count(Severity::kWarning)) +
+         ", \"infos\": " + std::to_string(count(Severity::kInfo)) + "}\n}\n";
+  return out;
+}
+
+}  // namespace locwm::check

@@ -1,0 +1,79 @@
+// locwm::check — diagnostics engine of the static-analysis subsystem.
+//
+// Every invariant the watermarking protocol rests on (acyclic temporal
+// edges, precedence-respecting schedules, tiling covers, conflict-free
+// bindings, self-consistent certificates) is checked by a *rule* that
+// reports findings as Diagnostic values with a stable LW### code, instead
+// of the scattered throw-on-first-violation validate() helpers.  A Report
+// collects diagnostics, renders them as text or JSON, and maps onto the
+// lint exit-code contract (errors -> 1, clean -> 0).
+//
+// Code families (see docs/STATIC_ANALYSIS.md for the full catalogue):
+//   LW0xx  engine (unreadable artifact, unknown kind, missing context)
+//   LW1xx  CDFG graph rules
+//   LW2xx  schedule rules
+//   LW3xx  template-cover rules
+//   LW4xx  register-binding rules
+//   LW5xx  certificate rules
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locwm::check {
+
+/// How bad a finding is.  Ordered: comparisons rely on kError being the
+/// largest value.
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// Stable mnemonic ("info" / "warning" / "error").
+[[nodiscard]] std::string_view severityName(Severity s) noexcept;
+
+/// One finding of one rule.
+struct Diagnostic {
+  std::string code;      ///< stable rule code, e.g. "LW103"
+  Severity severity = Severity::kError;
+  std::string artifact;  ///< file path or logical artifact name
+  std::string location;  ///< where inside the artifact ("edge 3->7", ...)
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< how to fix / why it matters (may be empty)
+};
+
+/// An ordered collection of diagnostics from one lint run.  Order is the
+/// order rules emitted them (rules are deterministic, so two runs over the
+/// same artifacts produce identical reports).
+class Report {
+ public:
+  void add(Diagnostic d);
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+  [[nodiscard]] bool hasErrors() const noexcept {
+    return count(Severity::kError) > 0;
+  }
+  [[nodiscard]] bool hasWarnings() const noexcept {
+    return count(Severity::kWarning) > 0;
+  }
+
+  /// One "artifact: severity CODE: message [location] (hint)" line per
+  /// diagnostic plus a trailing summary line.
+  [[nodiscard]] std::string renderText() const;
+
+  /// Machine-readable form:
+  ///   {"diagnostics": [{"code": ..., "severity": ..., "artifact": ...,
+  ///     "location": ..., "message": ..., "hint": ...}, ...],
+  ///    "summary": {"errors": N, "warnings": N, "infos": N}}
+  /// Deterministic: identical inputs render byte-identical JSON.
+  [[nodiscard]] std::string renderJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace locwm::check

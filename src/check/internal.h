@@ -1,0 +1,77 @@
+// Shared helpers of the rule implementations.  Internal to src/check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "check/diagnostics.h"
+
+namespace locwm::check::detail {
+
+/// "node 7 (add 'A5')" — node reference with kind and label when present.
+inline std::string nodeRef(const cdfg::Cdfg& g, cdfg::NodeId n) {
+  const cdfg::Node& node = g.node(n);
+  std::string out = "node " + std::to_string(n.value()) + " (" +
+                    std::string(cdfg::opName(node.kind));
+  if (!node.name.empty()) {
+    out += " '" + node.name + "'";
+  }
+  out += ')';
+  return out;
+}
+
+/// "edge 3->7 (temporal)".
+inline std::string edgeRef(std::uint32_t src, std::uint32_t dst,
+                           cdfg::EdgeKind kind) {
+  return "edge " + std::to_string(src) + "->" + std::to_string(dst) + " (" +
+         std::string(cdfg::edgeKindName(kind)) + ")";
+}
+
+/// True when a data/control path from `from` to `to` exists that uses no
+/// temporal edge and not the edge `skip`.  Iterative DFS; safe on cyclic
+/// graphs.
+inline bool hasDataControlPath(const cdfg::Cdfg& g, cdfg::NodeId from,
+                               cdfg::NodeId to,
+                               cdfg::EdgeId skip = cdfg::EdgeId::invalid()) {
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::vector<cdfg::NodeId> stack{from};
+  seen[from.value()] = true;
+  while (!stack.empty()) {
+    const cdfg::NodeId n = stack.back();
+    stack.pop_back();
+    for (cdfg::EdgeId e : g.outEdges(n)) {
+      if (e == skip) {
+        continue;
+      }
+      const cdfg::Edge& edge = g.edge(e);
+      if (edge.kind == cdfg::EdgeKind::kTemporal) {
+        continue;
+      }
+      if (edge.dst == to) {
+        return true;
+      }
+      if (!seen[edge.dst.value()]) {
+        seen[edge.dst.value()] = true;
+        stack.push_back(edge.dst);
+      }
+    }
+  }
+  return false;
+}
+
+/// Builds a Diagnostic in one expression.
+inline Diagnostic diag(std::string code, Severity severity,
+                       const std::string& artifact, std::string location,
+                       std::string message, std::string hint = {}) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = severity;
+  d.artifact = artifact;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+}  // namespace locwm::check::detail

@@ -1,0 +1,187 @@
+#include "check/linter.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "cdfg/io.h"
+#include "check/internal.h"
+#include "core/certificate_io.h"
+#include "regbind/binding_io.h"
+#include "regbind/lifetime.h"
+#include "sched/schedule_io.h"
+#include "tm/library_io.h"
+
+namespace locwm::check {
+namespace {
+
+using detail::diag;
+
+/// First line that is neither blank nor a '#' comment, comment stripped.
+std::string firstMeaningfulLine(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        return line;
+      }
+    }
+  }
+  return {};
+}
+
+/// True when the line is "<uint> <uint>" — the schedule entry shape.
+bool looksLikeScheduleEntry(const std::string& line) {
+  std::istringstream ls(line);
+  std::uint32_t node = 0;
+  std::uint32_t step = 0;
+  std::string trailing;
+  return (ls >> node >> step) && !(ls >> trailing);
+}
+
+}  // namespace
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {}
+
+void Linter::lintFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    report_.add(diag("LW001", Severity::kError, path, {},
+                     "cannot open file", "check the path and permissions"));
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  lintText(buffer.str(), path);
+}
+
+void Linter::lintText(const std::string& text, const std::string& name) {
+  const std::string header = firstMeaningfulLine(text);
+  std::istringstream hs(header);
+  std::string word;
+  hs >> word;
+
+  try {
+    if (word == "cdfg") {
+      lintDesign(text, name);
+    } else if (word == "tmcover") {
+      lintCover(text, name);
+    } else if (word == "tmlib") {
+      options_.library = tm::parseLibraryString(text);
+    } else if (word == "registers") {
+      lintBinding(text, name);
+    } else if (word == "locwm-cert") {
+      std::string version;
+      std::string kind;
+      hs >> version >> kind;
+      lintCertificate(text, name, kind);
+    } else if (looksLikeScheduleEntry(header)) {
+      lintSchedule(text, name);
+    } else if (word.empty()) {
+      report_.add(diag("LW002", Severity::kError, name, {},
+                       "artifact is empty",
+                       "expected a design, schedule, cover, binding, "
+                       "library, or certificate"));
+    } else {
+      report_.add(diag("LW002", Severity::kError, name, "'" + word + "'",
+                       "artifact kind cannot be recognized",
+                       "expected a design, schedule, cover, binding, "
+                       "library, or certificate"));
+    }
+  } catch (const Error& e) {
+    report_.add(diag("LW001", Severity::kError, name, {}, e.what(),
+                     "fix the artifact's syntax; semantic problems are "
+                     "reported as individual diagnostics"));
+  }
+}
+
+void Linter::lintDesign(const std::string& text, const std::string& name) {
+  std::vector<cdfg::ParseIssue> issues;
+  cdfg::Cdfg g = cdfg::parseString(text, issues);
+  report_.merge(checkGraph(g, issues, name));
+  design_ = std::move(g);
+  schedule_.reset();  // a schedule belongs to the design before it
+}
+
+void Linter::lintSchedule(const std::string& text, const std::string& name) {
+  if (!design_) {
+    report_.add(diag("LW003", Severity::kError, name, {},
+                     "schedule has no design to check against",
+                     "pass the design file before the schedule"));
+    return;
+  }
+  std::vector<sched::ScheduleParseIssue> issues;
+  std::istringstream is(text);
+  sched::Schedule s = sched::parseSchedule(is, design_->nodeCount(), issues);
+  report_.merge(checkSchedule(*design_, s, issues, name));
+  schedule_ = std::move(s);
+}
+
+void Linter::lintCover(const std::string& text, const std::string& name) {
+  if (!design_) {
+    report_.add(diag("LW003", Severity::kError, name, {},
+                     "cover has no design to check against",
+                     "pass the design file before the cover"));
+    return;
+  }
+  std::vector<tm::CoverParseIssue> issues;
+  std::istringstream is(text);
+  const std::vector<tm::Matching> cover =
+      tm::parseCover(is, options_.library, design_->nodeCount(), issues);
+  report_.merge(checkCover(*design_, options_.library, cover, issues, name));
+}
+
+void Linter::lintBinding(const std::string& text, const std::string& name) {
+  if (!design_ || !schedule_) {
+    report_.add(diag("LW003", Severity::kError, name, {},
+                     "binding has no design and schedule to check against",
+                     "pass the design and schedule files before the "
+                     "binding"));
+    return;
+  }
+  // Lenient binding parsing needs the lifetime table; if the schedule is
+  // broken the table cannot be derived and the binding is uncheckable.
+  regbind::LifetimeTable table;
+  try {
+    table = regbind::computeLifetimes(*design_, *schedule_);
+  } catch (const Error& e) {
+    report_.add(diag("LW402", Severity::kError, name, {},
+                     std::string("value lifetimes cannot be derived: ") +
+                         e.what(),
+                     "fix the schedule first (see LW2xx diagnostics)"));
+    return;
+  }
+  std::vector<regbind::BindingParseIssue> issues;
+  std::istringstream is(text);
+  const regbind::Binding binding = regbind::parseBinding(is, table, issues);
+  report_.merge(checkBinding(*design_, *schedule_, binding, issues, name));
+}
+
+void Linter::lintCertificate(const std::string& text, const std::string& name,
+                             const std::string& kind) {
+  std::istringstream is(text);
+  if (kind == "sched") {
+    report_.merge(checkCertificate(
+        wm::parseSchedCertificate(is, wm::CertValidation::kLenient), name));
+  } else if (kind == "tm") {
+    report_.merge(checkCertificate(
+        wm::parseTmCertificate(is, wm::CertValidation::kLenient), name));
+  } else if (kind == "reg") {
+    report_.merge(checkCertificate(
+        wm::parseRegCertificate(is, wm::CertValidation::kLenient), name));
+  } else {
+    report_.add(diag("LW001", Severity::kError, name, "'" + kind + "'",
+                     "unknown certificate kind",
+                     "expected sched, tm, or reg"));
+  }
+}
+
+}  // namespace locwm::check

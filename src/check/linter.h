@@ -1,0 +1,65 @@
+// Artifact linter — the file-level driver of the static-analysis
+// subsystem (CLI command `locwm lint`).
+//
+// The linter sniffs each artifact's kind from its header line, parses it
+// leniently (semantic violations become diagnostics instead of parse
+// failures), and runs the registered rules.  Artifact order matters:
+// schedules, covers, and bindings are checked against the most recent
+// *design* on the command line, and bindings also against the most recent
+// *schedule* — mirroring how the artifacts relate in the synthesis flow.
+//
+// Recognized artifacts (header line):
+//   cdfg v1            design graph
+//   <int> <int> ...    schedule (node/step pairs)
+//   tmcover v1         template cover
+//   tmlib v1           template library (replaces the cover-check library)
+//   registers <n>      register binding
+//   locwm-cert v1 ...  watermark certificate (sched / tm / reg)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cdfg/graph.h"
+#include "check/diagnostics.h"
+#include "check/rules.h"
+#include "sched/schedule.h"
+#include "tm/template.h"
+
+namespace locwm::check {
+
+/// Options of the artifact linter.
+struct LintOptions {
+  /// Template library covers are checked against until a `tmlib` artifact
+  /// replaces it.
+  tm::TemplateLibrary library = tm::TemplateLibrary::basicDsp();
+};
+
+/// Accumulates diagnostics over a sequence of artifact files.
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {});
+
+  /// Lints one artifact file.  Unreadable files produce LW001.
+  void lintFile(const std::string& path);
+
+  /// Lints artifact text under a display name (tests, stdin).
+  void lintText(const std::string& text, const std::string& name);
+
+  [[nodiscard]] const Report& report() const noexcept { return report_; }
+
+ private:
+  void lintDesign(const std::string& text, const std::string& name);
+  void lintSchedule(const std::string& text, const std::string& name);
+  void lintCover(const std::string& text, const std::string& name);
+  void lintBinding(const std::string& text, const std::string& name);
+  void lintCertificate(const std::string& text, const std::string& name,
+                       const std::string& kind);
+
+  LintOptions options_;
+  Report report_;
+  std::optional<cdfg::Cdfg> design_;
+  std::optional<sched::Schedule> schedule_;
+};
+
+}  // namespace locwm::check

@@ -1,0 +1,56 @@
+#include "check/pass_audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "check/rules.h"
+#include "core/pass_audit.h"
+#include "obs/obs.h"
+
+namespace locwm::check {
+namespace {
+
+void emit(const char* pass, const Report& report) {
+  if (report.empty()) {
+    return;
+  }
+  LOCWM_OBS_COUNT("check.pass_audit.errors",
+                  report.count(Severity::kError));
+  LOCWM_OBS_COUNT("check.pass_audit.warnings",
+                  report.count(Severity::kWarning));
+  std::fprintf(stderr, "[locwm-check] pass %s:\n%s", pass,
+               report.renderText().c_str());
+}
+
+}  // namespace
+
+void installPassAudit() {
+  wm::PassAuditHooks hooks;
+  hooks.graph = [](const char* pass, const cdfg::Cdfg& g) {
+    emit(pass, checkGraph(g, {}, std::string("pass:") + pass));
+  };
+  hooks.sched_cert = [](const char* pass, const wm::WatermarkCertificate& c) {
+    emit(pass, checkCertificate(c, std::string("pass:") + pass));
+  };
+  hooks.tm_cert = [](const char* pass, const wm::TmCertificate& c) {
+    emit(pass, checkCertificate(c, std::string("pass:") + pass));
+  };
+  hooks.reg_cert = [](const char* pass, const wm::RegCertificate& c) {
+    emit(pass, checkCertificate(c, std::string("pass:") + pass));
+  };
+  wm::setPassAuditHooks(std::move(hooks));
+}
+
+bool installPassAuditFromEnv() {
+  const char* value = std::getenv("LOCWM_CHECK_PASSES");
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return false;
+  }
+  installPassAudit();
+  return true;
+}
+
+}  // namespace locwm::check

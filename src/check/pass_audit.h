@@ -1,0 +1,19 @@
+// check-side installer of the core pass-audit hooks.
+//
+// When armed, every graph/certificate a watermarking pass reports through
+// core/pass_audit.h is run through the check rules; findings are printed
+// to stderr (prefixed with the pass name) and counted in the obs metrics
+// "check.pass_audit.errors" / ".warnings".  Auditing never throws: a
+// finding is a debugging signal, not a pass failure.
+#pragma once
+
+namespace locwm::check {
+
+/// Installs the auditors unconditionally.
+void installPassAudit();
+
+/// Installs the auditors when the environment variable LOCWM_CHECK_PASSES
+/// is set to anything but "" or "0".  Returns true when installed.
+bool installPassAuditFromEnv();
+
+}  // namespace locwm::check

@@ -1,0 +1,96 @@
+#include "check/rules.h"
+
+namespace locwm::check {
+
+// The catalogue of every code the checker can emit.  Codes are stable API:
+// scripts key on them, docs/STATIC_ANALYSIS.md catalogues them, and the
+// negative-path tests in tests/test_check.cpp pin one corruption per code.
+// Never renumber; retire codes by leaving a tombstone entry.
+const std::vector<RuleInfo>& allRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"LW001", Severity::kError, "engine",
+       "artifact file is unreadable or fails to parse", "-"},
+      {"LW002", Severity::kError, "engine",
+       "artifact kind cannot be recognized", "-"},
+      {"LW003", Severity::kError, "engine",
+       "artifact needs a context artifact (design/schedule) that was not "
+       "supplied",
+       "-"},
+      {"LW101", Severity::kError, "cdfg",
+       "edge endpoints must be declared, distinct nodes", "§II"},
+      {"LW102", Severity::kError, "cdfg",
+       "temporal edges form a set: no duplicates", "§IV-A"},
+      {"LW103", Severity::kError, "cdfg",
+       "the dependence relation (data+control+temporal) must be acyclic",
+       "§II"},
+      {"LW104", Severity::kWarning, "cdfg",
+       "a temporal edge implied by an existing data/control path is "
+       "redundant and carries no watermark information",
+       "§IV-A"},
+      {"LW105", Severity::kWarning, "cdfg",
+       "a real operation with no edges is disconnected from the "
+       "computation",
+       "§II"},
+      {"LW106", Severity::kInfo, "cdfg",
+       "automorphic operations cannot receive a unique canonical rank and "
+       "are invisible to watermark localities",
+       "§IV-A (C1-C3)"},
+      {"LW201", Severity::kError, "schedule",
+       "every node must be assigned a control step", "§IV-A"},
+      {"LW202", Severity::kError, "schedule",
+       "a data/control edge's consumer must start after the producer "
+       "finishes (latency gap)",
+       "§II"},
+      {"LW203", Severity::kError, "schedule",
+       "a temporal edge's destination must start strictly after its source",
+       "§IV-A"},
+      {"LW204", Severity::kInfo, "schedule",
+       "makespan exceeds the dependence-only (ASAP) lower bound", "§IV-A"},
+      {"LW205", Severity::kError, "schedule",
+       "schedule entries must reference nodes of the design", "-"},
+      {"LW301", Severity::kError, "cover",
+       "every operation is implemented by exactly one module: tiles must "
+       "not overlap",
+       "§IV-B"},
+      {"LW302", Severity::kError, "cover",
+       "every real operation must be covered by a tile", "§IV-B"},
+      {"LW303", Severity::kError, "cover",
+       "cover entries must reference known templates, in-range template "
+       "ops, and real nodes of the design",
+       "§IV-B"},
+      {"LW304", Severity::kError, "cover",
+       "every template-internal edge must be realized by a data edge of "
+       "the design",
+       "§IV-B"},
+      {"LW401", Severity::kError, "binding",
+       "values with overlapping lifetimes must not share a register",
+       "§III"},
+      {"LW402", Severity::kError, "binding",
+       "binding entries must assign every register value exactly once, "
+       "within the declared register count",
+       "§III"},
+      {"LW403", Severity::kInfo, "binding",
+       "register count exceeds the max-live lower bound", "§III"},
+      {"LW501", Severity::kError, "certificate",
+       "locality parameters must be in range (max-distance > 0, exclusion "
+       "probability <= 255/256, 0 < min-size <= shape size)",
+       "§III"},
+      {"LW502", Severity::kError, "certificate",
+       "root rank and constraint ranks must index shape nodes", "§IV-A"},
+      {"LW503", Severity::kError, "certificate",
+       "constraints must not be degenerate (self-referential) or "
+       "duplicated",
+       "§IV-A"},
+      {"LW504", Severity::kError, "certificate",
+       "the shape must re-identify: real operations only, no temporal "
+       "edges, connected to its root",
+       "§III"},
+      {"LW505", Severity::kWarning, "certificate",
+       "a constraint implied by a shape data path is satisfied by every "
+       "schedule and carries no watermark information",
+       "§IV-A"},
+  };
+  return kRules;
+}
+
+}  // namespace locwm::check

@@ -1,0 +1,151 @@
+// Template-cover rules (LW3xx).  A cover implements every real operation
+// by exactly one module instance (§IV-B); the tiles must partition the real
+// operations and every template-internal edge must be realized by a data
+// edge of the design.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/internal.h"
+#include "check/rules.h"
+
+namespace locwm::check {
+
+using detail::diag;
+
+Report checkCover(const cdfg::Cdfg& g, const tm::TemplateLibrary& lib,
+                  const std::vector<tm::Matching>& cover,
+                  const std::vector<tm::CoverParseIssue>& issues,
+                  const std::string& artifact) {
+  Report r;
+
+  // LW303: entries the lenient parser dropped (unknown template, op index
+  // out of range, node outside the design).
+  for (const tm::CoverParseIssue& issue : issues) {
+    r.add(diag("LW303", Severity::kError, artifact,
+               issue.line != 0 ? "line " + std::to_string(issue.line)
+                               : std::string{},
+               issue.what,
+               "cover entries must reference known templates and real nodes "
+               "of the design"));
+  }
+
+  // Tile bookkeeping: which matchings claim each node.
+  std::vector<std::vector<std::size_t>> claimed(g.nodeCount());
+  for (std::size_t mi = 0; mi < cover.size(); ++mi) {
+    const tm::Matching& m = cover[mi];
+    const std::string tile = "tile " + std::to_string(mi);
+
+    // Trivial-module (singleton) entries carry an invalid template id by
+    // convention (tm/cover.h); they claim one node and realize no edges.
+    if (!m.template_id.isValid()) {
+      for (const tm::MatchPair& p : m.pairs) {
+        if (p.node.value() >= g.nodeCount()) {
+          r.add(diag("LW303", Severity::kError, artifact, tile,
+                     "singleton references node " +
+                         std::to_string(p.node.value()) +
+                         ", but the design has " +
+                         std::to_string(g.nodeCount()) + " nodes",
+                     {}));
+          continue;
+        }
+        claimed[p.node.value()].push_back(mi);
+      }
+      continue;
+    }
+    if (m.template_id.value() >= lib.size()) {
+      r.add(diag("LW303", Severity::kError, artifact, tile,
+                 "matching references unknown template " +
+                     std::to_string(m.template_id.value()),
+                 "the template library has " + std::to_string(lib.size()) +
+                     " templates"));
+      continue;
+    }
+    const tm::Template& tmpl = lib.get(m.template_id);
+
+    std::unordered_map<std::size_t, cdfg::NodeId> node_of;
+    bool entry_ok = true;
+    for (const tm::MatchPair& p : m.pairs) {
+      if (p.op_index >= tmpl.size()) {
+        r.add(diag("LW303", Severity::kError, artifact, tile,
+                   "matching references op " + std::to_string(p.op_index) +
+                       " of template '" + tmpl.name + "' (" +
+                       std::to_string(tmpl.size()) + " ops)",
+                   {}));
+        entry_ok = false;
+        continue;
+      }
+      if (p.node.value() >= g.nodeCount()) {
+        r.add(diag("LW303", Severity::kError, artifact, tile,
+                   "matching references node " + std::to_string(p.node.value()) +
+                       ", but the design has " +
+                       std::to_string(g.nodeCount()) + " nodes",
+                   {}));
+        entry_ok = false;
+        continue;
+      }
+      if (cdfg::isPseudoOp(g.node(p.node).kind)) {
+        r.add(diag("LW303", Severity::kError, artifact, tile,
+                   detail::nodeRef(g, p.node) +
+                       " is a pseudo-op; covers tile real operations only",
+                   {}));
+        entry_ok = false;
+        continue;
+      }
+      node_of[p.op_index] = p.node;
+      claimed[p.node.value()].push_back(mi);
+    }
+    if (!entry_ok) {
+      continue;
+    }
+
+    // LW304: every template tree edge (child feeds parent) between two
+    // matched ops must be realized by a data edge of the design — the
+    // defining property of a matching (§IV-B).
+    for (const tm::MatchPair& p : m.pairs) {
+      for (std::size_t child : tmpl.ops[p.op_index].children) {
+        const auto it = node_of.find(child);
+        if (it == node_of.end()) {
+          continue;  // partial instantiation: the child op is idle
+        }
+        if (!g.hasEdge(it->second, p.node, cdfg::EdgeKind::kData)) {
+          r.add(diag("LW304", Severity::kError, artifact, tile,
+                     "template '" + tmpl.name + "' edge op" +
+                         std::to_string(child) + "->op" +
+                         std::to_string(p.op_index) +
+                         " is not realized by a data edge " +
+                         std::to_string(it->second.value()) + "->" +
+                         std::to_string(p.node.value()),
+                     "matchings must map template tree edges onto data "
+                     "edges of the design"));
+        }
+      }
+    }
+  }
+
+  // LW301 / LW302: tiles must partition the real operations.
+  for (cdfg::NodeId n : g.allNodes()) {
+    if (cdfg::isPseudoOp(g.node(n).kind)) {
+      continue;
+    }
+    const std::vector<std::size_t>& tiles = claimed[n.value()];
+    if (tiles.size() > 1) {
+      std::string which;
+      for (std::size_t t : tiles) {
+        which += (which.empty() ? "" : ", ") + std::to_string(t);
+      }
+      r.add(diag("LW301", Severity::kError, artifact, detail::nodeRef(g, n),
+                 "operation is covered by " + std::to_string(tiles.size()) +
+                     " tiles (" + which + ")",
+                 "every operation is implemented by exactly one module"));
+    } else if (tiles.empty()) {
+      r.add(diag("LW302", Severity::kError, artifact, detail::nodeRef(g, n),
+                 "real operation is not covered by any tile",
+                 "add a singleton tile or extend an adjacent matching"));
+    }
+  }
+
+  return r;
+}
+
+}  // namespace locwm::check

@@ -1,0 +1,101 @@
+// Schedule rules (LW2xx).  A schedule is the watermark carrier of §IV-A:
+// completeness, precedence, and temporal-constraint satisfaction decide
+// whether a suspect schedule can even be evaluated against a certificate.
+#include <string>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "check/internal.h"
+#include "check/rules.h"
+#include "sched/timeframes.h"
+
+namespace locwm::check {
+
+using detail::diag;
+
+Report checkSchedule(const cdfg::Cdfg& g, const sched::Schedule& s,
+                     const std::vector<sched::ScheduleParseIssue>& issues,
+                     const std::string& artifact,
+                     const sched::LatencyModel& lat) {
+  Report r;
+
+  // LW205: entries the lenient parser dropped because the node index is
+  // outside the design.
+  for (const sched::ScheduleParseIssue& issue : issues) {
+    r.add(diag("LW205", Severity::kError, artifact,
+               "line " + std::to_string(issue.line),
+               "entry assigns node " + std::to_string(issue.node) +
+                   " to step " + std::to_string(issue.step) +
+                   ", but the design has " + std::to_string(g.nodeCount()) +
+                   " nodes",
+               "schedule entries must reference nodes of the design"));
+  }
+
+  if (s.nodeCount() != g.nodeCount()) {
+    r.add(diag("LW205", Severity::kError, artifact, {},
+               "schedule is sized for " + std::to_string(s.nodeCount()) +
+                   " nodes, the design has " + std::to_string(g.nodeCount()),
+               "re-derive the schedule from this design"));
+    return r;  // further checks index out of range
+  }
+
+  // LW201: unassigned nodes.
+  bool complete = true;
+  for (cdfg::NodeId n : g.allNodes()) {
+    if (!s.isSet(n)) {
+      complete = false;
+      r.add(diag("LW201", Severity::kError, artifact, detail::nodeRef(g, n),
+                 "node has no control step",
+                 "every operation (including pseudo-ops) must be scheduled"));
+    }
+  }
+
+  // LW202 / LW203: per-edge precedence, reusing the library's gap rule
+  // (data/control: latency of the producer; temporal: strictly-before).
+  for (cdfg::EdgeId e : g.allEdges()) {
+    const cdfg::Edge& edge = g.edge(e);
+    if (!s.isSet(edge.src) || !s.isSet(edge.dst)) {
+      continue;  // already reported as LW201
+    }
+    const std::uint32_t gap = lat.edgeGap(g.node(edge.src).kind, edge.kind);
+    const std::uint32_t src_step = s.at(edge.src);
+    const std::uint32_t dst_step = s.at(edge.dst);
+    if (dst_step < src_step + gap) {
+      const bool temporal = edge.kind == cdfg::EdgeKind::kTemporal;
+      r.add(diag(
+          temporal ? "LW203" : "LW202", Severity::kError, artifact,
+          detail::edgeRef(edge.src.value(), edge.dst.value(), edge.kind),
+          detail::nodeRef(g, edge.dst) + " starts at step " +
+              std::to_string(dst_step) + ", before " +
+              detail::nodeRef(g, edge.src) + " (step " +
+              std::to_string(src_step) + ") " +
+              (temporal ? "is scheduled" : "completes"),
+          temporal ? "temporal constraints require strictly-before ordering"
+                   : "a consumer cannot start before its producer finishes"));
+    }
+  }
+
+  // LW204: makespan above the dependence-only lower bound — legitimate
+  // (resource limits, watermark constraints) but worth surfacing.
+  if (complete) {
+    try {
+      const sched::TimeFrames frames(g, lat);
+      const std::uint32_t makespan = s.makespan(g, lat);
+      const std::uint32_t bound = frames.criticalPathSteps();
+      if (makespan > bound) {
+        r.add(diag("LW204", Severity::kInfo, artifact, {},
+                   "makespan is " + std::to_string(makespan) +
+                       " steps; the dependence-only lower bound is " +
+                       std::to_string(bound),
+                   "slack may come from resource limits or embedded "
+                   "watermark constraints"));
+      }
+    } catch (const Error&) {
+      // Cyclic or otherwise unanalyzable design: graph rules report it.
+    }
+  }
+
+  return r;
+}
+
+}  // namespace locwm::check

@@ -135,7 +135,8 @@ std::string certificateToString(const RegCertificate& c) {
   return os.str();
 }
 
-WatermarkCertificate parseSchedCertificate(std::istream& is) {
+WatermarkCertificate parseSchedCertificate(std::istream& is,
+                                           CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "sched") {
     r.fail("not a scheduling-watermark certificate");
@@ -183,14 +184,16 @@ WatermarkCertificate parseSchedCertificate(std::istream& is) {
   if (!have_shape) {
     r.fail("certificate lacks a shape block");
   }
-  for (const RankConstraint& c : cert.constraints) {
-    if (c.before_rank >= cert.shape.nodeCount() ||
-        c.after_rank >= cert.shape.nodeCount()) {
-      r.fail("constraint rank out of shape range");
+  if (validation == CertValidation::kStrict) {
+    for (const RankConstraint& c : cert.constraints) {
+      if (c.before_rank >= cert.shape.nodeCount() ||
+          c.after_rank >= cert.shape.nodeCount()) {
+        r.fail("constraint rank out of shape range");
+      }
     }
-  }
-  if (cert.root_rank >= cert.shape.nodeCount()) {
-    r.fail("root-rank out of shape range");
+    if (cert.root_rank >= cert.shape.nodeCount()) {
+      r.fail("root-rank out of shape range");
+    }
   }
   return cert;
 }
@@ -200,7 +203,8 @@ WatermarkCertificate parseSchedCertificate(const std::string& text) {
   return parseSchedCertificate(is);
 }
 
-TmCertificate parseTmCertificate(std::istream& is) {
+TmCertificate parseTmCertificate(std::istream& is,
+                                 CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "tm") {
     r.fail("not a template-watermark certificate");
@@ -270,10 +274,12 @@ TmCertificate parseTmCertificate(std::istream& is) {
   if (!have_shape) {
     r.fail("certificate lacks a shape block");
   }
-  for (const EnforcedMatching& m : cert.matchings) {
-    for (const auto& [rank, op] : m.pairs) {
-      if (rank >= cert.shape.nodeCount()) {
-        r.fail("matching rank out of shape range");
+  if (validation == CertValidation::kStrict) {
+    for (const EnforcedMatching& m : cert.matchings) {
+      for (const auto& [rank, op] : m.pairs) {
+        if (rank >= cert.shape.nodeCount()) {
+          r.fail("matching rank out of shape range");
+        }
       }
     }
   }
@@ -285,7 +291,8 @@ TmCertificate parseTmCertificate(const std::string& text) {
   return parseTmCertificate(is);
 }
 
-RegCertificate parseRegCertificate(std::istream& is) {
+RegCertificate parseRegCertificate(std::istream& is,
+                                   CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "reg") {
     r.fail("not a register-binding-watermark certificate");
@@ -333,14 +340,16 @@ RegCertificate parseRegCertificate(std::istream& is) {
   if (!have_shape) {
     r.fail("certificate lacks a shape block");
   }
-  for (const RankConstraint& c : cert.pairs) {
-    if (c.before_rank >= cert.shape.nodeCount() ||
-        c.after_rank >= cert.shape.nodeCount()) {
-      r.fail("share rank out of shape range");
+  if (validation == CertValidation::kStrict) {
+    for (const RankConstraint& c : cert.pairs) {
+      if (c.before_rank >= cert.shape.nodeCount() ||
+          c.after_rank >= cert.shape.nodeCount()) {
+        r.fail("share rank out of shape range");
+      }
     }
-  }
-  if (cert.root_rank >= cert.shape.nodeCount()) {
-    r.fail("root-rank out of shape range");
+    if (cert.root_rank >= cert.shape.nodeCount()) {
+      r.fail("root-rank out of shape range");
+    }
   }
   return cert;
 }

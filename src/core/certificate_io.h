@@ -20,6 +20,7 @@
 // Parsing is strict; malformed input throws ParseError.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -41,18 +42,29 @@ void printCertificate(std::ostream& os, const RegCertificate& cert);
 [[nodiscard]] std::string certificateToString(const TmCertificate& c);
 [[nodiscard]] std::string certificateToString(const RegCertificate& c);
 
+/// Semantic strictness of certificate parsing.  kStrict (the default
+/// everywhere in the pipeline) rejects rank/root-rank values outside the
+/// shape.  kLenient keeps them and returns the certificate as written, so
+/// the static checker (src/check) can report each violation with a stable
+/// diagnostic code instead of a parse failure.  Syntax errors throw in
+/// both modes.
+enum class CertValidation : std::uint8_t { kStrict, kLenient };
+
 /// Parses a scheduling-watermark certificate; throws ParseError on
 /// malformed input or on a tm certificate.
-[[nodiscard]] WatermarkCertificate parseSchedCertificate(std::istream& is);
+[[nodiscard]] WatermarkCertificate parseSchedCertificate(
+    std::istream& is, CertValidation validation = CertValidation::kStrict);
 [[nodiscard]] WatermarkCertificate parseSchedCertificate(
     const std::string& text);
 
 /// Parses a template-watermark certificate.
-[[nodiscard]] TmCertificate parseTmCertificate(std::istream& is);
+[[nodiscard]] TmCertificate parseTmCertificate(
+    std::istream& is, CertValidation validation = CertValidation::kStrict);
 [[nodiscard]] TmCertificate parseTmCertificate(const std::string& text);
 
 /// Parses a register-binding-watermark certificate.
-[[nodiscard]] RegCertificate parseRegCertificate(std::istream& is);
+[[nodiscard]] RegCertificate parseRegCertificate(
+    std::istream& is, CertValidation validation = CertValidation::kStrict);
 [[nodiscard]] RegCertificate parseRegCertificate(const std::string& text);
 
 }  // namespace locwm::wm

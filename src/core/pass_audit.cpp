@@ -1,0 +1,43 @@
+#include "core/pass_audit.h"
+
+#include <utility>
+
+namespace locwm::wm {
+namespace {
+
+PassAuditHooks& hooks() {
+  static PassAuditHooks g_hooks;
+  return g_hooks;
+}
+
+}  // namespace
+
+void setPassAuditHooks(PassAuditHooks h) { hooks() = std::move(h); }
+
+void clearPassAuditHooks() { hooks() = PassAuditHooks{}; }
+
+void auditGraph(const char* pass, const cdfg::Cdfg& g) {
+  if (hooks().graph) {
+    hooks().graph(pass, g);
+  }
+}
+
+void auditCertificate(const char* pass, const WatermarkCertificate& c) {
+  if (hooks().sched_cert) {
+    hooks().sched_cert(pass, c);
+  }
+}
+
+void auditCertificate(const char* pass, const TmCertificate& c) {
+  if (hooks().tm_cert) {
+    hooks().tm_cert(pass, c);
+  }
+}
+
+void auditCertificate(const char* pass, const RegCertificate& c) {
+  if (hooks().reg_cert) {
+    hooks().reg_cert(pass, c);
+  }
+}
+
+}  // namespace locwm::wm

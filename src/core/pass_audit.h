@@ -1,0 +1,47 @@
+// Post-pass audit hooks.
+//
+// The static checker (src/check) audits the artifacts a watermarking pass
+// just produced, but check depends on core for the certificate types, so
+// core cannot call it directly.  This registry inverts the dependency:
+// the passes report their products here, and whoever links src/check
+// installs auditors (check::installPassAuditFromEnv, armed by the
+// LOCWM_CHECK_PASSES environment variable).  With no auditor installed
+// each report point is one empty-function check — cheap enough to keep in
+// release builds.
+#pragma once
+
+#include <functional>
+
+namespace locwm::cdfg {
+class Cdfg;
+}
+
+namespace locwm::wm {
+
+struct WatermarkCertificate;
+struct TmCertificate;
+struct RegCertificate;
+
+/// Auditors pass products are reported to.  Any member may be empty.
+struct PassAuditHooks {
+  std::function<void(const char* pass, const cdfg::Cdfg& g)> graph;
+  std::function<void(const char* pass, const WatermarkCertificate& c)>
+      sched_cert;
+  std::function<void(const char* pass, const TmCertificate& c)> tm_cert;
+  std::function<void(const char* pass, const RegCertificate& c)> reg_cert;
+};
+
+/// Installs (replaces) the process-wide auditors.  Install at startup:
+/// installation is not synchronized against concurrently running passes.
+void setPassAuditHooks(PassAuditHooks hooks);
+
+/// Removes every auditor.
+void clearPassAuditHooks();
+
+/// Report points called by the passes.  No-ops without installed hooks.
+void auditGraph(const char* pass, const cdfg::Cdfg& g);
+void auditCertificate(const char* pass, const WatermarkCertificate& c);
+void auditCertificate(const char* pass, const TmCertificate& c);
+void auditCertificate(const char* pass, const RegCertificate& c);
+
+}  // namespace locwm::wm

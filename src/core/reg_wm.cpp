@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "cdfg/error.h"
+#include "core/pass_audit.h"
 #include "obs/obs.h"
 #include "regbind/lifetime.h"
 
@@ -127,6 +128,7 @@ std::optional<RegEmbedResult> RegisterWatermarker::embed(
     LOCWM_OBS_COUNT("core.reg_wm.embeds", 1);
     LOCWM_OBS_COUNT("core.reg_wm.pairs_encoded",
                     result.certificate.pairs.size());
+    auditCertificate("reg-wm/embed", result.certificate);
     return result;
   }
   LOCWM_OBS_COUNT("core.reg_wm.embed_failures", 1);
@@ -137,6 +139,7 @@ RegDetectResult RegisterWatermarker::detect(
     const cdfg::Cdfg& suspect, const regbind::LifetimeTable& table,
     const regbind::Binding& binding, const RegCertificate& certificate) const {
   LOCWM_OBS_SPAN("core.reg_wm.detect");
+  auditCertificate("reg-wm/detect", certificate);
   RegDetectResult best;
   best.total = certificate.pairs.size();
   best.root = NodeId::invalid();

@@ -5,6 +5,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/error.h"
+#include "core/pass_audit.h"
 #include "obs/obs.h"
 #include "sched/timeframes.h"
 
@@ -249,6 +250,8 @@ std::optional<SchedEmbedResult> SchedulingWatermarker::embed(
     LOCWM_OBS_COUNT("core.sched_wm.embeds", 1);
     LOCWM_OBS_COUNT("core.sched_wm.constraints_added",
                     result.certificate.constraints.size());
+    auditGraph("sched-wm/embed", g);
+    auditCertificate("sched-wm/embed", result.certificate);
     return result;
   }
   LOCWM_OBS_COUNT("core.sched_wm.embed_failures", 1);
@@ -269,6 +272,7 @@ std::vector<SchedEmbedResult> SchedulingWatermarker::embedMany(
 SchedDetectResult SchedulingWatermarker::detect(
     const cdfg::Cdfg& suspect, const sched::Schedule& schedule,
     const WatermarkCertificate& certificate) const {
+  auditCertificate("sched-wm/detect", certificate);
   return SchedDetector(*this, suspect, certificate).check(schedule);
 }
 

@@ -7,6 +7,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/error.h"
+#include "core/pass_audit.h"
 #include "obs/obs.h"
 
 namespace locwm::wm {
@@ -212,6 +213,7 @@ std::optional<TmEmbedResult> TemplateWatermarker::embed(
     LOCWM_OBS_COUNT("core.tm_wm.embeds", 1);
     LOCWM_OBS_COUNT("core.tm_wm.matchings_enforced",
                     result.certificate.matchings.size());
+    auditCertificate("tm-wm/embed", result.certificate);
     return result;
   }
   LOCWM_OBS_COUNT("core.tm_wm.embed_failures", 1);
@@ -234,6 +236,7 @@ TmDetectResult TemplateWatermarker::detect(
     const cdfg::Cdfg& suspect, const std::vector<tm::Matching>& cover,
     const TmCertificate& certificate) const {
   LOCWM_OBS_SPAN("core.tm_wm.detect");
+  auditCertificate("tm-wm/detect", certificate);
   TmDetectResult best;
   best.total = certificate.matchings.size();
   best.root = NodeId::invalid();

@@ -1,0 +1,114 @@
+#include "regbind/binding_io.h"
+
+#include <sstream>
+
+#include "cdfg/error.h"
+
+namespace locwm::regbind {
+
+void printBinding(std::ostream& os, const LifetimeTable& table,
+                  const Binding& binding) {
+  os << "registers " << binding.register_count << '\n';
+  for (std::size_t i = 0; i < table.values.size(); ++i) {
+    os << table.values[i].producer.value() << ' ' << binding.reg_of[i]
+       << '\n';
+  }
+}
+
+std::string bindingToString(const LifetimeTable& table,
+                            const Binding& binding) {
+  std::ostringstream os;
+  printBinding(os, table, binding);
+  return os.str();
+}
+
+namespace {
+
+Binding parseBindingImpl(std::istream& is, const LifetimeTable& table,
+                         std::vector<BindingParseIssue>* issues) {
+  Binding binding;
+  binding.reg_of.assign(table.values.size(), 0);
+  std::vector<bool> assigned(table.values.size(), false);
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  const auto fail = [&](const std::string& why) {
+    throw ParseError("binding parse error at line " + std::to_string(lineno) +
+                     ": " + why);
+  };
+  const auto reject = [&](const std::string& why) {
+    if (!issues) {
+      fail(why);
+    }
+    issues->push_back({lineno, why});
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) {
+      continue;  // blank/comment
+    }
+    if (!have_header) {
+      if (first != "registers" || !(ls >> binding.register_count)) {
+        fail("missing 'registers N' header");
+      }
+      have_header = true;
+      continue;
+    }
+    std::uint32_t node = 0;
+    std::uint32_t reg = 0;
+    try {
+      node = static_cast<std::uint32_t>(std::stoul(first));
+    } catch (const std::exception&) {
+      fail("malformed entry '" + first + "'");
+    }
+    if (!(ls >> reg)) {
+      fail("entry for node " + std::to_string(node) + " lacks a register");
+    }
+    if (node >= table.index_of.size() ||
+        table.index_of[node] == LifetimeTable::npos) {
+      reject("node " + std::to_string(node) + " produces no register value");
+      continue;
+    }
+    if (issues && reg >= binding.register_count) {
+      reject("register " + std::to_string(reg) + " of node " +
+             std::to_string(node) + " is outside the declared count " +
+             std::to_string(binding.register_count));
+      continue;
+    }
+    binding.reg_of[table.index_of[node]] = reg;
+    assigned[table.index_of[node]] = true;
+  }
+  if (!have_header) {
+    throw ParseError("binding parse error: missing 'registers N' header");
+  }
+  if (issues) {
+    for (std::size_t i = 0; i < assigned.size(); ++i) {
+      if (!assigned[i]) {
+        issues->push_back(
+            {0, "value of node " +
+                    std::to_string(table.values[i].producer.value()) +
+                    " has no register assignment"});
+      }
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+Binding parseBinding(std::istream& is, const LifetimeTable& table) {
+  return parseBindingImpl(is, table, nullptr);
+}
+
+Binding parseBinding(std::istream& is, const LifetimeTable& table,
+                     std::vector<BindingParseIssue>& issues) {
+  return parseBindingImpl(is, table, &issues);
+}
+
+}  // namespace locwm::regbind

@@ -1,0 +1,53 @@
+// Text serialization of register bindings — the artifact a register-
+// binding watermark lives in, so it needs a durable interchange form
+// (previously private to the CLI).  Format:
+//
+//   registers <count>
+//   <producer-node-index> <register> ...one line per value...
+//
+// '#' comments allowed.  Values are keyed by their producer node; every
+// line must name a node that produces a register value under the lifetime
+// table the binding is parsed against.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+
+namespace locwm::regbind {
+
+/// Writes `binding` (parallel to `table`) in the text format.
+void printBinding(std::ostream& os, const LifetimeTable& table,
+                  const Binding& binding);
+
+/// Renders to a string.
+[[nodiscard]] std::string bindingToString(const LifetimeTable& table,
+                                          const Binding& binding);
+
+/// One invalid binding entry found while parsing in lenient mode: the
+/// entry is dropped and recorded so a linter can report it with a stable
+/// code.  line == 0 marks whole-file findings (values never assigned).
+struct BindingParseIssue {
+  std::size_t line = 0;
+  std::string what;
+};
+
+/// Parses a binding against `table`.  Throws ParseError on a malformed
+/// header or an entry whose node produces no register value.  Entries for
+/// values the file does not mention default to register 0.
+[[nodiscard]] Binding parseBinding(std::istream& is,
+                                   const LifetimeTable& table);
+
+/// Lenient overload: invalid entries (non-value nodes, registers at or
+/// above the declared count) and values left unassigned are recorded in
+/// `issues` instead of throwing.  Syntax errors still throw.
+[[nodiscard]] Binding parseBinding(std::istream& is,
+                                   const LifetimeTable& table,
+                                   std::vector<BindingParseIssue>& issues);
+
+}  // namespace locwm::regbind

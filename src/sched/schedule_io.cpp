@@ -18,7 +18,10 @@ std::string scheduleToString(const cdfg::Cdfg& g, const Schedule& s) {
   return os.str();
 }
 
-Schedule parseSchedule(std::istream& is, std::size_t nodeCount) {
+namespace {
+
+Schedule parseScheduleImpl(std::istream& is, std::size_t nodeCount,
+                           std::vector<ScheduleParseIssue>* issues) {
   Schedule s(nodeCount);
   std::string line;
   std::size_t lineno = 0;
@@ -44,13 +47,28 @@ Schedule parseSchedule(std::istream& is, std::size_t nodeCount) {
                        std::to_string(lineno) + ": trailing tokens");
     }
     if (node >= nodeCount) {
-      throw ParseError("schedule parse error at line " +
-                       std::to_string(lineno) + ": node " +
-                       std::to_string(node) + " out of range");
+      if (!issues) {
+        throw ParseError("schedule parse error at line " +
+                         std::to_string(lineno) + ": node " +
+                         std::to_string(node) + " out of range");
+      }
+      issues->push_back({lineno, node, step});
+      continue;
     }
     s.set(cdfg::NodeId(node), step);
   }
   return s;
+}
+
+}  // namespace
+
+Schedule parseSchedule(std::istream& is, std::size_t nodeCount) {
+  return parseScheduleImpl(is, nodeCount, nullptr);
+}
+
+Schedule parseSchedule(std::istream& is, std::size_t nodeCount,
+                       std::vector<ScheduleParseIssue>& issues) {
+  return parseScheduleImpl(is, nodeCount, &issues);
 }
 
 Schedule parseScheduleString(const std::string& text, std::size_t nodeCount) {

@@ -4,9 +4,11 @@
 // line, '#' comments allowed; every node of the design must be assigned.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "cdfg/graph.h"
 #include "sched/schedule.h"
@@ -20,10 +22,23 @@ void printSchedule(std::ostream& os, const cdfg::Cdfg& g, const Schedule& s);
 [[nodiscard]] std::string scheduleToString(const cdfg::Cdfg& g,
                                            const Schedule& s);
 
+/// One out-of-range assignment found while parsing in lenient mode: the
+/// entry is dropped and recorded so a linter can report it with a stable
+/// code instead of stopping at the first problem.
+struct ScheduleParseIssue {
+  std::size_t line = 0;     ///< 1-based source line
+  std::uint32_t node = 0;   ///< node index outside [0, nodeCount)
+  std::uint32_t step = 0;   ///< step the entry assigned
+};
+
 /// Parses a schedule for a design with `nodeCount` nodes.  Throws
 /// ParseError on malformed input or out-of-range node indices.  The result
 /// may be partial; validate() reports unassigned nodes.
 [[nodiscard]] Schedule parseSchedule(std::istream& is, std::size_t nodeCount);
+/// Lenient overload: out-of-range node indices are recorded in `issues`
+/// and skipped instead of throwing.  Syntax errors still throw.
+[[nodiscard]] Schedule parseSchedule(std::istream& is, std::size_t nodeCount,
+                                     std::vector<ScheduleParseIssue>& issues);
 [[nodiscard]] Schedule parseScheduleString(const std::string& text,
                                            std::size_t nodeCount);
 

@@ -148,12 +148,24 @@ std::string coverToString(const std::vector<Matching>& cover) {
   return os.str();
 }
 
-std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
-                                 std::size_t nodeCount) {
+namespace {
+
+std::vector<Matching> parseCoverImpl(std::istream& is,
+                                     const TemplateLibrary& lib,
+                                     std::size_t nodeCount,
+                                     std::vector<CoverParseIssue>* issues) {
   std::vector<Matching> cover;
   std::string line;
   std::size_t lineno = 0;
   bool header = false;
+  // Semantic rejection: in lenient mode the entry is recorded and dropped;
+  // in strict mode it throws like any other parse failure.
+  const auto reject = [&](const std::string& why) {
+    if (!issues) {
+      fail(lineno, why);
+    }
+    issues->push_back({lineno, why});
+  };
   while (std::getline(is, line)) {
     ++lineno;
     std::istringstream ls(stripComment(line));
@@ -172,8 +184,13 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
         fail(lineno, "missing header");
       }
       std::uint32_t node = 0;
-      if (!(ls >> node) || node >= nodeCount) {
+      if (!(ls >> node)) {
         fail(lineno, "malformed 'single'");
+      }
+      if (node >= nodeCount) {
+        reject("'single' node " + std::to_string(node) +
+               " outside the design");
+        continue;
       }
       cover.push_back(singletonMatching(cdfg::NodeId(node)));
     } else if (word == "use") {
@@ -181,11 +198,16 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
         fail(lineno, "missing header");
       }
       std::uint32_t tid = 0;
-      if (!(ls >> tid) || tid >= lib.size()) {
-        fail(lineno, "unknown template id");
+      if (!(ls >> tid)) {
+        fail(lineno, "malformed 'use'");
+      }
+      if (tid >= lib.size()) {
+        reject("unknown template id " + std::to_string(tid));
+        continue;
       }
       Matching m;
       m.template_id = TemplateId(tid);
+      bool dropped = false;
       std::string pair;
       while (ls >> pair) {
         const std::size_t colon = pair.find(':');
@@ -197,7 +219,9 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
               std::stoul(pair.substr(0, colon)));
           const std::size_t op = std::stoul(pair.substr(colon + 1));
           if (node >= nodeCount || op >= lib.get(m.template_id).size()) {
-            fail(lineno, "pair out of range '" + pair + "'");
+            reject("pair out of range '" + pair + "'");
+            dropped = true;
+            break;
           }
           m.pairs.push_back(MatchPair{cdfg::NodeId(node), op});
         } catch (const std::invalid_argument&) {
@@ -205,6 +229,9 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
         } catch (const std::out_of_range&) {
           fail(lineno, "malformed pair '" + pair + "'");
         }
+      }
+      if (dropped) {
+        continue;
       }
       if (m.pairs.empty()) {
         fail(lineno, "'use' without pairs");
@@ -218,6 +245,19 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
     throw ParseError("template-io parse error: empty input");
   }
   return cover;
+}
+
+}  // namespace
+
+std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
+                                 std::size_t nodeCount) {
+  return parseCoverImpl(is, lib, nodeCount, nullptr);
+}
+
+std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
+                                 std::size_t nodeCount,
+                                 std::vector<CoverParseIssue>& issues) {
+  return parseCoverImpl(is, lib, nodeCount, &issues);
 }
 
 std::vector<Matching> parseCoverString(const std::string& text,

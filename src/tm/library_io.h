@@ -38,11 +38,24 @@ void printLibrary(std::ostream& os, const TemplateLibrary& lib);
 void printCover(std::ostream& os, const std::vector<Matching>& cover);
 [[nodiscard]] std::string coverToString(const std::vector<Matching>& cover);
 
+/// One invalid cover entry found while parsing in lenient mode: the entry
+/// is dropped and recorded so a linter can report it with a stable code.
+struct CoverParseIssue {
+  std::size_t line = 0;  ///< 1-based source line
+  std::string what;      ///< human-readable reason
+};
+
 /// Parses a cover for a design with `nodeCount` nodes against `lib`
 /// (template ids and op indices are validated).
 [[nodiscard]] std::vector<Matching> parseCover(std::istream& is,
                                                const TemplateLibrary& lib,
                                                std::size_t nodeCount);
+/// Lenient overload: entries referencing unknown templates, out-of-range
+/// template ops, or nodes outside the design are recorded in `issues` and
+/// skipped instead of throwing.  Syntax errors still throw.
+[[nodiscard]] std::vector<Matching> parseCover(
+    std::istream& is, const TemplateLibrary& lib, std::size_t nodeCount,
+    std::vector<CoverParseIssue>& issues);
 [[nodiscard]] std::vector<Matching> parseCoverString(
     const std::string& text, const TemplateLibrary& lib,
     std::size_t nodeCount);

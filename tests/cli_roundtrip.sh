@@ -47,4 +47,32 @@ grep -q 'calls' report.txt
 "$LW" dot published.cdfg -o out.dot
 grep -q "digraph" out.dot
 
+# Static analysis: the whole artifact chain lints clean (exit 0)...
+"$LW" lint marked.cdfg core.sched cert.wmc.0 cert.wmc.1
+"$LW" lint published.cdfg pub.sched reg.bind lib.tml tm.cover reg.wmc tm.wmc --werror
+
+# ...quiet mode prints nothing on a clean run...
+OUT=$("$LW" lint -q published.cdfg pub.sched)
+test -z "$OUT"
+
+# ...JSON output is machine-readable and carries the summary...
+"$LW" lint --json published.cdfg pub.sched > lint.json
+grep -q '"diagnostics"' lint.json
+grep -q '"summary"' lint.json
+
+# ...a corrupted artifact exits 1 and names a stable code...
+awk '!done && /^edge /{ $3 = 999; done = 1 } { print }' \
+    published.cdfg > broken.cdfg
+if "$LW" lint broken.cdfg > lint.out 2>&1; then
+  echo "lint accepted a dangling edge" >&2
+  exit 1
+fi
+grep -q 'LW101' lint.out
+
+# ...and missing context is an error, not a crash.
+if "$LW" lint core.sched > /dev/null 2>&1; then
+  echo "lint accepted a schedule without a design" >&2
+  exit 1
+fi
+
 echo "cli round trip OK"

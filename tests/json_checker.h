@@ -1,0 +1,139 @@
+// A minimal recursive-descent JSON well-formedness checker, so JSON
+// exports (obs traces/stats, lint reports) are validated in tests by
+// actually parsing them back rather than by spot-checking substrings.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace locwm::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse() {
+    skipWs();
+    if (!value()) {
+      return false;
+    }
+    skipWs();
+    return p_ == end_;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+
+  void skipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (end_ - p_ < static_cast<std::ptrdiff_t>(word.size()) ||
+        std::string_view(p_, word.size()) != word) {
+      return false;
+    }
+    p_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (p_ == end_ || *p_ != '"') {
+      return false;
+    }
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ == end_) {
+      return false;
+    }
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    bool digits = false;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+')) {
+      digits = digits || (*p_ >= '0' && *p_ <= '9');
+      ++p_;
+    }
+    return digits && p_ != start;
+  }
+  bool members(char close, bool with_keys) {
+    skipWs();
+    if (p_ != end_ && *p_ == close) {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (with_keys) {
+        if (!string()) {
+          return false;
+        }
+        skipWs();
+        if (p_ == end_ || *p_ != ':') {
+          return false;
+        }
+        ++p_;
+      }
+      if (!value()) {
+        return false;
+      }
+      skipWs();
+      if (p_ == end_) {
+        return false;
+      }
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == close) {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    skipWs();
+    if (p_ == end_) {
+      return false;
+    }
+    switch (*p_) {
+      case '{':
+        ++p_;
+        return members('}', /*with_keys=*/true);
+      case '[':
+        ++p_;
+        return members(']', /*with_keys=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+};
+
+}  // namespace locwm::testing

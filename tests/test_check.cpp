@@ -1,0 +1,528 @@
+// Static-analysis subsystem (locwm::check): one negative-path test per
+// LW### diagnostic code, the engine's artifact sniffing and context
+// threading, JSON rendering (well-formedness + determinism), the rule
+// registry, and the post-pass audit hooks.
+//
+// Most tests drive check::Linter::lintText with small handcrafted artifact
+// strings — the same path `locwm lint` exercises — and assert on the
+// stable codes, never on message wording.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "check/diagnostics.h"
+#include "check/linter.h"
+#include "check/pass_audit.h"
+#include "check/rules.h"
+#include "core/pass_audit.h"
+#include "core/sched_wm.h"
+#include "json_checker.h"
+#include "sched/list_scheduler.h"
+#include "sched/timeframes.h"
+#include "workloads/hyper.h"
+
+namespace {
+
+using namespace locwm;
+using check::Linter;
+using check::Report;
+using check::Severity;
+using locwm::testing::JsonChecker;
+
+std::size_t countCode(const Report& r, std::string_view code) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics()) {
+    if (d.code == code) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool hasCode(const Report& r, std::string_view code) {
+  return countCode(r, code) > 0;
+}
+
+std::string codeList(const Report& r) {
+  std::string out;
+  for (const auto& d : r.diagnostics()) {
+    out += d.code + " ";
+  }
+  return out;
+}
+
+/// Lints a sequence of artifact texts in order (context threads through,
+/// as on the `locwm lint` command line) and returns the report.
+Report lintAll(const std::vector<std::string>& artifacts) {
+  Linter linter;
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    linter.lintText(artifacts[i], "artifact" + std::to_string(i));
+  }
+  return linter.report();
+}
+
+// A clean straight-line design: input -> add -> add -> output.
+const char* const kChainDesign =
+    "cdfg v1\n"
+    "node 0 input\n"
+    "node 1 add\n"
+    "node 2 add\n"
+    "node 3 output\n"
+    "edge 0 1 data\n"
+    "edge 1 2 data\n"
+    "edge 2 3 data\n";
+
+// A diamond: input feeds two parallel adds, both feed the output.  The
+// adds are automorphic (LW106) and have no edge between them (LW304 bait).
+const char* const kDiamondDesign =
+    "cdfg v1\n"
+    "node 0 input\n"
+    "node 1 add\n"
+    "node 2 add\n"
+    "node 3 output\n"
+    "edge 0 1 data\n"
+    "edge 0 2 data\n"
+    "edge 1 3 data\n"
+    "edge 2 3 data\n";
+
+// ---------------------------------------------------------------------------
+// Engine codes (LW0xx)
+
+TEST(CheckEngine, LW001UnreadableFile) {
+  Linter linter;
+  linter.lintFile("/nonexistent/locwm-test-artifact");
+  EXPECT_TRUE(hasCode(linter.report(), "LW001"));
+  EXPECT_TRUE(linter.report().hasErrors());
+}
+
+TEST(CheckEngine, LW001UnparseableArtifact) {
+  // Header says cdfg, body is garbage the lenient parser still rejects.
+  const Report r = lintAll({"cdfg v1\nnode 0 frobnicate\n"});
+  EXPECT_TRUE(hasCode(r, "LW001")) << codeList(r);
+}
+
+TEST(CheckEngine, LW002UnknownArtifactKind) {
+  const Report r = lintAll({"wibble wobble\n"});
+  EXPECT_TRUE(hasCode(r, "LW002")) << codeList(r);
+}
+
+TEST(CheckEngine, LW003ScheduleWithoutDesign) {
+  const Report r = lintAll({"0 0\n1 1\n"});
+  EXPECT_TRUE(hasCode(r, "LW003")) << codeList(r);
+}
+
+TEST(CheckEngine, LW003CoverWithoutDesign) {
+  const Report r = lintAll({"tmcover v1\nsingle 1\n"});
+  EXPECT_TRUE(hasCode(r, "LW003")) << codeList(r);
+}
+
+TEST(CheckEngine, LW003BindingWithoutSchedule) {
+  // A design alone is not enough context for a binding.
+  const Report r = lintAll({kChainDesign, "registers 2\n0 0\n"});
+  EXPECT_TRUE(hasCode(r, "LW003")) << codeList(r);
+}
+
+TEST(CheckEngine, CleanChainLintsClean) {
+  const Report r = lintAll({kChainDesign, "0 0\n1 0\n2 1\n3 2\n"});
+  EXPECT_TRUE(r.empty()) << r.renderText();
+}
+
+// ---------------------------------------------------------------------------
+// Graph rules (LW1xx)
+
+TEST(CheckGraph, LW101DanglingEdge) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "edge 0 9 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW101")) << codeList(r);
+}
+
+TEST(CheckGraph, LW101SelfEdge) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 add\n"
+                            "edge 0 0 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW101")) << codeList(r);
+}
+
+TEST(CheckGraph, LW102DuplicateTemporalEdge) {
+  const std::string design = std::string(kDiamondDesign) +
+                             "edge 1 2 temporal\n"
+                             "edge 1 2 temporal\n";
+  const Report r = lintAll({design});
+  EXPECT_TRUE(hasCode(r, "LW102")) << codeList(r);
+}
+
+TEST(CheckGraph, LW103Cycle) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 add\n"
+                            "node 1 add\n"
+                            "edge 0 1 data\n"
+                            "edge 1 0 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW103")) << codeList(r);
+}
+
+TEST(CheckGraph, LW104RedundantTemporalEdge) {
+  // Temporal 1->2 duplicates the data edge 1->2: implied, zero bits.
+  const std::string design = std::string(kChainDesign) + "edge 1 2 temporal\n";
+  const Report r = lintAll({design});
+  EXPECT_TRUE(hasCode(r, "LW104")) << codeList(r);
+  EXPECT_TRUE(r.hasWarnings());
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(CheckGraph, LW105OrphanOperation) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 mul\n"
+                            "node 3 output\n"
+                            "edge 0 1 data\n"
+                            "edge 1 3 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW105")) << codeList(r);
+}
+
+TEST(CheckGraph, LW106AutomorphicOperations) {
+  const Report r = lintAll({kDiamondDesign});
+  EXPECT_TRUE(hasCode(r, "LW106")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors());
+  EXPECT_FALSE(r.hasWarnings());
+}
+
+// ---------------------------------------------------------------------------
+// Schedule rules (LW2xx)
+
+TEST(CheckSchedule, LW201UnsetNodes) {
+  const Report r = lintAll({kChainDesign, "0 0\n"});
+  EXPECT_TRUE(hasCode(r, "LW201")) << codeList(r);
+}
+
+TEST(CheckSchedule, LW202DataPrecedenceViolation) {
+  // Everything at step 0: add(1) -> add(2) needs one cycle of latency.
+  const Report r = lintAll({kChainDesign, "0 0\n1 0\n2 0\n3 0\n"});
+  EXPECT_TRUE(hasCode(r, "LW202")) << codeList(r);
+}
+
+TEST(CheckSchedule, LW203TemporalViolation) {
+  // Temporal 1->2 on the diamond (no data path 1->2), scheduled equal.
+  const std::string design = std::string(kDiamondDesign) +
+                             "edge 1 2 temporal\n";
+  const Report r = lintAll({design, "0 0\n1 1\n2 1\n3 2\n"});
+  EXPECT_TRUE(hasCode(r, "LW203")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW202")) << codeList(r);
+}
+
+TEST(CheckSchedule, LW204SlackMakespan) {
+  // Valid but wildly stretched: makespan far beyond the critical path.
+  const Report r = lintAll({kChainDesign, "0 0\n1 5\n2 6\n3 7\n"});
+  EXPECT_TRUE(hasCode(r, "LW204")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(CheckSchedule, LW205OutOfRangeEntry) {
+  const Report r = lintAll({kChainDesign, "99 0\n0 0\n1 1\n2 2\n3 3\n"});
+  EXPECT_TRUE(hasCode(r, "LW205")) << codeList(r);
+}
+
+// ---------------------------------------------------------------------------
+// Cover rules (LW3xx)
+
+TEST(CheckCover, LW301OverlappingTiles) {
+  const Report r = lintAll({kChainDesign,
+                            "tmcover v1\nsingle 1\nsingle 1\nsingle 2\n"});
+  EXPECT_TRUE(hasCode(r, "LW301")) << codeList(r);
+}
+
+TEST(CheckCover, LW302UncoveredOperation) {
+  const Report r = lintAll({kChainDesign, "tmcover v1\nsingle 1\n"});
+  EXPECT_TRUE(hasCode(r, "LW302")) << codeList(r);
+}
+
+TEST(CheckCover, LW303UnknownTemplate) {
+  const Report r = lintAll({kChainDesign,
+                            "tmcover v1\nuse 99 1:0\nsingle 1\nsingle 2\n"});
+  EXPECT_TRUE(hasCode(r, "LW303")) << codeList(r);
+}
+
+TEST(CheckCover, LW304UnrealizedTemplateEdge) {
+  // basicDsp T1:add-add (op1 feeds op0) mapped onto the diamond's two
+  // parallel adds: the design has no data edge 2->1.
+  const Report r = lintAll({kDiamondDesign, "tmcover v1\nuse 0 1:0 2:1\n"});
+  EXPECT_TRUE(hasCode(r, "LW304")) << codeList(r);
+}
+
+TEST(CheckCover, ValidSingletonCoverIsClean) {
+  const Report r = lintAll({kChainDesign,
+                            "tmcover v1\nsingle 1\nsingle 2\n"});
+  EXPECT_FALSE(hasCode(r, "LW301")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW302")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW303")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}
+
+// ---------------------------------------------------------------------------
+// Binding rules (LW4xx).  The diamond's two add values are both live-out
+// (they feed the primary output), so they always overlap.
+
+const char* const kDiamondSchedule = "0 0\n1 0\n2 0\n3 1\n";
+
+TEST(CheckBinding, LW401RegisterConflict) {
+  const Report r = lintAll({kDiamondDesign, kDiamondSchedule,
+                            "registers 2\n0 0\n1 1\n2 1\n"});
+  EXPECT_TRUE(hasCode(r, "LW401")) << codeList(r);
+}
+
+TEST(CheckBinding, LW402NonValueNode) {
+  // Node 3 is the primary output: it produces no register value.
+  const Report r = lintAll({kDiamondDesign, kDiamondSchedule,
+                            "registers 3\n0 0\n1 1\n2 2\n3 0\n"});
+  EXPECT_TRUE(hasCode(r, "LW402")) << codeList(r);
+}
+
+TEST(CheckBinding, LW402RegisterOutOfRange) {
+  const Report r = lintAll({kDiamondDesign, kDiamondSchedule,
+                            "registers 2\n0 0\n1 1\n2 7\n"});
+  EXPECT_TRUE(hasCode(r, "LW402")) << codeList(r);
+}
+
+TEST(CheckBinding, LW403ExcessRegisters) {
+  // maxLive on the diamond is 2 (the two adds); three registers is waste.
+  const Report r = lintAll({kDiamondDesign, kDiamondSchedule,
+                            "registers 3\n0 2\n1 0\n2 1\n"});
+  EXPECT_TRUE(hasCode(r, "LW403")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}
+
+// ---------------------------------------------------------------------------
+// Certificate rules (LW5xx), driven through the in-memory checkers (the
+// same functions the lint path and the pass audit call).
+
+/// A 3-node chain shape: add(0) -> add(1) -> add(2), node id == rank.
+cdfg::Cdfg chainShape() {
+  cdfg::Cdfg shape;
+  const auto a = shape.addNode(cdfg::OpKind::kAdd);
+  const auto b = shape.addNode(cdfg::OpKind::kAdd);
+  const auto c = shape.addNode(cdfg::OpKind::kAdd);
+  shape.addEdge(a, b);
+  shape.addEdge(b, c);
+  return shape;
+}
+
+wm::WatermarkCertificate goodSchedCert() {
+  wm::WatermarkCertificate cert;
+  cert.context = "sched-wm/0";
+  cert.locality_params.min_size = 2;
+  cert.shape = chainShape();
+  cert.root_rank = 2;
+  cert.constraints.push_back({2, 0});  // not implied: no data path 2->0
+  return cert;
+}
+
+TEST(CheckCert, WellFormedCertificateIsClean) {
+  const Report r = check::checkCertificate(goodSchedCert());
+  EXPECT_TRUE(r.empty()) << r.renderText();
+}
+
+TEST(CheckCert, LW501BadLocalityParams) {
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.locality_params.min_size = 0;
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW501"));
+  cert.locality_params.min_size = 10;  // exceeds the 3-node shape
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW501"));
+  cert = goodSchedCert();
+  cert.locality_params.max_distance = 0;
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW501"));
+  cert = goodSchedCert();
+  cert.locality_params.exclude_prob_256 = 300;
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW501"));
+}
+
+TEST(CheckCert, LW502RankOutOfBounds) {
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.root_rank = 9;
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW502"));
+  cert = goodSchedCert();
+  cert.constraints.push_back({7, 0});
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW502"));
+}
+
+TEST(CheckCert, LW503DegenerateAndDuplicateConstraints) {
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.constraints.push_back({1, 1});  // degenerate
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW503"));
+  cert = goodSchedCert();
+  cert.constraints.push_back({2, 0});  // duplicate of the existing pair
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW503"));
+}
+
+TEST(CheckCert, LW503UnorderedPairDuplicateIsDirectionless) {
+  wm::RegCertificate cert;
+  cert.locality_params.min_size = 2;
+  cert.shape = chainShape();
+  cert.root_rank = 2;
+  cert.pairs.push_back({2, 0});
+  cert.pairs.push_back({0, 2});  // same share pair, flipped
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW503"));
+}
+
+TEST(CheckCert, LW503TmDuplicateRankAndMatching) {
+  wm::TmCertificate cert;
+  cert.locality_params.min_size = 2;
+  cert.shape = chainShape();
+  wm::EnforcedMatching m;
+  m.template_id = TemplateId(0);
+  m.pairs = {{1, 0}, {1, 1}};  // rank 1 mapped to two template ops
+  cert.matchings.push_back(m);
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW503"));
+
+  cert.matchings.clear();
+  wm::EnforcedMatching ok;
+  ok.template_id = TemplateId(0);
+  ok.pairs = {{1, 0}, {0, 1}};
+  cert.matchings.push_back(ok);
+  cert.matchings.push_back(ok);  // byte-identical enforced matching
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW503"));
+}
+
+TEST(CheckCert, LW504IllFormedShape) {
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.shape = cdfg::Cdfg{};
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW504"));
+
+  cert = goodSchedCert();
+  cert.shape.addNode(cdfg::OpKind::kInput);  // pseudo-op in the fingerprint
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW504"));
+
+  cert = goodSchedCert();
+  cert.shape.addEdge(cdfg::NodeId(0), cdfg::NodeId(2),
+                     cdfg::EdgeKind::kTemporal);
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW504"));
+
+  cert = goodSchedCert();
+  cert.shape.addNode(cdfg::OpKind::kAdd);  // disconnected from the root
+  EXPECT_TRUE(hasCode(check::checkCertificate(cert), "LW504"));
+}
+
+TEST(CheckCert, LW505ImpliedConstraint) {
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.constraints.push_back({0, 2});  // data path 0->1->2 implies it
+  const Report r = check::checkCertificate(cert);
+  EXPECT_TRUE(hasCode(r, "LW505")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: JSON well-formedness, escaping, and determinism.
+
+TEST(CheckRender, JsonParsesBackAndEscapes) {
+  Report r;
+  r.add({"LW999", Severity::kError, "art \"q\"\\", "loc\nnl",
+         "msg with \"quotes\"", "hint"});
+  const std::string json = r.renderJson();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+}
+
+TEST(CheckRender, JsonAndTextDeterministicAcrossRuns) {
+  const std::vector<std::string> artifacts = {
+      std::string(kDiamondDesign) + "edge 1 2 temporal\nedge 1 2 temporal\n",
+      "0 0\n1 0\n2 0\n3 0\n99 5\n",
+      "tmcover v1\nsingle 1\nsingle 1\n",
+  };
+  const Report first = lintAll(artifacts);
+  const Report second = lintAll(artifacts);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.renderJson(), second.renderJson());
+  EXPECT_EQ(first.renderText(), second.renderText());
+  EXPECT_TRUE(JsonChecker(first.renderJson()).parse()) << first.renderJson();
+}
+
+TEST(CheckRender, SummaryCountsMatchSeverities) {
+  const Report r = lintAll({kChainDesign, "0 0\n1 5\n2 6\n3 7\n"});  // LW204
+  EXPECT_EQ(r.count(Severity::kInfo), 1u);
+  EXPECT_EQ(r.count(Severity::kError), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule registry: the catalogue is the documented, stable API surface.
+
+TEST(CheckRegistry, CataloguesEveryCodeOnceInOrder) {
+  const auto& rules = check::allRules();
+  const std::vector<std::string_view> expected = {
+      "LW001", "LW002", "LW003", "LW101", "LW102", "LW103", "LW104",
+      "LW105", "LW106", "LW201", "LW202", "LW203", "LW204", "LW205",
+      "LW301", "LW302", "LW303", "LW304", "LW401", "LW402", "LW403",
+      "LW501", "LW502", "LW503", "LW504", "LW505"};
+  ASSERT_EQ(rules.size(), expected.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].code, expected[i]);
+    EXPECT_FALSE(rules[i].summary.empty()) << rules[i].code;
+    EXPECT_FALSE(rules[i].artifact.empty()) << rules[i].code;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Post-pass audit hooks: the passes report their products; installing a
+// hook observes every embed/detect call site.
+
+TEST(CheckPassAudit, EmbedReportsGraphAndCertificate) {
+  int graphs = 0;
+  int certs = 0;
+  wm::PassAuditHooks hooks;
+  hooks.graph = [&](const char*, const cdfg::Cdfg&) { ++graphs; };
+  hooks.sched_cert = [&](const char* pass, const wm::WatermarkCertificate&) {
+    ++certs;
+    EXPECT_STREQ(pass, "sched-wm/embed");
+  };
+  wm::setPassAuditHooks(std::move(hooks));
+
+  cdfg::Cdfg g = workloads::hyperSuite()[0].graph;
+  wm::SchedulingWatermarker marker({"alice", "audit-test"});
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline =
+      sched::TimeFrames(g, params.latency).criticalPathSteps() + 3;
+  const auto result = marker.embed(g, params);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(graphs, 1);
+  EXPECT_EQ(certs, 1);
+
+  wm::clearPassAuditHooks();
+  (void)marker.embed(g, params, 1);
+  EXPECT_EQ(graphs, 1) << "cleared hooks must not fire";
+}
+
+TEST(CheckPassAudit, InstallFromEnvRespectsTheSwitch) {
+  ::unsetenv("LOCWM_CHECK_PASSES");
+  EXPECT_FALSE(check::installPassAuditFromEnv());
+  ::setenv("LOCWM_CHECK_PASSES", "0", 1);
+  EXPECT_FALSE(check::installPassAuditFromEnv());
+  ::setenv("LOCWM_CHECK_PASSES", "1", 1);
+  EXPECT_TRUE(check::installPassAuditFromEnv());
+  ::unsetenv("LOCWM_CHECK_PASSES");
+  wm::clearPassAuditHooks();
+}
+
+TEST(CheckPassAudit, InstalledAuditorAcceptsCleanCertificate) {
+  // The real auditor (the one LOCWM_CHECK_PASSES installs) must not throw
+  // on products of an actual embedding run.
+  check::installPassAudit();
+  cdfg::Cdfg g = workloads::hyperSuite()[0].graph;
+  wm::SchedulingWatermarker marker({"alice", "audit-clean"});
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline =
+      sched::TimeFrames(g, params.latency).criticalPathSteps() + 3;
+  EXPECT_NO_THROW((void)marker.embed(g, params));
+  wm::clearPassAuditHooks();
+}
+
+}  // namespace

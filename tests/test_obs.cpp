@@ -4,11 +4,14 @@
 // scientific-notation fix rides on the same PR as the obs subsystem.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "json_checker.h"
 #include "core/sched_wm.h"
 #include "obs/obs.h"
 #include "sched/list_scheduler.h"
@@ -19,137 +22,7 @@ namespace {
 
 using namespace locwm;
 
-// ---------------------------------------------------------------------------
-// A minimal recursive-descent JSON well-formedness checker, so the trace
-// and stats exports are validated by actually parsing them back rather
-// than by spot-checking substrings.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool parse() {
-    skipWs();
-    if (!value()) {
-      return false;
-    }
-    skipWs();
-    return p_ == end_;
-  }
-
- private:
-  const char* p_;
-  const char* end_;
-
-  void skipWs() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
-                          *p_ == '\r')) {
-      ++p_;
-    }
-  }
-  bool literal(std::string_view word) {
-    if (end_ - p_ < static_cast<std::ptrdiff_t>(word.size()) ||
-        std::string_view(p_, word.size()) != word) {
-      return false;
-    }
-    p_ += word.size();
-    return true;
-  }
-  bool string() {
-    if (p_ == end_ || *p_ != '"') {
-      return false;
-    }
-    ++p_;
-    while (p_ != end_ && *p_ != '"') {
-      if (*p_ == '\\') {
-        ++p_;
-        if (p_ == end_) {
-          return false;
-        }
-      }
-      ++p_;
-    }
-    if (p_ == end_) {
-      return false;
-    }
-    ++p_;  // closing quote
-    return true;
-  }
-  bool number() {
-    const char* start = p_;
-    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) {
-      ++p_;
-    }
-    bool digits = false;
-    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
-                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
-                          *p_ == '+')) {
-      digits = digits || (*p_ >= '0' && *p_ <= '9');
-      ++p_;
-    }
-    return digits && p_ != start;
-  }
-  bool members(char close, bool with_keys) {
-    skipWs();
-    if (p_ != end_ && *p_ == close) {
-      ++p_;
-      return true;
-    }
-    for (;;) {
-      skipWs();
-      if (with_keys) {
-        if (!string()) {
-          return false;
-        }
-        skipWs();
-        if (p_ == end_ || *p_ != ':') {
-          return false;
-        }
-        ++p_;
-      }
-      if (!value()) {
-        return false;
-      }
-      skipWs();
-      if (p_ == end_) {
-        return false;
-      }
-      if (*p_ == ',') {
-        ++p_;
-        continue;
-      }
-      if (*p_ == close) {
-        ++p_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool value() {
-    skipWs();
-    if (p_ == end_) {
-      return false;
-    }
-    switch (*p_) {
-      case '{':
-        ++p_;
-        return members('}', /*with_keys=*/true);
-      case '[':
-        ++p_;
-        return members(']', /*with_keys=*/false);
-      case '"':
-        return string();
-      case 't':
-        return literal("true");
-      case 'f':
-        return literal("false");
-      case 'n':
-        return literal("null");
-      default:
-        return number();
-    }
-  }
-};
+using locwm::testing::JsonChecker;
 
 /// Resets every obs singleton to a clean, enabled state.
 void resetObs(bool enabled) {
@@ -289,6 +162,42 @@ TEST_F(ObsTest, CountersDeterministicAcrossIdenticalSeededRuns) {
     EXPECT_EQ(first[i].name, second[i].name);
     EXPECT_EQ(first[i].value, second[i].value) << first[i].name;
   }
+}
+
+// Concurrent recording: the ring buffer and the metrics registry are the
+// only obs structures shared across threads; hammer both from several
+// writers while a reader snapshots, so a ThreadSanitizer build exercises
+// every lock/atomic in the hot path.
+TEST_F(ObsTest, ConcurrentSpansAndCountersAreRaceFreeAndLossless) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        LOCWM_OBS_SPAN("test.mt.span");
+        LOCWM_OBS_COUNT("test.mt.events", 1);
+      }
+    });
+  }
+  // Concurrent readers must also be safe: snapshot while writers run.
+  for (int i = 0; i < 8; ++i) {
+    (void)obs::MetricsRegistry::instance().snapshot();
+    (void)obs::TraceBuffer::instance().events();
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(obs::TraceBuffer::instance().totalRecorded(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  std::int64_t counted = 0;
+  for (const auto& s : obs::MetricsRegistry::instance().snapshot(true)) {
+    if (s.name == "test.mt.events") {
+      counted = s.value;
+    }
+  }
+  EXPECT_EQ(counted, static_cast<std::int64_t>(kThreads) * kIters);
 }
 
 #endif  // LOCWM_OBS_ENABLED

@@ -25,11 +25,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cdfg/analysis.h"
 #include "cdfg/dot.h"
 #include "cdfg/io.h"
+#include "check/linter.h"
+#include "check/pass_audit.h"
 #include "core/certificate_io.h"
 #include "core/tm_wm.h"
 #include "obs/obs.h"
@@ -39,6 +42,7 @@
 #include "core/reg_wm.h"
 #include "core/sched_wm.h"
 #include "regbind/binding.h"
+#include "regbind/binding_io.h"
 #include "regbind/lifetime.h"
 #include "sched/list_scheduler.h"
 #include "sched/schedule_io.h"
@@ -97,6 +101,13 @@ void note(const char* format, ...) {
       "                                 cover the design with a watermark\n"
       "  detect-tm FILE COVER CERT... -i ID -n NONCE [--lib FILE]\n"
       "                                 scan a template cover\n"
+      "  lint FILE... [--json] [--werror] [--lib FILE]\n"
+      "                                 statically check artifacts; kinds\n"
+      "                                 are sniffed (design, schedule,\n"
+      "                                 cover, binding, library, cert).\n"
+      "                                 Order matters: a design provides\n"
+      "                                 context for later artifacts.  See\n"
+      "                                 docs/STATIC_ANALYSIS.md\n"
       "\n"
       "global options (any command):\n"
       "  -q, --quiet                    suppress informational output\n"
@@ -109,8 +120,14 @@ void note(const char* format, ...) {
       "\n"
       "exit codes:\n"
       "  0  success; for detect commands: at least one mark detected\n"
-      "  1  detect commands: no mark detected (verify-cert: invalid cert)\n"
-      "  2  usage or I/O error");
+      "  1  detect commands: no mark detected (verify-cert: invalid\n"
+      "     cert; lint: errors found, or warnings with --werror)\n"
+      "  2  usage or I/O error\n"
+      "\n"
+      "environment:\n"
+      "  LOCWM_CHECK_PASSES=1           audit every embed/detect pass\n"
+      "                                 product with the lint rules\n"
+      "                                 (findings go to stderr)");
   std::exit(2);
 }
 
@@ -176,7 +193,8 @@ struct Args {
 };
 
 bool isBooleanFlag(const std::string& name) {
-  return name == "-q" || name == "--quiet" || name == "--report";
+  return name == "-q" || name == "--quiet" || name == "--report" ||
+         name == "--json" || name == "--werror";
 }
 
 Args parseArgs(int argc, char** argv, int first) {
@@ -392,39 +410,13 @@ int cmdDetect(const Args& args) {
   return found > 0 ? 0 : 1;
 }
 
-std::string bindingText(const regbind::LifetimeTable& table,
-                        const regbind::Binding& binding) {
-  std::ostringstream os;
-  os << "registers " << binding.register_count << '\n';
-  for (std::size_t i = 0; i < table.values.size(); ++i) {
-    os << table.values[i].producer.value() << ' ' << binding.reg_of[i]
-       << '\n';
-  }
-  return os.str();
-}
-
 regbind::Binding loadBinding(const std::string& path,
                              const regbind::LifetimeTable& table) {
   std::ifstream in(path);
   if (!in) {
     die("cannot open binding file '" + path + "'");
   }
-  regbind::Binding binding;
-  binding.reg_of.assign(table.values.size(), 0);
-  std::string word;
-  if (!(in >> word >> binding.register_count) || word != "registers") {
-    die("malformed binding file (missing 'registers N' header)");
-  }
-  std::uint32_t node = 0;
-  std::uint32_t reg = 0;
-  while (in >> node >> reg) {
-    if (node >= table.index_of.size() ||
-        table.index_of[node] == regbind::LifetimeTable::npos) {
-      die("binding references non-value node " + std::to_string(node));
-    }
-    binding.reg_of[table.index_of[node]] = reg;
-  }
-  return binding;
+  return regbind::parseBinding(in, table);
 }
 
 int cmdEmbedReg(const Args& args) {
@@ -445,7 +437,8 @@ int cmdEmbedReg(const Args& args) {
   regbind::BindOptions bo;
   bo.aliases = r->aliases;
   const auto binding = regbind::bindRegisters(table, bo);
-  saveText(args.require("-o", "binding output"), bindingText(table, binding));
+  saveText(args.require("-o", "binding output"),
+           regbind::bindingToString(table, binding));
   saveText(args.require("-c", "certificate output"),
            wm::certificateToString(r->certificate));
   note("bound %zu values into %u registers with %zu shared pairs\n",
@@ -596,6 +589,33 @@ int cmdVerifyCert(const Args& args) {
   return bad == 0 ? 0 : 1;
 }
 
+int cmdLint(const Args& args) {
+  if (args.positional.empty()) {
+    die("lint: which artifacts?");
+  }
+  check::LintOptions options;
+  if (const auto path = args.get("--lib")) {
+    std::ifstream in(*path);
+    if (!in) {
+      die("cannot open template library '" + *path + "'");
+    }
+    options.library = tm::parseLibrary(in);
+  }
+  check::Linter linter(std::move(options));
+  for (const std::string& path : args.positional) {
+    linter.lintFile(path);
+  }
+  const check::Report& report = linter.report();
+  if (args.has("--json")) {
+    std::fputs(report.renderJson().c_str(), stdout);
+  } else if (!report.empty() || !g_quiet) {
+    std::fputs(report.renderText().c_str(), stdout);
+  }
+  const bool fail =
+      report.hasErrors() || (args.has("--werror") && report.hasWarnings());
+  return fail ? 1 : 0;
+}
+
 int runCommand(const std::string& cmd, const Args& args) {
   if (cmd == "gen") {
     return cmdGen(args);
@@ -636,6 +656,9 @@ int runCommand(const std::string& cmd, const Args& args) {
   if (cmd == "detect-tm") {
     return cmdDetectTm(args);
   }
+  if (cmd == "lint") {
+    return cmdLint(args);
+  }
   usage();
 }
 
@@ -655,6 +678,7 @@ int main(int argc, char** argv) {
   if (trace_path || stats_path || report) {
     obs::setEnabled(true);
   }
+  check::installPassAuditFromEnv();
 
   int rc = 2;
   try {

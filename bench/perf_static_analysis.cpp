@@ -1,0 +1,142 @@
+// PERF-STATIC — throughput of the static-analysis subsystem on random
+// DFGs from 1k to 50k operations: the dataflow engine's concrete analyses
+// (precedence closure, reachability, ASAP/ALAP slack), the semantic rule
+// pack built on them (checkSemantics, LW6xx), and the full text-level
+// lint (parse + every rule).  Not a paper table; documents that `locwm
+// lint` scales to real designs and pins the closure's node-count gate.
+//
+// Closure rows stop at check::kClosureNodeLimit (the bit-matrix gate —
+// larger graphs take the per-query DFS fallback); full-lint rows stop at
+// 5k operations because printing + reparsing dominates beyond that.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cdfg/io.h"
+#include "cdfg/prng.h"
+#include "cdfg/random_dfg.h"
+#include "check/dataflow.h"
+#include "check/linter.h"
+#include "check/rules.h"
+#include "sched/latency.h"
+
+namespace {
+
+using namespace locwm;
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  const auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+cdfg::Cdfg buildGraph(std::size_t ops) {
+  cdfg::RandomDfgOptions options;
+  options.operations = ops;
+  options.inputs = ops / 64 + 4;
+  options.width = ops / 128 + 8;
+  cdfg::Cdfg g = cdfg::randomDfg(options, /*seed=*/7);
+  // A watermark-like sprinkling of forward temporal edges so the semantic
+  // rules have something to chew on (ids are topological by construction).
+  cdfg::SplitMix64 rng(ops);
+  const std::size_t n = g.nodeCount();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto a = cdfg::NodeId(static_cast<std::uint32_t>(rng.below(n)));
+    const auto b = cdfg::NodeId(static_cast<std::uint32_t>(rng.below(n)));
+    if (a.value() < b.value() &&
+        !g.hasEdge(a, b, cdfg::EdgeKind::kTemporal)) {
+      g.addEdge(a, b, cdfg::EdgeKind::kTemporal);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport json("perf_static_analysis", argc, argv);
+  bench::banner("PERF-STATIC: lint + dataflow throughput on random DFGs",
+                "static-analysis subsystem (docs/STATIC_ANALYSIS.md)");
+  std::printf("%8s %8s %10s %10s %10s %10s %10s\n", "ops", "edges",
+              "closure", "reach", "slack", "semantic", "lint");
+  std::printf("%8s %8s %10s %10s %10s %10s %10s\n", "", "", "(ms)", "(ms)",
+              "(ms)", "(ms)", "(ms)");
+  bench::rule(78);
+
+  for (const std::size_t ops : {1000UL, 5000UL, 20000UL, 50000UL}) {
+    const cdfg::Cdfg g = buildGraph(ops);
+
+    double closure_ms = -1.0;
+    std::uint64_t closure_kib = 0;
+    if (g.nodeCount() <= check::kClosureNodeLimit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto closure = check::computePrecedenceClosure(g);
+      closure_ms = millisSince(t0);
+      closure_kib = closure.domain.ancestors.memoryBytes() / 1024;
+    }
+
+    std::vector<cdfg::NodeId> sources;
+    for (const cdfg::NodeId v : g.allNodes()) {
+      if (g.inEdges(v).empty()) {
+        sources.push_back(v);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto reach = check::computeReachability(
+        g, sources, check::Direction::kForward);
+    const double reach_ms = millisSince(t1);
+
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto slack = check::computeSlack(g, sched::LatencyModel::unit());
+    const double slack_ms = millisSince(t2);
+
+    const auto t3 = std::chrono::steady_clock::now();
+    const auto semantic = check::checkSemantics(g);
+    const double semantic_ms = millisSince(t3);
+
+    double lint_ms = -1.0;
+    std::size_t lint_findings = 0;
+    if (ops <= 5000) {
+      const std::string text = cdfg::printToString(g);
+      const auto t4 = std::chrono::steady_clock::now();
+      check::Linter linter;
+      linter.lintText(text, "bench");
+      lint_ms = millisSince(t4);
+      lint_findings = linter.report().diagnostics().size();
+    }
+
+    auto cell = [](double ms) {
+      char buf[32];
+      if (ms < 0) {
+        std::snprintf(buf, sizeof buf, "%10s", "-");
+      } else {
+        std::snprintf(buf, sizeof buf, "%10.2f", ms);
+      }
+      return std::string(buf);
+    };
+    std::printf("%8zu %8zu %s %s %s %s %s\n", g.nodeCount(), g.edgeCount(),
+                cell(closure_ms).c_str(), cell(reach_ms).c_str(),
+                cell(slack_ms).c_str(), cell(semantic_ms).c_str(),
+                cell(lint_ms).c_str());
+
+    json.row({{"ops", static_cast<std::uint64_t>(g.nodeCount())},
+              {"edges", static_cast<std::uint64_t>(g.edgeCount())},
+              {"closure_ms", closure_ms},
+              {"closure_kib", closure_kib},
+              {"closure_gated",
+               g.nodeCount() > check::kClosureNodeLimit},
+              {"reach_ms", reach_ms},
+              {"reach_converged", reach.stats.converged},
+              {"slack_ms", slack_ms},
+              {"slack_converged", slack.converged()},
+              {"semantic_ms", semantic_ms},
+              {"semantic_findings",
+               static_cast<std::uint64_t>(semantic.diagnostics().size())},
+              {"lint_ms", lint_ms},
+              {"lint_findings", static_cast<std::uint64_t>(lint_findings)}});
+  }
+  bench::rule(78);
+  std::printf("closure is gated at %zu nodes (bit-matrix memory); '-' "
+              "means skipped\n", check::kClosureNodeLimit);
+  return 0;
+}

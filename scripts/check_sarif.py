@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Structural validator for locwm's SARIF 2.1.0 output.
+
+The container has no jsonschema package, so this checks the subset of the
+SARIF 2.1.0 contract that GitHub code scanning (and `locwm lint --sarif`)
+actually relies on: top-level shape, tool driver metadata, a consistent
+rules array, and well-formed results whose ruleIndex references resolve.
+
+Usage: check_sarif.py FILE.sarif [FILE.sarif ...]
+Exit 0 when every file validates; 1 with a message otherwise.
+"""
+
+import json
+import sys
+
+VALID_LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(path, message):
+    print(f"{path}: SARIF invalid: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, path, message):
+    if not cond:
+        fail(path, message)
+
+
+def check_rule(path, i, rule):
+    expect(isinstance(rule, dict), path, f"rules[{i}] is not an object")
+    expect(isinstance(rule.get("id"), str) and rule["id"], path,
+           f"rules[{i}] has no id")
+    short = rule.get("shortDescription")
+    if short is not None:
+        expect(isinstance(short, dict) and isinstance(short.get("text"), str),
+               path, f"rules[{i}].shortDescription has no text")
+
+
+def check_location(path, i, j, loc):
+    expect(isinstance(loc, dict), path, f"results[{i}].locations[{j}] "
+           "is not an object")
+    phys = loc.get("physicalLocation")
+    if phys is not None:
+        art = phys.get("artifactLocation")
+        expect(isinstance(art, dict) and isinstance(art.get("uri"), str),
+               path, f"results[{i}].locations[{j}] physicalLocation has no "
+               "artifactLocation.uri")
+    for k, logical in enumerate(loc.get("logicalLocations", [])):
+        expect(isinstance(logical.get("fullyQualifiedName"), str), path,
+               f"results[{i}].locations[{j}].logicalLocations[{k}] has no "
+               "fullyQualifiedName")
+
+
+def check_result(path, i, result, rule_ids):
+    expect(isinstance(result, dict), path, f"results[{i}] is not an object")
+    rule_id = result.get("ruleId")
+    expect(isinstance(rule_id, str) and rule_id, path,
+           f"results[{i}] has no ruleId")
+    index = result.get("ruleIndex")
+    if index is not None:
+        expect(isinstance(index, int) and 0 <= index < len(rule_ids), path,
+               f"results[{i}].ruleIndex {index!r} out of range")
+        expect(rule_ids[index] == rule_id, path,
+               f"results[{i}].ruleIndex points at {rule_ids[index]!r}, "
+               f"ruleId says {rule_id!r}")
+    level = result.get("level")
+    if level is not None:
+        expect(level in VALID_LEVELS, path,
+               f"results[{i}].level {level!r} not in {sorted(VALID_LEVELS)}")
+    message = result.get("message")
+    expect(isinstance(message, dict) and isinstance(message.get("text"), str),
+           path, f"results[{i}] has no message.text")
+    for j, loc in enumerate(result.get("locations", [])):
+        check_location(path, i, j, loc)
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, str(e))
+
+    expect(isinstance(doc, dict), path, "top level is not an object")
+    expect(doc.get("version") == "2.1.0", path,
+           f"version is {doc.get('version')!r}, expected '2.1.0'")
+    schema = doc.get("$schema", "")
+    expect("sarif-2.1.0" in schema, path, f"$schema {schema!r} is not 2.1.0")
+    runs = doc.get("runs")
+    expect(isinstance(runs, list) and runs, path, "no runs")
+
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        expect(isinstance(driver.get("name"), str) and driver["name"], path,
+               "run.tool.driver.name missing")
+        rules = driver.get("rules", [])
+        expect(isinstance(rules, list), path, "driver.rules is not an array")
+        for i, rule in enumerate(rules):
+            check_rule(path, i, rule)
+        rule_ids = [r["id"] for r in rules]
+        expect(len(rule_ids) == len(set(rule_ids)), path,
+               "duplicate rule ids in driver.rules")
+        results = run.get("results", [])
+        expect(isinstance(results, list), path, "results is not an array")
+        for i, result in enumerate(results):
+            check_result(path, i, result, rule_ids)
+        print(f"{path}: ok ({len(rule_ids)} rule(s), "
+              f"{len(results)} result(s))")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

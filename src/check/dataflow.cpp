@@ -1,0 +1,196 @@
+#include "check/dataflow.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace locwm::check {
+
+using cdfg::EdgeId;
+using cdfg::NodeId;
+
+// ---------------------------------------------------------------------------
+// BitRows
+
+BitRows::BitRows(std::size_t rows, std::size_t bits)
+    : rows_(rows), words_per_row_((bits + 63) / 64) {
+  bits_.assign(rows_ * words_per_row_, 0);
+}
+
+bool BitRows::test(std::size_t row, std::size_t bit) const {
+  return (bits_[row * words_per_row_ + bit / 64] >> (bit % 64)) & 1u;
+}
+
+bool BitRows::set(std::size_t row, std::size_t bit) {
+  std::uint64_t& w = bits_[row * words_per_row_ + bit / 64];
+  const std::uint64_t m = std::uint64_t{1} << (bit % 64);
+  if ((w & m) != 0) {
+    return false;
+  }
+  w |= m;
+  return true;
+}
+
+bool BitRows::unionInto(std::size_t dst, std::size_t src) {
+  std::uint64_t* d = bits_.data() + dst * words_per_row_;
+  const std::uint64_t* s = bits_.data() + src * words_per_row_;
+  bool changed = false;
+  for (std::size_t i = 0; i < words_per_row_; ++i) {
+    const std::uint64_t merged = d[i] | s[i];
+    changed |= merged != d[i];
+    d[i] = merged;
+  }
+  return changed;
+}
+
+std::size_t BitRows::popcount(std::size_t row) const {
+  const std::uint64_t* r = bits_.data() + row * words_per_row_;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_per_row_; ++i) {
+    total += static_cast<std::size_t>(std::popcount(r[i]));
+  }
+  return total;
+}
+
+bool BitRows::intersects(std::size_t a, std::size_t b) const {
+  const std::uint64_t* ra = bits_.data() + a * words_per_row_;
+  const std::uint64_t* rb = bits_.data() + b * words_per_row_;
+  for (std::size_t i = 0; i < words_per_row_; ++i) {
+    if ((ra[i] & rb[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Closure / reachability wrappers
+
+PrecedenceClosure computePrecedenceClosure(const cdfg::Cdfg& g,
+                                           const EdgeMask& mask) {
+  PrecedenceClosure result{ClosureDomain(g.nodeCount()), {}};
+  result.stats =
+      solveFixpoint(g, Direction::kForward, mask, result.domain);
+  return result;
+}
+
+Reachability computeReachability(const cdfg::Cdfg& g,
+                                 const std::vector<NodeId>& seeds,
+                                 Direction dir, const EdgeMask& mask) {
+  Reachability result{ReachDomain(g.nodeCount()), {}};
+  for (const NodeId s : seeds) {
+    if (s.isValid() && s.value() < g.nodeCount()) {
+      result.domain.mark[s.value()] = 1;
+    }
+  }
+  result.stats = solveFixpoint(g, dir, mask, result.domain);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Slack
+
+namespace {
+
+/// Max-plus forward: asap[dst] >= asap[src] + edgeGap(src).
+struct AsapDomain {
+  const cdfg::Cdfg& g;
+  const sched::LatencyModel& lat;
+  std::vector<std::uint32_t>& asap;
+
+  bool edgeTransfer(NodeId from, NodeId to, const cdfg::Edge& e) {
+    const std::uint32_t gap = lat.edgeGap(g.node(from).kind, e.kind);
+    const std::uint32_t candidate = asap[from.value()] + gap;
+    if (candidate > asap[to.value()]) {
+      asap[to.value()] = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Min-plus backward: alap[src] <= alap[dst] - edgeGap(src).  Backward
+/// solving hands us (from=dst, to=src); the gap is keyed on the *source*
+/// node's kind, i.e. `to` here — same convention as sched::TimeFrames.
+struct AlapDomain {
+  const cdfg::Cdfg& g;
+  const sched::LatencyModel& lat;
+  std::vector<std::uint32_t>& alap;
+
+  bool edgeTransfer(NodeId from, NodeId to, const cdfg::Edge& e) {
+    const std::uint32_t gap = lat.edgeGap(g.node(to).kind, e.kind);
+    const std::uint32_t succ = alap[from.value()];
+    const std::uint32_t candidate = succ >= gap ? succ - gap : 0u;
+    if (candidate < alap[to.value()]) {
+      alap[to.value()] = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SlackAnalysis computeSlack(const cdfg::Cdfg& g, const sched::LatencyModel& lat,
+                           std::optional<std::uint32_t> deadline,
+                           const EdgeMask& mask) {
+  const std::size_t n = g.nodeCount();
+  SlackAnalysis out;
+  out.asap.assign(n, 0);
+  out.alap.assign(n, 0);
+
+  AsapDomain fwd{g, lat, out.asap};
+  out.forward_stats = solveFixpoint(g, Direction::kForward, mask, fwd);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.critical = std::max(
+        out.critical, out.asap[i] + lat.latency(g.node(NodeId(
+                          static_cast<std::uint32_t>(i))).kind));
+  }
+  // A lint analysis clamps an infeasible deadline instead of throwing —
+  // the schedule rules report the violation separately.
+  out.deadline = std::max(deadline.value_or(out.critical), out.critical);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.alap[i] = out.deadline -
+                  lat.latency(g.node(NodeId(static_cast<std::uint32_t>(i))).kind);
+  }
+  AlapDomain bwd{g, lat, out.alap};
+  out.backward_stats = solveFixpoint(g, Direction::kBackward, mask, bwd);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-query path oracle
+
+bool hasPathSkipping(const cdfg::Cdfg& g, NodeId from, NodeId to, EdgeId skip,
+                     const EdgeMask& mask) {
+  if (!from.isValid() || !to.isValid() || from == to) {
+    return from == to;
+  }
+  std::vector<char> seen(g.nodeCount(), 0);
+  std::vector<NodeId> stack{from};
+  seen[from.value()] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.outEdges(v)) {
+      if (e == skip) {
+        continue;
+      }
+      const cdfg::Edge& ed = g.edge(e);
+      if (!mask.accepts(ed.kind)) {
+        continue;
+      }
+      if (ed.dst == to) {
+        return true;
+      }
+      if (seen[ed.dst.value()] == 0) {
+        seen[ed.dst.value()] = 1;
+        stack.push_back(ed.dst);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace locwm::check

@@ -1,5 +1,9 @@
 #include "check/diagnostics.h"
 
+#include <cstddef>
+#include <map>
+
+#include "check/rules.h"
 #include "obs/json.h"
 
 namespace locwm::check {
@@ -16,11 +20,25 @@ std::string_view severityName(Severity s) noexcept {
   return "unknown";
 }
 
-void Report::add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+void Report::add(Diagnostic d) {
+  // '\x1f' (unit separator) cannot appear in codes/paths/locations, so the
+  // concatenation is an injective key.
+  std::string key;
+  key.reserve(d.code.size() + d.artifact.size() + d.location.size() + 2);
+  key += d.code;
+  key += '\x1f';
+  key += d.artifact;
+  key += '\x1f';
+  key += d.location;
+  if (!seen_.insert(std::move(key)).second) {
+    return;
+  }
+  diagnostics_.push_back(std::move(d));
+}
 
 void Report::merge(Report other) {
   for (Diagnostic& d : other.diagnostics_) {
-    diagnostics_.push_back(std::move(d));
+    add(std::move(d));
   }
 }
 
@@ -77,6 +95,99 @@ std::string Report::renderJson() const {
          std::to_string(count(Severity::kError)) +
          ", \"warnings\": " + std::to_string(count(Severity::kWarning)) +
          ", \"infos\": " + std::to_string(count(Severity::kInfo)) + "}\n}\n";
+  return out;
+}
+
+namespace {
+
+std::string_view sarifLevel(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+const RuleInfo* findRule(const std::string& code) {
+  for (const RuleInfo& info : allRules()) {
+    if (info.code == code) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string Report::renderSarif() const {
+  // Rules referenced by this report, indexed in first-appearance order —
+  // SARIF results point into the driver's rules array by ruleIndex.
+  std::vector<std::string> rule_order;
+  std::map<std::string, std::size_t> rule_index;
+  for (const Diagnostic& d : diagnostics_) {
+    if (rule_index.emplace(d.code, rule_order.size()).second) {
+      rule_order.push_back(d.code);
+    }
+  }
+
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"locwm\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/locwm/docs/STATIC_ANALYSIS.md\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const std::string& code : rule_order) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const RuleInfo* info = findRule(code);
+    const std::string summary =
+        info != nullptr ? std::string(info->summary) : "(uncatalogued rule)";
+    out += "            {\"id\": " + obs::jsonString(code) +
+           ", \"shortDescription\": {\"text\": " + obs::jsonString(summary) +
+           "}}";
+  }
+  out += first ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::string message = d.message;
+    if (!d.hint.empty()) {
+      message += " (hint: " + d.hint + ")";
+    }
+    out += "        {\"ruleId\": " + obs::jsonString(d.code) +
+           ", \"ruleIndex\": " + std::to_string(rule_index[d.code]) +
+           ", \"level\": " + obs::jsonString(sarifLevel(d.severity)) +
+           ",\n         \"message\": {\"text\": " + obs::jsonString(message) +
+           "},\n         \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": " +
+           obs::jsonString(d.artifact) + "}}";
+    if (!d.location.empty()) {
+      out += ", \"logicalLocations\": [{\"fullyQualifiedName\": " +
+             obs::jsonString(d.location) + "}]";
+    }
+    out += "}]}";
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
   return out;
 }
 

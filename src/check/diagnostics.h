@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 namespace locwm::check {
@@ -46,6 +47,10 @@ struct Diagnostic {
 /// same artifacts produce identical reports).
 class Report {
  public:
+  /// Appends a diagnostic.  Identical (code, artifact, location) findings
+  /// collapse to the first occurrence: the lenient parser and a registered
+  /// rule may both flag the same defect on one run, and one finding per
+  /// defect is what the exit-code and rendering contracts want.
   void add(Diagnostic d);
   void merge(Report other);
 
@@ -72,8 +77,18 @@ class Report {
   /// Deterministic: identical inputs render byte-identical JSON.
   [[nodiscard]] std::string renderJson() const;
 
+  /// SARIF 2.1.0 (the format GitHub code scanning ingests): one run whose
+  /// tool driver is "locwm" with rule metadata from check::allRules(), one
+  /// result per diagnostic.  Severity maps info->note, warning->warning,
+  /// error->error; the artifact becomes the physical location URI and the
+  /// in-artifact location the logical location.  Deterministic.
+  [[nodiscard]] std::string renderSarif() const;
+
  private:
   std::vector<Diagnostic> diagnostics_;
+  /// Dedupe index over (code, artifact, location); keeps add() linear over
+  /// a whole run (a semantic rule can emit thousands of findings).
+  std::unordered_set<std::string> seen_;
 };
 
 }  // namespace locwm::check

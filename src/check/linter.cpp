@@ -1,13 +1,16 @@
 #include "check/linter.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "cdfg/error.h"
 #include "cdfg/io.h"
+#include "check/differ.h"
 #include "check/internal.h"
 #include "core/certificate_io.h"
 #include "regbind/binding_io.h"
@@ -107,8 +110,10 @@ void Linter::lintDesign(const std::string& text, const std::string& name) {
   std::vector<cdfg::ParseIssue> issues;
   cdfg::Cdfg g = cdfg::parseString(text, issues);
   report_.merge(checkGraph(g, issues, name));
+  report_.merge(checkSemantics(g, name));
   design_ = std::move(g);
   schedule_.reset();  // a schedule belongs to the design before it
+  matched_localities_.clear();
 }
 
 void Linter::lintSchedule(const std::string& text, const std::string& name) {
@@ -169,8 +174,10 @@ void Linter::lintCertificate(const std::string& text, const std::string& name,
                              const std::string& kind) {
   std::istringstream is(text);
   if (kind == "sched") {
-    report_.merge(checkCertificate(
-        wm::parseSchedCertificate(is, wm::CertValidation::kLenient), name));
+    const wm::WatermarkCertificate cert =
+        wm::parseSchedCertificate(is, wm::CertValidation::kLenient);
+    report_.merge(checkCertificate(cert, name));
+    checkLocalityOverlap(cert, name);
   } else if (kind == "tm") {
     report_.merge(checkCertificate(
         wm::parseTmCertificate(is, wm::CertValidation::kLenient), name));
@@ -182,6 +189,44 @@ void Linter::lintCertificate(const std::string& text, const std::string& name,
                      "unknown certificate kind",
                      "expected sched, tm, or reg"));
   }
+}
+
+void Linter::checkLocalityOverlap(const wm::WatermarkCertificate& cert,
+                                  const std::string& name) {
+  // LW605 needs the certificate *located* in the current design, which is
+  // only possible when the design still carries its temporal edges (a
+  // marked, unpublished design) to anchor the constraints on.
+  if (!design_ || cert.constraints.empty()) {
+    return;
+  }
+  std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> anchors;
+  for (const cdfg::EdgeId e : design_->temporalEdges()) {
+    const cdfg::Edge& ed = design_->edge(e);
+    anchors.emplace_back(ed.src, ed.dst);
+  }
+  if (anchors.empty()) {
+    return;
+  }
+  const ShapeMatch match = matchCertificateShape(*design_, anchors, cert);
+  if (!match.matched) {
+    return;
+  }
+  std::vector<cdfg::NodeId> nodes = match.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  for (const auto& [other_name, other_nodes] : matched_localities_) {
+    std::vector<cdfg::NodeId> shared;
+    std::set_intersection(nodes.begin(), nodes.end(), other_nodes.begin(),
+                          other_nodes.end(), std::back_inserter(shared));
+    if (!shared.empty()) {
+      report_.add(diag(
+          "LW605", Severity::kWarning, name, "locality",
+          "locality overlaps the one of '" + other_name + "' on " +
+              std::to_string(shared.size()) + " operation(s)",
+          "overlapping localities share scheduling freedom; their Pc "
+          "claims are not independent"));
+    }
+  }
+  matched_localities_.emplace_back(name, std::move(nodes));
 }
 
 }  // namespace locwm::check

@@ -19,6 +19,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cdfg/graph.h"
 #include "check/diagnostics.h"
@@ -55,11 +57,21 @@ class Linter {
   void lintBinding(const std::string& text, const std::string& name);
   void lintCertificate(const std::string& text, const std::string& name,
                        const std::string& kind);
+  /// LW605: locates a sched certificate's locality in the current design
+  /// (when it still carries temporal edges) and warns when two
+  /// certificates' localities overlap.
+  void checkLocalityOverlap(const wm::WatermarkCertificate& cert,
+                            const std::string& name);
 
   LintOptions options_;
   Report report_;
   std::optional<cdfg::Cdfg> design_;
   std::optional<sched::Schedule> schedule_;
+  /// Localities of sched certificates matched against the current design
+  /// (artifact name + matched design nodes), for the LW605 overlap check.
+  /// Reset when a new design arrives.
+  std::vector<std::pair<std::string, std::vector<cdfg::NodeId>>>
+      matched_localities_;
 };
 
 }  // namespace locwm::check

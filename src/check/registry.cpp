@@ -89,6 +89,55 @@ const std::vector<RuleInfo>& allRules() {
        "a constraint implied by a shape data path is satisfied by every "
        "schedule and carries no watermark information",
        "§IV-A"},
+      {"LW601", Severity::kWarning, "semantic",
+       "a temporal edge implied by the transitive precedence of the "
+       "remaining constraints (other temporal edges included) adds no "
+       "evidence",
+       "§IV-A"},
+      {"LW602", Severity::kInfo, "semantic",
+       "a temporal edge that stretches the dependence-only critical path "
+       "costs latency and is easy to profile for",
+       "§IV-A"},
+      {"LW603", Severity::kWarning, "semantic",
+       "a dead operation (no path to an output or side effect) dilutes "
+       "localities and survives no re-synthesis",
+       "§II"},
+      {"LW604", Severity::kWarning, "semantic",
+       "an unreachable operation (no path from an input or constant) "
+       "computes an undefined value",
+       "§II"},
+      {"LW605", Severity::kWarning, "semantic",
+       "localities of two certificates overlap on the same design, "
+       "weakening the independence of their proofs",
+       "§III"},
+      {"LW606", Severity::kInfo, "certificate",
+       "the recomputed Pc is materially weaker than the nominal 2^-K "
+       "strength claim",
+       "§IV-A"},
+      {"LW701", Severity::kError, "diff",
+       "the marked design's operation set differs from the original",
+       "§IV-A"},
+      {"LW702", Severity::kError, "diff",
+       "an operation's kind differs between original and marked design",
+       "§IV-A"},
+      {"LW703", Severity::kError, "diff",
+       "the designs' data/control edges differ: a dependence was added, "
+       "deleted, or redirected",
+       "§IV-A"},
+      {"LW704", Severity::kError, "diff",
+       "a temporal edge of the original is missing from the marked design",
+       "§IV-A"},
+      {"LW705", Severity::kError, "diff",
+       "a temporal edge only the marked design carries is explained by no "
+       "supplied certificate",
+       "§IV-A"},
+      {"LW706", Severity::kInfo, "diff",
+       "a temporal edge only the marked design carries (the watermark)",
+       "§IV-A"},
+      {"LW707", Severity::kError, "diff",
+       "a supplied certificate's shape and constraints match nothing in "
+       "the marked design",
+       "§III"},
   };
   return kRules;
 }

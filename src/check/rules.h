@@ -55,6 +55,13 @@ struct RuleInfo {
     const cdfg::Cdfg& g, const std::vector<cdfg::ParseIssue>& issues = {},
     const std::string& artifact = "<design>");
 
+/// Semantic rules (LW6xx) over a design: redundant temporal edges under
+/// transitive precedence, critical-path-stretching temporal edges, and
+/// dead/unreachable operations.  Built on the dataflow engine
+/// (check/dataflow.h); returns nothing on cyclic graphs (LW103 territory).
+[[nodiscard]] Report checkSemantics(const cdfg::Cdfg& g,
+                                    const std::string& artifact = "<design>");
+
 /// Schedule rules (LW2xx) for schedule `s` of design `g`.
 [[nodiscard]] Report checkSchedule(
     const cdfg::Cdfg& g, const sched::Schedule& s,

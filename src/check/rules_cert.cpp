@@ -9,6 +9,9 @@
 // are canonical ranks computed in the *context* subgraph during embedding;
 // re-deriving a shape-local ordering here would false-positive, so the
 // rules assert only what the contraction guarantees.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <set>
 #include <string>
 #include <utility>
@@ -17,6 +20,7 @@
 #include "cdfg/error.h"
 #include "check/internal.h"
 #include "check/rules.h"
+#include "core/pc.h"
 
 namespace locwm::check {
 namespace {
@@ -176,6 +180,58 @@ void checkRankPairs(Report& r, const std::vector<wm::RankConstraint>& pairs,
   }
 }
 
+/// "0.30" — fixed two-decimal rendering for diagnostics.
+std::string twoDecimals(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+/// LW606: Pc audit.  The nominal strength claim behind a K-constraint
+/// certificate is Pc = 2^-K (the paper's E[ΨW/ΨN] = 1/2 per edge).  The
+/// window model (core/pc.h) recomputes Pc over the certificate's own
+/// shape; when the recomputation is materially *weaker* than nominal —
+/// constraints between far-apart operations are nearly always satisfied by
+/// chance — the certificate overstates its proof strength.
+void checkPcClaim(Report& r, const wm::WatermarkCertificate& cert,
+                  const std::string& artifact) {
+  const std::size_t k = cert.constraints.size();
+  if (k == 0 || cert.shape.nodeCount() == 0) {
+    return;
+  }
+  std::vector<sched::ExtraEdge> edges;
+  edges.reserve(k);
+  for (const wm::RankConstraint& c : cert.constraints) {
+    if (c.before_rank >= cert.shape.nodeCount() ||
+        c.after_rank >= cert.shape.nodeCount() ||
+        c.before_rank == c.after_rank) {
+      return;  // LW502/LW503 territory; the recomputation needs valid ranks
+    }
+    edges.emplace_back(cdfg::NodeId(c.before_rank),
+                       cdfg::NodeId(c.after_rank));
+  }
+  wm::PcEstimate recomputed;
+  try {
+    recomputed = wm::approxSchedulingPc(cert.shape, edges);
+  } catch (const Error&) {
+    return;  // malformed shape; LW504 territory
+  }
+  const double nominal = static_cast<double>(k) * std::log10(0.5);
+  const double deviation = recomputed.log10_pc - nominal;
+  const double tolerance =
+      std::max(0.25, 0.15 * static_cast<double>(k));
+  if (deviation >= tolerance) {
+    r.add(diag("LW606", Severity::kInfo, artifact, "pc-audit",
+               "recomputed Pc (1e" + twoDecimals(recomputed.log10_pc) +
+                   ") is " + twoDecimals(deviation) +
+                   " decades weaker than the nominal 2^-K claim (1e" +
+                   twoDecimals(nominal) + ") for K=" + std::to_string(k),
+               "constraints that are nearly always satisfied by chance "
+               "overstate the proof of authorship; re-embed with "
+               "tighter-window pairs"));
+  }
+}
+
 }  // namespace
 
 Report checkCertificate(const wm::WatermarkCertificate& cert,
@@ -185,6 +241,7 @@ Report checkCertificate(const wm::WatermarkCertificate& cert,
   checkShape(r, cert.shape, &cert.root_rank, artifact);
   checkRank(r, cert.root_rank, cert.shape.nodeCount(), "root", artifact);
   checkRankPairs(r, cert.constraints, cert.shape, /*ordered=*/true, artifact);
+  checkPcClaim(r, cert, artifact);
   return r;
 }
 

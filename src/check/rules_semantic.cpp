@@ -1,0 +1,165 @@
+// Semantic rules (LW6xx).  Where LW1xx asserts structural well-formedness,
+// these rules interpret the graph: transitive precedence (is a watermark
+// edge redundant once *all* constraints are considered?), scheduling slack
+// (does an edge stretch the dependence-only critical path?), and
+// reachability/liveness (does an operation contribute to any output?).
+// All of them are instantiations of the worklist dataflow engine in
+// check/dataflow.h.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "check/dataflow.h"
+#include "check/internal.h"
+#include "check/rules.h"
+
+namespace locwm::check {
+namespace {
+
+using cdfg::NodeId;
+using cdfg::OpKind;
+using detail::diag;
+
+/// True for operations whose effect escapes the dataflow graph — they are
+/// live even without a path to a primary output.
+bool isSideEffecting(OpKind kind) noexcept {
+  return kind == OpKind::kStore || kind == OpKind::kBranch;
+}
+
+/// LW601: a temporal edge implied by the *rest* of the precedence relation
+/// (other temporal edges included) constrains nothing.  LW104 already
+/// covers implication by data/control structure alone, so this rule fires
+/// only when the implication needs at least one other temporal edge —
+/// typically a buggy embedder stacking constraints onto one chain.
+void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
+                            const std::string& artifact) {
+  const std::vector<cdfg::EdgeId> temporal = g.temporalEdges();
+  if (temporal.empty()) {
+    return;
+  }
+  std::optional<PrecedenceClosure> closure;
+  if (g.nodeCount() <= kClosureNodeLimit) {
+    closure = computePrecedenceClosure(g, EdgeMask::all());
+  }
+  for (const cdfg::EdgeId te : temporal) {
+    const cdfg::Edge& e = g.edge(te);
+    if (detail::hasDataControlPath(g, e.src, e.dst, te)) {
+      continue;  // LW104's finding; one diagnostic per defect
+    }
+    bool implied = false;
+    if (closure) {
+      // On a DAG, any a->..->b path avoiding e must leave a by some other
+      // edge a->m with m == b or m preceding b; the closure may use e
+      // internally only on paths through b, which the DAG forbids here.
+      for (const cdfg::EdgeId oe : g.outEdges(e.src)) {
+        if (oe == te) {
+          continue;
+        }
+        const cdfg::NodeId m = g.edge(oe).dst;
+        if (m == e.dst || closure->precedes(m, e.dst)) {
+          implied = true;
+          break;
+        }
+      }
+    } else {
+      implied = hasPathSkipping(g, e.src, e.dst, te, EdgeMask::all());
+    }
+    if (implied) {
+      r.add(diag("LW601", Severity::kWarning, artifact,
+                 detail::edgeRef(e.src.value(), e.dst.value(), e.kind),
+                 "temporal edge is implied by the transitive precedence of "
+                 "the remaining constraints",
+                 "a redundant constraint inflates the claimed Pc without "
+                 "adding evidence; re-embed without it"));
+    }
+  }
+}
+
+/// LW602: a temporal edge that cannot be satisfied within the
+/// dependence-only critical path stretches the schedule — a latency cost
+/// the published design pays, and exactly the kind of anomaly an adversary
+/// profiles for (§IV-A picks high-laxity pairs to avoid this).
+void checkStretchingTemporal(Report& r, const cdfg::Cdfg& g,
+                             const std::string& artifact) {
+  if (g.temporalEdges().empty()) {
+    return;
+  }
+  const SlackAnalysis slack = computeSlack(
+      g, sched::LatencyModel::unit(), std::nullopt, EdgeMask::dataControl());
+  if (!slack.converged()) {
+    return;
+  }
+  for (const cdfg::EdgeId te : g.temporalEdges()) {
+    const cdfg::Edge& e = g.edge(te);
+    if (slack.asap[e.src.value()] + 1 > slack.alap[e.dst.value()]) {
+      r.add(diag("LW602", Severity::kInfo, artifact,
+                 detail::edgeRef(e.src.value(), e.dst.value(), e.kind),
+                 "temporal edge stretches the dependence-only critical path "
+                 "(" + std::to_string(slack.critical) + " steps)",
+                 "zero-slack constraints cost latency and are easy to spot; "
+                 "prefer pairs with overlapping lifetimes"));
+    }
+  }
+}
+
+/// LW603/LW604: liveness and reachability.  Dead: no data/control path to
+/// a primary output or side-effecting operation.  Unreachable: no
+/// data/control path from a primary input or constant.  Orphans (no edges
+/// at all) are LW105's finding and excluded here.
+void checkLiveness(Report& r, const cdfg::Cdfg& g,
+                   const std::string& artifact) {
+  std::vector<NodeId> sinks;
+  std::vector<NodeId> sources;
+  for (const NodeId n : g.allNodes()) {
+    const OpKind kind = g.node(n).kind;
+    if (kind == OpKind::kOutput || isSideEffecting(kind)) {
+      sinks.push_back(n);
+    }
+    if (kind == OpKind::kInput || kind == OpKind::kConst) {
+      sources.push_back(n);
+    }
+  }
+  const Reachability live = computeReachability(
+      g, sinks, Direction::kBackward, EdgeMask::dataControl());
+  const Reachability reachable = computeReachability(
+      g, sources, Direction::kForward, EdgeMask::dataControl());
+
+  for (const NodeId n : g.allNodes()) {
+    const OpKind kind = g.node(n).kind;
+    if (cdfg::isPseudoOp(kind) || isSideEffecting(kind)) {
+      continue;
+    }
+    if (g.inEdges(n).empty() && g.outEdges(n).empty()) {
+      continue;  // LW105's finding
+    }
+    if (!live.reached(n)) {
+      r.add(diag("LW603", Severity::kWarning, artifact, detail::nodeRef(g, n),
+                 "operation is dead: no output or side effect consumes it",
+                 "dead operations dilute localities and survive no "
+                 "optimizing re-synthesis"));
+    } else if (!reachable.reached(n)) {
+      r.add(diag("LW604", Severity::kWarning, artifact, detail::nodeRef(g, n),
+                 "operation is unreachable: no input or constant feeds it",
+                 "an operation without producers computes an undefined "
+                 "value"));
+    }
+  }
+}
+
+}  // namespace
+
+Report checkSemantics(const cdfg::Cdfg& g, const std::string& artifact) {
+  Report r;
+  try {
+    g.checkAcyclic();
+  } catch (const GraphError&) {
+    return r;  // LW103 is checkGraph's finding; fixpoints need a DAG
+  }
+  checkRedundantTemporal(r, g, artifact);
+  checkStretchingTemporal(r, g, artifact);
+  checkLiveness(r, g, artifact);
+  return r;
+}
+
+}  // namespace locwm::check

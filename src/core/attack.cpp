@@ -106,6 +106,271 @@ PerturbResult perturbSchedule(const cdfg::Cdfg& g, const sched::Schedule& s,
   return result;
 }
 
+std::string_view mutationKindName(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kAddOperation:
+      return "add-operation";
+    case MutationKind::kDeleteOperation:
+      return "delete-operation";
+    case MutationKind::kChangeOpKind:
+      return "change-op-kind";
+    case MutationKind::kAddDataEdge:
+      return "add-data-edge";
+    case MutationKind::kDeleteDataEdge:
+      return "delete-data-edge";
+    case MutationKind::kRedirectEdge:
+      return "redirect-edge";
+    case MutationKind::kDeleteTemporalEdge:
+      return "delete-temporal-edge";
+    case MutationKind::kAddTemporalEdge:
+      return "add-temporal-edge";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Rebuilds `g` with one node dropped (kDrop), one node re-kinded, one
+/// edge dropped, or one edge redirected.  NodeId::invalid() / EdgeId::
+/// invalid() mean "no such change".
+cdfg::Cdfg rebuild(const cdfg::Cdfg& g, NodeId drop_node,
+                   NodeId rekind_node, cdfg::OpKind new_kind,
+                   EdgeId drop_edge, EdgeId redirect_edge,
+                   NodeId redirect_to) {
+  cdfg::Cdfg out;
+  std::vector<NodeId> map(g.nodeCount(), NodeId::invalid());
+  for (const NodeId v : g.allNodes()) {
+    if (v == drop_node) {
+      continue;
+    }
+    const cdfg::OpKind kind =
+        v == rekind_node ? new_kind : g.node(v).kind;
+    map[v.value()] = out.addNode(kind, g.node(v).name);
+  }
+  for (const EdgeId e : g.allEdges()) {
+    if (e == drop_edge) {
+      continue;
+    }
+    const cdfg::Edge& ed = g.edge(e);
+    const NodeId src = map[ed.src.value()];
+    const NodeId dst = e == redirect_edge ? map[redirect_to.value()]
+                                          : map[ed.dst.value()];
+    if (!src.isValid() || !dst.isValid() || src == dst) {
+      continue;  // edge of a dropped node, or redirect onto the producer
+    }
+    if (ed.kind == cdfg::EdgeKind::kTemporal &&
+        out.hasEdge(src, dst, ed.kind)) {
+      continue;  // a redirect may collide with an existing constraint
+    }
+    out.addEdge(src, dst, ed.kind);
+  }
+  return out;
+}
+
+/// Real (non-pseudo) nodes of `g`.
+std::vector<NodeId> realNodes(const cdfg::Cdfg& g) {
+  std::vector<NodeId> out;
+  for (const NodeId v : g.allNodes()) {
+    if (!cdfg::isPseudoOp(g.node(v).kind)) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// Edge ids of one kind.
+std::vector<EdgeId> edgesOfKind(const cdfg::Cdfg& g, cdfg::EdgeKind kind) {
+  std::vector<EdgeId> out;
+  for (const EdgeId e : g.allEdges()) {
+    if (g.edge(e).kind == kind) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MutationOutcome mutateDesign(const cdfg::Cdfg& g, MutationKind kind,
+                             std::uint64_t seed) {
+  cdfg::SplitMix64 rng(seed);
+  MutationOutcome out;
+  out.design = g;
+  const NodeId no_node = NodeId::invalid();
+  const EdgeId no_edge = EdgeId::invalid();
+
+  // Topological positions make forward (acyclicity-preserving) insertion
+  // cheap: any edge from lower to higher position is safe.
+  std::vector<std::uint32_t> topo_pos(g.nodeCount(), 0);
+  {
+    const std::vector<NodeId> topo = g.topologicalOrder(true);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      topo_pos[topo[i].value()] = static_cast<std::uint32_t>(i);
+    }
+  }
+  /// A uniformly random ordered pair (a, b) with topo_pos(a) < topo_pos(b)
+  /// drawn from `pool`; returns false when the pool cannot produce one.
+  auto orderedPair = [&](const std::vector<NodeId>& pool, NodeId& a,
+                         NodeId& b) {
+    if (pool.size() < 2) {
+      return false;
+    }
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      NodeId x = pool[rng.below(pool.size())];
+      NodeId y = pool[rng.below(pool.size())];
+      if (x == y) {
+        continue;
+      }
+      if (topo_pos[x.value()] > topo_pos[y.value()]) {
+        std::swap(x, y);
+      }
+      a = x;
+      b = y;
+      return true;
+    }
+    return false;
+  };
+
+  switch (kind) {
+    case MutationKind::kAddOperation: {
+      if (g.nodeCount() == 0) {
+        break;
+      }
+      const NodeId producer(
+          static_cast<std::uint32_t>(rng.below(g.nodeCount())));
+      const NodeId added = out.design.addNode(cdfg::OpKind::kAdd);
+      out.design.addEdge(producer, added, cdfg::EdgeKind::kData);
+      out.applied = true;
+      out.description = "added an add operation consuming node " +
+                        std::to_string(producer.value());
+      break;
+    }
+    case MutationKind::kDeleteOperation: {
+      const std::vector<NodeId> real = realNodes(g);
+      if (real.empty()) {
+        break;
+      }
+      const NodeId victim = real[rng.below(real.size())];
+      out.design = rebuild(g, victim, no_node, cdfg::OpKind::kAdd, no_edge,
+                           no_edge, no_node);
+      out.applied = true;
+      out.description =
+          "deleted node " + std::to_string(victim.value()) + " (" +
+          std::string(cdfg::opName(g.node(victim).kind)) + ")";
+      break;
+    }
+    case MutationKind::kChangeOpKind: {
+      const std::vector<NodeId> real = realNodes(g);
+      if (real.empty()) {
+        break;
+      }
+      const NodeId victim = real[rng.below(real.size())];
+      const cdfg::OpKind new_kind = g.node(victim).kind == cdfg::OpKind::kAdd
+                                        ? cdfg::OpKind::kSub
+                                        : cdfg::OpKind::kAdd;
+      out.design = rebuild(g, no_node, victim, new_kind, no_edge, no_edge,
+                           no_node);
+      out.applied = true;
+      out.description = "re-kinded node " + std::to_string(victim.value()) +
+                        " from " +
+                        std::string(cdfg::opName(g.node(victim).kind)) +
+                        " to " + std::string(cdfg::opName(new_kind));
+      break;
+    }
+    case MutationKind::kAddDataEdge: {
+      NodeId a;
+      NodeId b;
+      if (!orderedPair(g.allNodes(), a, b)) {
+        break;
+      }
+      out.design.addEdge(a, b, cdfg::EdgeKind::kData);
+      out.applied = true;
+      out.description = "added data edge " + std::to_string(a.value()) +
+                        "->" + std::to_string(b.value());
+      break;
+    }
+    case MutationKind::kDeleteDataEdge: {
+      const std::vector<EdgeId> data = edgesOfKind(g, cdfg::EdgeKind::kData);
+      if (data.empty()) {
+        break;
+      }
+      const EdgeId victim = data[rng.below(data.size())];
+      out.design = rebuild(g, no_node, no_node, cdfg::OpKind::kAdd, victim,
+                           no_edge, no_node);
+      out.applied = true;
+      const cdfg::Edge& ed = g.edge(victim);
+      out.description = "deleted data edge " +
+                        std::to_string(ed.src.value()) + "->" +
+                        std::to_string(ed.dst.value());
+      break;
+    }
+    case MutationKind::kRedirectEdge: {
+      const std::vector<EdgeId> data = edgesOfKind(g, cdfg::EdgeKind::kData);
+      if (data.empty() || g.nodeCount() < 3) {
+        break;
+      }
+      for (int attempt = 0; attempt < 64 && !out.applied; ++attempt) {
+        const EdgeId victim = data[rng.below(data.size())];
+        const cdfg::Edge& ed = g.edge(victim);
+        const NodeId to(
+            static_cast<std::uint32_t>(rng.below(g.nodeCount())));
+        if (to == ed.dst || to == ed.src ||
+            topo_pos[to.value()] <= topo_pos[ed.src.value()]) {
+          continue;
+        }
+        out.design = rebuild(g, no_node, no_node, cdfg::OpKind::kAdd,
+                             no_edge, victim, to);
+        out.applied = true;
+        out.description = "redirected data edge " +
+                          std::to_string(ed.src.value()) + "->" +
+                          std::to_string(ed.dst.value()) + " onto node " +
+                          std::to_string(to.value());
+      }
+      break;
+    }
+    case MutationKind::kDeleteTemporalEdge: {
+      const std::vector<EdgeId> temporal =
+          edgesOfKind(g, cdfg::EdgeKind::kTemporal);
+      if (temporal.empty()) {
+        break;
+      }
+      const EdgeId victim = temporal[rng.below(temporal.size())];
+      out.design = rebuild(g, no_node, no_node, cdfg::OpKind::kAdd, victim,
+                           no_edge, no_node);
+      out.applied = true;
+      const cdfg::Edge& ed = g.edge(victim);
+      out.description = "deleted temporal edge " +
+                        std::to_string(ed.src.value()) + "->" +
+                        std::to_string(ed.dst.value());
+      break;
+    }
+    case MutationKind::kAddTemporalEdge: {
+      const std::vector<NodeId> real = realNodes(g);
+      NodeId a;
+      NodeId b;
+      for (int attempt = 0; attempt < 64 && !out.applied; ++attempt) {
+        if (!orderedPair(real, a, b)) {
+          break;
+        }
+        if (g.hasEdge(a, b, cdfg::EdgeKind::kTemporal)) {
+          continue;
+        }
+        out.design.addEdge(a, b, cdfg::EdgeKind::kTemporal);
+        out.applied = true;
+        out.description = "added temporal edge " +
+                          std::to_string(a.value()) + "->" +
+                          std::to_string(b.value());
+      }
+      break;
+    }
+  }
+  if (!out.applied) {
+    out.description = std::string("no eligible target for ") +
+                      std::string(mutationKindName(kind));
+  }
+  return out;
+}
+
 double edgeSurvivalProbability(double f) {
   detail::check(f >= 0.0 && f <= 1.0,
                 "edgeSurvivalProbability: f must be in [0,1]");

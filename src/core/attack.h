@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdfg/graph.h"
@@ -25,6 +27,47 @@
 #include "sched/schedule.h"
 
 namespace locwm::wm {
+
+/// Structural tampering moves against a published (or intercepted marked)
+/// *design* — the adversary of the differential verifier (`locwm diff`,
+/// src/check/differ.h).  Each kind maps onto a LW7xx diagnostic family:
+/// node-set edits (LW701), re-kinding (LW702), dependence edits (LW703),
+/// and temporal-edge edits (LW705/LW707).
+enum class MutationKind : std::uint8_t {
+  kAddOperation = 0,     ///< insert a new operation consuming a value
+  kDeleteOperation = 1,  ///< remove a real operation and its edges
+  kChangeOpKind = 2,     ///< re-kind a real operation
+  kAddDataEdge = 3,      ///< add a forward data dependence
+  kDeleteDataEdge = 4,   ///< remove a data dependence
+  kRedirectEdge = 5,     ///< move a data edge to another consumer
+  kDeleteTemporalEdge = 6,  ///< strip one watermark constraint
+  kAddTemporalEdge = 7,     ///< forge an extra constraint
+};
+
+/// Number of distinct MutationKind values; dense in [0, count).
+inline constexpr std::size_t kMutationKindCount = 8;
+
+/// Stable mnemonic ("add-operation", "delete-temporal-edge", ...).
+[[nodiscard]] std::string_view mutationKindName(MutationKind kind) noexcept;
+
+/// Result of one structural mutation.
+struct MutationOutcome {
+  cdfg::Cdfg design;
+  /// False when the graph offers no eligible target (e.g. deleting a
+  /// temporal edge from a design that has none); `design` is then an
+  /// unmodified copy.
+  bool applied = false;
+  /// Human-readable account of what was changed.
+  std::string description;
+};
+
+/// Applies one structural mutation to a copy of `g`.  Deterministic in
+/// `seed`; the result is always acyclic (forward edges are inserted along
+/// the topological order).  The Cdfg API has no removal, so deleting
+/// mutations rebuild the graph.
+[[nodiscard]] MutationOutcome mutateDesign(const cdfg::Cdfg& g,
+                                           MutationKind kind,
+                                           std::uint64_t seed);
 
 /// Options of the perturbation adversary.
 struct PerturbOptions {

@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end CLI integration test, run under ctest.
 #   $1 = path to the locwm binary
+#   $2 = repo source dir (optional; enables the SARIF validation step)
 set -e
 LW="$1"
+SRC="$2"
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
 cd "$DIR"
@@ -73,6 +75,37 @@ grep -q 'LW101' lint.out
 if "$LW" lint core.sched > /dev/null 2>&1; then
   echo "lint accepted a schedule without a design" >&2
   exit 1
+fi
+
+# Differential verification: the marked design is the original plus the
+# certificates' temporal edges and nothing else (exit 0, watermark infos
+# only)...
+"$LW" diff core.cdfg marked.cdfg cert.wmc.0 cert.wmc.1 > diff.out
+grep -q 'LW706' diff.out
+
+# ...the published design carries no temporal edges, so against the
+# original the diff is empty...
+"$LW" diff core.cdfg published.cdfg -q
+
+# ...and tampering (here: stripping the watermark edges, then swapping in
+# a forged temporal edge) is an error with a stable LW7xx code.
+awk '/ temporal$/ { if (!done) { $2 = 0; $3 = 1; done = 1; print; next } }
+     { print }' marked.cdfg > tampered.cdfg
+if "$LW" diff core.cdfg tampered.cdfg cert.wmc.0 > tamper.out 2>&1; then
+  echo "diff accepted a tampered design" >&2
+  exit 1
+fi
+grep -Eq 'LW70[0-9]' tamper.out
+
+# SARIF export: both lint and diff render SARIF 2.1.0...
+"$LW" lint --sarif marked.cdfg core.sched cert.wmc.0 > lint.sarif
+"$LW" diff --sarif core.cdfg marked.cdfg cert.wmc.0 cert.wmc.1 -q > diff.sarif
+grep -q '"version": "2.1.0"' lint.sarif
+grep -q '"version": "2.1.0"' diff.sarif
+
+# ...validated structurally when python3 and the repo checkout are around.
+if [ -n "$SRC" ] && command -v python3 > /dev/null 2>&1; then
+  python3 "$SRC/scripts/check_sarif.py" lint.sarif diff.sarif
 fi
 
 echo "cli round trip OK"

@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "cdfg/graph.h"
+#include "cdfg/io.h"
 #include "check/diagnostics.h"
 #include "check/linter.h"
 #include "check/pass_audit.h"
 #include "check/rules.h"
+#include "core/certificate_io.h"
 #include "core/pass_audit.h"
 #include "core/sched_wm.h"
 #include "json_checker.h"
@@ -417,6 +419,162 @@ TEST(CheckCert, LW505ImpliedConstraint) {
 }
 
 // ---------------------------------------------------------------------------
+// Semantic rules (LW6xx): dataflow-powered whole-design checks.
+
+TEST(CheckSemantic, LW601TemporalEdgeImpliedByOtherTemporalEdges) {
+  // Three parallel adds off one input; temporal 1->2->3 plus the
+  // transitively implied 1->3 (no data path between the adds, so LW104
+  // stays silent and LW601 owns the finding).
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 add\n"
+                            "node 3 add\n"
+                            "node 4 output\n"
+                            "edge 0 1 data\n"
+                            "edge 0 2 data\n"
+                            "edge 0 3 data\n"
+                            "edge 1 4 data\n"
+                            "edge 2 4 data\n"
+                            "edge 3 4 data\n"
+                            "edge 1 2 temporal\n"
+                            "edge 2 3 temporal\n"
+                            "edge 1 3 temporal\n"});
+  EXPECT_TRUE(hasCode(r, "LW601")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW104")) << codeList(r);
+  EXPECT_EQ(countCode(r, "LW601"), 1u) << codeList(r);
+}
+
+TEST(CheckSemantic, LW602TemporalEdgeStretchesCriticalPath) {
+  // Diamond adds are parallel; serializing them with a temporal edge
+  // stretches the dependence-only critical path.
+  const std::string design =
+      std::string(kDiamondDesign) + "edge 1 2 temporal\n";
+  const Report r = lintAll({design});
+  EXPECT_TRUE(hasCode(r, "LW602")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors());
+  EXPECT_FALSE(r.hasWarnings()) << codeList(r);  // info: safe under --werror
+}
+
+TEST(CheckSemantic, LW603DeadOperation) {
+  // Node 1 consumes the input but reaches no output or side effect.
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 output\n"
+                            "edge 0 1 data\n"
+                            "edge 0 2 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW603")) << codeList(r);
+}
+
+TEST(CheckSemantic, LW603StoreCountsAsSideEffect) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 store\n"
+                            "node 3 output\n"
+                            "edge 0 1 data\n"
+                            "edge 1 2 data\n"
+                            "edge 0 3 data\n"});
+  EXPECT_FALSE(hasCode(r, "LW603")) << codeList(r);
+}
+
+TEST(CheckSemantic, LW604UndefinedProducer) {
+  // Node 1 feeds the output but no input or constant defines it.
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 output\n"
+                            "edge 0 2 data\n"
+                            "edge 1 2 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW604")) << codeList(r);
+}
+
+TEST(CheckSemantic, OrphansBelongToLW105NotLW603) {
+  const Report r = lintAll({"cdfg v1\n"
+                            "node 0 input\n"
+                            "node 1 add\n"
+                            "node 2 mul\n"
+                            "node 3 output\n"
+                            "edge 0 1 data\n"
+                            "edge 1 3 data\n"});
+  EXPECT_TRUE(hasCode(r, "LW105")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW603")) << codeList(r);
+  EXPECT_FALSE(hasCode(r, "LW604")) << codeList(r);
+}
+
+TEST(CheckSemantic, LW605OverlappingLocalities) {
+  // Mark a design, then lint the same certificate twice against it:
+  // identical localities trivially overlap.
+  cdfg::Cdfg g = workloads::hyperSuite()[0].graph;
+  wm::SchedulingWatermarker marker({"alice", "overlap-test"});
+  wm::SchedWmParams params;
+  params.locality.min_size = 4;
+  params.min_eligible = 2;
+  params.deadline =
+      sched::TimeFrames(g, params.latency).criticalPathSteps() + 3;
+  const auto result = marker.embed(g, params);
+  ASSERT_TRUE(result.has_value());
+  const std::string cert = wm::certificateToString(result->certificate);
+  const Report r = lintAll({cdfg::printToString(g), cert, cert});
+  EXPECT_TRUE(hasCode(r, "LW605")) << codeList(r);
+}
+
+TEST(CheckCert, LW606RecomputedPcWeakerThanNominal) {
+  // A shape-implied constraint is satisfied by every schedule: recomputed
+  // Pc = 1 while the nominal claim for K = 1 is 0.5 — 0.3 decades weaker.
+  wm::WatermarkCertificate cert = goodSchedCert();
+  cert.constraints.clear();
+  cert.constraints.push_back({0, 2});
+  const Report r = check::checkCertificate(cert);
+  EXPECT_TRUE(hasCode(r, "LW606")) << codeList(r);
+  EXPECT_FALSE(r.hasErrors()) << r.renderText();
+}
+
+TEST(CheckCert, LW606SilentOnHonestCertificate) {
+  // An unimplied constraint halves the schedule count (approximately):
+  // the recomputed Pc sits at the nominal claim.
+  wm::WatermarkCertificate cert;
+  cert.context = "sched-wm/0";
+  cert.locality_params.min_size = 2;
+  cert.shape.addNode(cdfg::OpKind::kAdd);
+  cert.shape.addNode(cdfg::OpKind::kAdd);
+  const auto c = cert.shape.addNode(cdfg::OpKind::kAdd);
+  cert.shape.addEdge(cdfg::NodeId(0), cdfg::NodeId(1));
+  cert.shape.addEdge(cdfg::NodeId(0), c);
+  cert.root_rank = 0;
+  cert.constraints.push_back({1, 2});  // 1 and 2 are parallel: real bit
+  const Report r = check::checkCertificate(cert);
+  EXPECT_FALSE(hasCode(r, "LW606")) << codeList(r) << r.renderText();
+}
+
+// ---------------------------------------------------------------------------
+// Report deduplication: one diagnostic per (code, artifact, location).
+
+TEST(CheckReport, DropsExactDuplicateFindings) {
+  Report r;
+  r.add({"LW104", Severity::kWarning, "a.cdfg", "edge 1->2", "first", "h1"});
+  r.add({"LW104", Severity::kWarning, "a.cdfg", "edge 1->2", "second", "h2"});
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].message, "first");  // first writer wins
+  // A different location, artifact, or code is a distinct finding.
+  r.add({"LW104", Severity::kWarning, "a.cdfg", "edge 2->3", "m", "h"});
+  r.add({"LW104", Severity::kWarning, "b.cdfg", "edge 1->2", "m", "h"});
+  r.add({"LW105", Severity::kWarning, "a.cdfg", "edge 1->2", "m", "h"});
+  EXPECT_EQ(r.diagnostics().size(), 4u);
+}
+
+TEST(CheckReport, MergeDeduplicatesAcrossReports) {
+  Report a;
+  a.add({"LW104", Severity::kWarning, "x", "loc", "m", "h"});
+  Report b;
+  b.add({"LW104", Severity::kWarning, "x", "loc", "m", "h"});
+  b.add({"LW105", Severity::kWarning, "x", "loc2", "m", "h"});
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
 // Rendering: JSON well-formedness, escaping, and determinism.
 
 TEST(CheckRender, JsonParsesBackAndEscapes) {
@@ -443,6 +601,45 @@ TEST(CheckRender, JsonAndTextDeterministicAcrossRuns) {
   EXPECT_TRUE(JsonChecker(first.renderJson()).parse()) << first.renderJson();
 }
 
+TEST(CheckRender, SarifParsesAndCarriesRuleMetadata) {
+  const Report r = lintAll({
+      std::string(kDiamondDesign) + "edge 1 2 temporal\nedge 1 2 temporal\n",
+  });
+  ASSERT_FALSE(r.empty());
+  const std::string sarif = r.renderSarif();
+  EXPECT_TRUE(JsonChecker(sarif).parse()) << sarif;
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"locwm\""), std::string::npos);
+  // The duplicate temporal edge yields LW102 both as a result and as a
+  // rule catalogue entry with its registry summary.
+  EXPECT_NE(sarif.find("\"ruleId\": \"LW102\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"LW102\""), std::string::npos);
+  EXPECT_NE(sarif.find("no duplicates"), std::string::npos);
+}
+
+TEST(CheckRender, SarifLevelsFollowSeverities) {
+  Report r;
+  r.add({"LW001", Severity::kError, "a", "", "m", "h"});
+  r.add({"LW104", Severity::kWarning, "a", "", "m", "h"});
+  r.add({"LW106", Severity::kInfo, "a", "", "m", "h"});
+  const std::string sarif = r.renderSarif();
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+}
+
+TEST(CheckRender, SarifDeterministicAndEmptyReportIsValid) {
+  const std::vector<std::string> artifacts = {
+      std::string(kDiamondDesign) + "edge 1 2 temporal\nedge 1 2 temporal\n",
+      "0 0\n1 0\n2 0\n3 0\n99 5\n",
+  };
+  EXPECT_EQ(lintAll(artifacts).renderSarif(),
+            lintAll(artifacts).renderSarif());
+  const Report empty;
+  EXPECT_TRUE(JsonChecker(empty.renderSarif()).parse())
+      << empty.renderSarif();
+}
+
 TEST(CheckRender, SummaryCountsMatchSeverities) {
   const Report r = lintAll({kChainDesign, "0 0\n1 5\n2 6\n3 7\n"});  // LW204
   EXPECT_EQ(r.count(Severity::kInfo), 1u);
@@ -458,7 +655,9 @@ TEST(CheckRegistry, CataloguesEveryCodeOnceInOrder) {
       "LW001", "LW002", "LW003", "LW101", "LW102", "LW103", "LW104",
       "LW105", "LW106", "LW201", "LW202", "LW203", "LW204", "LW205",
       "LW301", "LW302", "LW303", "LW304", "LW401", "LW402", "LW403",
-      "LW501", "LW502", "LW503", "LW504", "LW505"};
+      "LW501", "LW502", "LW503", "LW504", "LW505", "LW601", "LW602",
+      "LW603", "LW604", "LW605", "LW606", "LW701", "LW702", "LW703",
+      "LW704", "LW705", "LW706", "LW707"};
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].code, expected[i]);

@@ -31,6 +31,7 @@
 #include "cdfg/analysis.h"
 #include "cdfg/dot.h"
 #include "cdfg/io.h"
+#include "check/differ.h"
 #include "check/linter.h"
 #include "check/pass_audit.h"
 #include "core/certificate_io.h"
@@ -101,13 +102,18 @@ void note(const char* format, ...) {
       "                                 cover the design with a watermark\n"
       "  detect-tm FILE COVER CERT... -i ID -n NONCE [--lib FILE]\n"
       "                                 scan a template cover\n"
-      "  lint FILE... [--json] [--werror] [--lib FILE]\n"
+      "  lint FILE... [--json] [--sarif] [--werror] [--lib FILE]\n"
       "                                 statically check artifacts; kinds\n"
       "                                 are sniffed (design, schedule,\n"
       "                                 cover, binding, library, cert).\n"
       "                                 Order matters: a design provides\n"
       "                                 context for later artifacts.  See\n"
       "                                 docs/STATIC_ANALYSIS.md\n"
+      "  diff ORIGINAL MARKED [CERT...] [--json] [--sarif] [--werror]\n"
+      "                                 prove MARKED is ORIGINAL plus\n"
+      "                                 watermark temporal edges only;\n"
+      "                                 certificates attribute the extra\n"
+      "                                 edges (LW7xx diagnostics)\n"
       "\n"
       "global options (any command):\n"
       "  -q, --quiet                    suppress informational output\n"
@@ -121,7 +127,7 @@ void note(const char* format, ...) {
       "exit codes:\n"
       "  0  success; for detect commands: at least one mark detected\n"
       "  1  detect commands: no mark detected (verify-cert: invalid\n"
-      "     cert; lint: errors found, or warnings with --werror)\n"
+      "     cert; lint/diff: errors found, or warnings with --werror)\n"
       "  2  usage or I/O error\n"
       "\n"
       "environment:\n"
@@ -194,7 +200,7 @@ struct Args {
 
 bool isBooleanFlag(const std::string& name) {
   return name == "-q" || name == "--quiet" || name == "--report" ||
-         name == "--json" || name == "--werror";
+         name == "--json" || name == "--werror" || name == "--sarif";
 }
 
 Args parseArgs(int argc, char** argv, int first) {
@@ -606,13 +612,47 @@ int cmdLint(const Args& args) {
     linter.lintFile(path);
   }
   const check::Report& report = linter.report();
-  if (args.has("--json")) {
+  if (args.has("--sarif")) {
+    std::fputs(report.renderSarif().c_str(), stdout);
+  } else if (args.has("--json")) {
     std::fputs(report.renderJson().c_str(), stdout);
   } else if (!report.empty() || !g_quiet) {
     std::fputs(report.renderText().c_str(), stdout);
   }
   const bool fail =
       report.hasErrors() || (args.has("--werror") && report.hasWarnings());
+  return fail ? 1 : 0;
+}
+
+int cmdDiff(const Args& args) {
+  if (args.positional.size() < 2) {
+    die("diff: need <original> <marked> [certificate...]");
+  }
+  const cdfg::Cdfg original = loadDesign(args.positional[0]);
+  const cdfg::Cdfg marked = loadDesign(args.positional[1]);
+  std::vector<wm::WatermarkCertificate> certs;
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    std::ifstream in(args.positional[i]);
+    if (!in) {
+      die("cannot open certificate '" + args.positional[i] + "'");
+    }
+    certs.push_back(wm::parseSchedCertificate(in));
+  }
+  const check::DiffResult diff = check::diffDesigns(
+      original, marked, certs, args.positional[0], args.positional[1]);
+  if (args.has("--sarif")) {
+    std::fputs(diff.report.renderSarif().c_str(), stdout);
+  } else if (args.has("--json")) {
+    std::fputs(diff.report.renderJson().c_str(), stdout);
+  } else if (!diff.report.empty() || !g_quiet) {
+    std::fputs(diff.report.renderText().c_str(), stdout);
+  }
+  note("core %s; %zu extra temporal edge(s), %zu explained by %zu "
+       "certificate(s)\n",
+       diff.identical_core ? "identical" : "DIFFERS",
+       diff.extra_temporal.size(), diff.explained, certs.size());
+  const bool fail = diff.report.hasErrors() ||
+                    (args.has("--werror") && diff.report.hasWarnings());
   return fail ? 1 : 0;
 }
 
@@ -658,6 +698,9 @@ int runCommand(const std::string& cmd, const Args& args) {
   }
   if (cmd == "lint") {
     return cmdLint(args);
+  }
+  if (cmd == "diff") {
+    return cmdDiff(args);
   }
   usage();
 }

@@ -16,15 +16,35 @@
 #include "bench/bench_util.h"
 #include "cdfg/random_dfg.h"
 #include "core/sched_wm.h"
+#include "rt/rt.h"
 #include "sched/force_directed.h"
 #include "sched/list_scheduler.h"
 #include "sched/timeframes.h"
 #include "workloads/hyper.h"
 #include "workloads/mediabench.h"
 
+namespace {
+
+/// Per-trial outcome counts, accumulated serially in trial order so the
+/// printed rates are independent of how trials are scheduled.
+struct TrialCounts {
+  std::size_t unrelated_hits = 0;
+  std::size_t unrelated_total = 0;
+  std::size_t wrongkey_hits = 0;
+  std::size_t wrongkey_total = 0;
+  std::size_t coincidences = 0;
+  std::size_t coincidence_total = 0;
+  std::size_t resynth = 0;
+  std::size_t resynth_total = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace locwm;
   bench::JsonReport report("ablation_false_positive", argc, argv);
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t base_seed = bench::seedArg(argc, argv);
   bench::banner("ABL-FP  detection specificity (false-positive controls)",
                 "negative controls behind the paper's 1-Pc authorship proof");
 
@@ -32,17 +52,14 @@ int main(int argc, char** argv) {
               "wrongkey-hit", "unmarked-Pc-hat", "resynth-Pc-hat");
   bench::rule(78);
 
+  constexpr std::size_t kTrials = 6;
   for (const std::size_t min_size : {4u, 6u, 8u, 10u}) {
-    std::size_t unrelated_hits = 0;
-    std::size_t unrelated_total = 0;
-    std::size_t wrongkey_hits = 0;
-    std::size_t wrongkey_total = 0;
-    std::size_t coincidences = 0;
-    std::size_t coincidence_total = 0;
-    std::size_t resynth = 0;
-    std::size_t resynth_total = 0;
-
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    // Each trial builds, marks, and attacks its own design — fully
+    // independent, so the trial loop runs on the rt pool.
+    std::vector<TrialCounts> trials(kTrials);
+    rt::parallel_for(0, kTrials, /*grain=*/1, [&](std::size_t t) {
+      TrialCounts& counts = trials[t];
+      const std::uint64_t seed = base_seed + t + 1;
       cdfg::RandomDfgOptions o;
       o.operations = 120;
       o.inputs = 6;
@@ -56,7 +73,7 @@ int main(int argc, char** argv) {
       params.deadline = tf.criticalPathSteps() + 3;
       const auto r = marker.embed(g, params);
       if (!r) {
-        continue;
+        return;
       }
       const cdfg::Cdfg published = g.stripTemporalEdges();
 
@@ -65,8 +82,8 @@ int main(int argc, char** argv) {
         const cdfg::Cdfg alien = cdfg::randomDfg(o, other);
         const sched::Schedule as = sched::listSchedule(alien);
         const auto det = marker.detect(alien, as, r->certificate);
-        unrelated_hits += det.shape_matches > 0;
-        ++unrelated_total;
+        counts.unrelated_hits += det.shape_matches > 0;
+        ++counts.unrelated_total;
       }
       // Control 2: right design, wrong keys.
       for (int k = 0; k < 3; ++k) {
@@ -74,15 +91,15 @@ int main(int argc, char** argv) {
             {"mallory" + std::to_string(k), std::to_string(seed)});
         const sched::Schedule s = sched::listSchedule(g);
         const auto det = thief.detect(published, s, r->certificate);
-        wrongkey_hits += det.found;
-        ++wrongkey_total;
+        counts.wrongkey_hits += det.found;
+        ++counts.wrongkey_total;
       }
       // Control 3: right design + key, unmarked schedule.
       {
         const sched::Schedule s = sched::listSchedule(published);
         const auto det = marker.detect(published, s, r->certificate);
-        coincidences += det.satisfied;
-        coincidence_total += det.total;
+        counts.coincidences += det.satisfied;
+        counts.coincidence_total += det.total;
       }
       // Control 4: the strongest honest adversary — a full re-synthesis
       // of the published design with a *different* scheduler (FDS).
@@ -91,9 +108,21 @@ int main(int argc, char** argv) {
         fd.deadline = params.deadline;
         const sched::Schedule s = sched::forceDirectedSchedule(published, fd);
         const auto det = marker.detect(published, s, r->certificate);
-        resynth += det.satisfied;
-        resynth_total += det.total;
+        counts.resynth += det.satisfied;
+        counts.resynth_total += det.total;
       }
+    });
+
+    TrialCounts sum;
+    for (const TrialCounts& c : trials) {
+      sum.unrelated_hits += c.unrelated_hits;
+      sum.unrelated_total += c.unrelated_total;
+      sum.wrongkey_hits += c.wrongkey_hits;
+      sum.wrongkey_total += c.wrongkey_total;
+      sum.coincidences += c.coincidences;
+      sum.coincidence_total += c.coincidence_total;
+      sum.resynth += c.resynth;
+      sum.resynth_total += c.resynth_total;
     }
 
     auto pct = [](std::size_t a, std::size_t b) {
@@ -101,16 +130,20 @@ int main(int argc, char** argv) {
                                 static_cast<double>(b);
     };
     std::printf("%-8zu | %12.1f%% %12.1f%% %15.1f%% %15.1f%%\n", min_size,
-                pct(unrelated_hits, unrelated_total),
-                pct(wrongkey_hits, wrongkey_total),
-                pct(coincidences, coincidence_total),
-                pct(resynth, resynth_total));
+                pct(sum.unrelated_hits, sum.unrelated_total),
+                pct(sum.wrongkey_hits, sum.wrongkey_total),
+                pct(sum.coincidences, sum.coincidence_total),
+                pct(sum.resynth, sum.resynth_total));
     report.row({{"min_size", static_cast<std::uint64_t>(min_size)},
-                {"unrelated_hit_pct", pct(unrelated_hits, unrelated_total)},
-                {"wrongkey_hit_pct", pct(wrongkey_hits, wrongkey_total)},
+                {"seed", base_seed},
+                {"trials", static_cast<std::uint64_t>(kTrials)},
+                {"unrelated_hit_pct",
+                 pct(sum.unrelated_hits, sum.unrelated_total)},
+                {"wrongkey_hit_pct",
+                 pct(sum.wrongkey_hits, sum.wrongkey_total)},
                 {"unmarked_pc_hat_pct",
-                 pct(coincidences, coincidence_total)},
-                {"resynth_pc_hat_pct", pct(resynth, resynth_total)}});
+                 pct(sum.coincidences, sum.coincidence_total)},
+                {"resynth_pc_hat_pct", pct(sum.resynth, sum.resynth_total)}});
   }
   std::printf(
       "\nexpected shape: unrelated and wrong-key hits vanish once the\n"

@@ -7,13 +7,40 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
+#include "rt/rt.h"
 
 namespace locwm::bench {
+
+/// Parses `--seed N` (default `fallback`).  Every bench trial loop derives
+/// its per-trial randomness from this one base seed (via
+/// cdfg::substreamSeed or a base offset) and echoes it into the --json
+/// rows, so any row can be reproduced by rerunning with the same seed.
+inline std::uint64_t seedArg(int argc, char** argv,
+                             std::uint64_t fallback = 0) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// Applies `--threads N` to the global rt pool.  Same precedence as the
+/// CLI: an explicit flag overrides LOCWM_THREADS, which overrides
+/// hardware_concurrency.
+inline void applyThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      rt::setThreadCount(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+}
 
 /// Prints a horizontal rule of the given width.
 inline void rule(int width) {

@@ -16,6 +16,7 @@
 #include "cdfg/prng.h"
 #include "core/attack.h"
 #include "core/sched_wm.h"
+#include "rt/rt.h"
 #include "sched/list_scheduler.h"
 #include "sched/timeframes.h"
 #include "workloads/mediabench.h"
@@ -23,6 +24,8 @@
 int main(int argc, char** argv) {
   using namespace locwm;
   bench::JsonReport report("disc_tamper_resistance", argc, argv);
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t base_seed = bench::seedArg(argc, argv);
   bench::banner("DISC1  tamper resistance of scheduling watermarks",
                 "Kirovski & Potkonjak, TCAD 22(9) 2003, §IV-A discussion");
 
@@ -80,28 +83,39 @@ int main(int argc, char** argv) {
   std::printf("  %10s %10s %14s %16s\n", "moves", "touched", "marks intact",
               "runs fully erased");
   for (const std::size_t moves : {50u, 200u, 1000u, 5000u, 20000u}) {
+    constexpr std::size_t kRuns = 10;
+    // Each adversary run perturbs its own schedule copy with a
+    // counter-split PRNG substream, so the runs are independent of each
+    // other and of how the pool schedules them.
+    struct RunResult {
+      std::size_t touched = 0;
+      std::size_t intact = 0;
+    };
+    std::vector<RunResult> runs(kRuns);
+    rt::parallel_for(0, kRuns, /*grain=*/1, [&](std::size_t run) {
+      wm::PerturbOptions po;
+      po.moves = moves;
+      po.seed = cdfg::substreamSeed(base_seed, run);
+      const auto attacked = wm::perturbSchedule(published, s, po);
+      runs[run].touched = attacked.ops_touched;
+      for (const auto& d : detectors) {
+        runs[run].intact += d.check(attacked.schedule).found;
+      }
+    });
     std::size_t intact_total = 0;
     std::size_t erased_runs = 0;
     std::size_t touched_total = 0;
-    constexpr std::size_t kRuns = 10;
-    for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-      wm::PerturbOptions po;
-      po.moves = moves;
-      po.seed = seed;
-      const auto attacked = wm::perturbSchedule(published, s, po);
-      touched_total += attacked.ops_touched;
-      std::size_t intact = 0;
-      for (const auto& d : detectors) {
-        intact += d.check(attacked.schedule).found;
-      }
-      intact_total += intact;
-      erased_runs += intact == 0;
+    for (const RunResult& r : runs) {
+      touched_total += r.touched;
+      intact_total += r.intact;
+      erased_runs += r.intact == 0;
     }
     std::printf("  %10zu %10zu %10zu/%zu %13zu/%zu\n",
                 static_cast<std::size_t>(moves), touched_total / kRuns,
                 intact_total, kRuns * marks.size(), erased_runs, kRuns);
     report.row(
         {{"moves", static_cast<std::uint64_t>(moves)},
+         {"seed", base_seed},
          {"touched_mean", static_cast<std::uint64_t>(touched_total / kRuns)},
          {"marks_intact", static_cast<std::uint64_t>(intact_total)},
          {"marks_checked", static_cast<std::uint64_t>(kRuns * marks.size())},

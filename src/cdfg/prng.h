@@ -48,4 +48,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Counter-splitting: derives the seed of substream `index` from a base
+/// seed.  One SplitMix64 step over `seed ^ f(index)` with a second
+/// finalizer round scrambles the (seed, index) pair well enough that
+/// substreams started from adjacent indices share no prefix — each
+/// parallel task seeds its own SplitMix64 with substreamSeed(base, task)
+/// and draws are independent of how tasks are scheduled across threads.
+constexpr std::uint64_t substreamSeed(std::uint64_t seed,
+                                      std::uint64_t index) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDULL;
+  return z ^ (z >> 33);
+}
+
 }  // namespace locwm::cdfg

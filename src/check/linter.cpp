@@ -12,6 +12,7 @@
 #include "cdfg/io.h"
 #include "check/differ.h"
 #include "check/internal.h"
+#include "rt/rt.h"
 #include "core/certificate_io.h"
 #include "regbind/binding_io.h"
 #include "regbind/lifetime.h"
@@ -109,8 +110,15 @@ void Linter::lintText(const std::string& text, const std::string& name) {
 void Linter::lintDesign(const std::string& text, const std::string& name) {
   std::vector<cdfg::ParseIssue> issues;
   cdfg::Cdfg g = cdfg::parseString(text, issues);
-  report_.merge(checkGraph(g, issues, name));
-  report_.merge(checkSemantics(g, name));
+  // The structural and semantic rule packs only read the parsed graph;
+  // evaluate them concurrently into local reports and merge in the fixed
+  // structural-then-semantic order so diagnostics render identically.
+  Report structural;
+  Report semantic;
+  rt::parallel_invoke({[&] { structural = checkGraph(g, issues, name); },
+                       [&] { semantic = checkSemantics(g, name); }});
+  report_.merge(std::move(structural));
+  report_.merge(std::move(semantic));
   design_ = std::move(g);
   schedule_.reset();  // a schedule belongs to the design before it
   matched_localities_.clear();

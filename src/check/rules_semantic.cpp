@@ -13,6 +13,7 @@
 #include "check/dataflow.h"
 #include "check/internal.h"
 #include "check/rules.h"
+#include "rt/rt.h"
 
 namespace locwm::check {
 namespace {
@@ -42,10 +43,14 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
   if (g.nodeCount() <= kClosureNodeLimit) {
     closure = computePrecedenceClosure(g, EdgeMask::all());
   }
-  for (const cdfg::EdgeId te : temporal) {
-    const cdfg::Edge& e = g.edge(te);
-    if (detail::hasDataControlPath(g, e.src, e.dst, te)) {
-      continue;  // LW104's finding; one diagnostic per defect
+  // The per-edge implication queries only read the graph and the solved
+  // closure; flags are computed in parallel and diagnostics added in edge
+  // order afterwards, so the report is identical to the serial loop.
+  std::vector<char> implied_at(temporal.size(), 0);
+  rt::parallel_for(0, temporal.size(), /*grain=*/1, [&](std::size_t i) {
+    const cdfg::Edge& e = g.edge(temporal[i]);
+    if (detail::hasDataControlPath(g, e.src, e.dst, temporal[i])) {
+      return;  // LW104's finding; one diagnostic per defect
     }
     bool implied = false;
     if (closure) {
@@ -53,7 +58,7 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
       // edge a->m with m == b or m preceding b; the closure may use e
       // internally only on paths through b, which the DAG forbids here.
       for (const cdfg::EdgeId oe : g.outEdges(e.src)) {
-        if (oe == te) {
+        if (oe == temporal[i]) {
           continue;
         }
         const cdfg::NodeId m = g.edge(oe).dst;
@@ -63,9 +68,14 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
         }
       }
     } else {
-      implied = hasPathSkipping(g, e.src, e.dst, te, EdgeMask::all());
+      implied =
+          hasPathSkipping(g, e.src, e.dst, temporal[i], EdgeMask::all());
     }
-    if (implied) {
+    implied_at[i] = implied ? 1 : 0;
+  });
+  for (std::size_t i = 0; i < temporal.size(); ++i) {
+    const cdfg::Edge& e = g.edge(temporal[i]);
+    if (implied_at[i] != 0) {
       r.add(diag("LW601", Severity::kWarning, artifact,
                  detail::edgeRef(e.src.value(), e.dst.value(), e.kind),
                  "temporal edge is implied by the transitive precedence of "

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cdfg/error.h"
+#include "rt/rt.h"
 
 namespace locwm::wm {
 
@@ -77,15 +78,49 @@ PcEstimate approxSchedulingPc(const cdfg::Cdfg& g,
                                  /*includeTemporal=*/false);
   PcEstimate est;
   est.exact = false;
-  for (const auto& [before, after] : edges) {
-    const double p =
-        orderProbability(frames.asap(before), frames.alap(before),
-                         frames.asap(after), frames.alap(after));
-    // A zero-probability edge cannot occur by coincidence at all; clamp to
-    // a floor so one edge doesn't collapse the log-sum to -inf.
-    est.log10_pc += std::log10(std::max(p, 1e-12));
-  }
+  // Fixed-order parallel reduce: per-chunk partials are combined in chunk
+  // index order, so the log-sum rounds identically for any thread count.
+  est.log10_pc = rt::parallel_reduce(
+      0, edges.size(), 0.0,
+      [&](std::size_t i) {
+        const auto& [before, after] = edges[i];
+        const double p =
+            orderProbability(frames.asap(before), frames.alap(before),
+                             frames.asap(after), frames.alap(after));
+        // A zero-probability edge cannot occur by coincidence at all;
+        // clamp to a floor so one edge doesn't collapse the log-sum to
+        // -inf.
+        return std::log10(std::max(p, 1e-12));
+      },
+      [](double acc, double term) { return acc + term; });
   return est;
+}
+
+AggregatePc aggregateSchedulingPc(
+    const std::vector<WatermarkCertificate>& certificates,
+    std::uint32_t deadline_slack, std::uint64_t max_steps) {
+  AggregatePc agg;
+  agg.per_certificate.resize(certificates.size());
+  // Each certificate's enumeration walks only its own shape, so they run
+  // in parallel; an over-budget enumeration skips that certificate rather
+  // than poisoning the aggregate.
+  rt::parallel_for(0, certificates.size(), /*grain=*/1, [&](std::size_t i) {
+    try {
+      agg.per_certificate[i] =
+          exactSchedulingPc(certificates[i], deadline_slack, max_steps);
+    } catch (const Error&) {
+      agg.per_certificate[i] = std::nullopt;
+    }
+  });
+  agg.combined.exact = true;
+  for (const std::optional<PcEstimate>& est : agg.per_certificate) {
+    if (est) {
+      agg.combined.log10_pc += est->log10_pc;
+    } else {
+      ++agg.failed;
+    }
+  }
+  return agg;
 }
 
 double detectionConfidenceLog10(const WatermarkCertificate& certificate,
@@ -103,15 +138,15 @@ double detectionConfidenceLog10(const WatermarkCertificate& certificate,
   const sched::TimeFrames frames(certificate.shape,
                                  sched::LatencyModel::unit(),
                                  tight.criticalPathSteps() + deadline_slack);
-  std::vector<double> p;
-  p.reserve(k);
-  for (const RankConstraint& c : certificate.constraints) {
+  std::vector<double> p(k, 0.0);
+  rt::parallel_for(0, k, rt::kDefaultGrain, [&](std::size_t i) {
+    const RankConstraint& c = certificate.constraints[i];
     const cdfg::NodeId a(c.before_rank);
     const cdfg::NodeId b(c.after_rank);
-    p.push_back(std::clamp(orderProbability(frames.asap(a), frames.alap(a),
-                                            frames.asap(b), frames.alap(b)),
-                           1e-12, 1.0 - 1e-12));
-  }
+    p[i] = std::clamp(orderProbability(frames.asap(a), frames.alap(a),
+                                       frames.asap(b), frames.alap(b)),
+                      1e-12, 1.0 - 1e-12);
+  });
   // Poisson-binomial tail P[X >= satisfied] by dynamic programming.
   std::vector<double> dist(k + 1, 0.0);
   dist[0] = 1.0;

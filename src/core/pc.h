@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cdfg/graph.h"
@@ -50,6 +51,28 @@ struct PcEstimate {
 [[nodiscard]] PcEstimate exactSchedulingPc(
     const WatermarkCertificate& certificate, std::uint32_t deadline_slack = 1,
     std::uint64_t max_steps = 50'000'000);
+
+/// A design carrying several watermarks proves authorship with the
+/// *product* of the per-certificate Pc values (the localities are
+/// disjoint by construction, so the coincidences are independent events).
+struct AggregatePc {
+  /// log10-sum of every successfully enumerated certificate, in
+  /// certificate order.
+  PcEstimate combined;
+  /// Per-certificate estimates, aligned with the input; nullopt when that
+  /// certificate's enumeration exceeded the budget.
+  std::vector<std::optional<PcEstimate>> per_certificate;
+  /// Number of nullopt entries above.
+  std::size_t failed = 0;
+};
+
+/// Exact Pc of each certificate (independent enumerations, computed in
+/// parallel) combined into one aggregate proof.  A certificate whose
+/// enumeration exceeds `max_steps` is skipped and counted in `failed`
+/// instead of aborting the whole aggregate.
+[[nodiscard]] AggregatePc aggregateSchedulingPc(
+    const std::vector<WatermarkCertificate>& certificates,
+    std::uint32_t deadline_slack = 1, std::uint64_t max_steps = 50'000'000);
 
 /// Approximate Pc of a set of temporal constraints in a full design:
 /// per-edge window-uniform order probability, multiplied (log-summed).

@@ -8,6 +8,7 @@
 #include "core/pass_audit.h"
 #include "obs/obs.h"
 #include "regbind/lifetime.h"
+#include "rt/rt.h"
 
 namespace locwm::wm {
 
@@ -147,18 +148,23 @@ RegDetectResult RegisterWatermarker::detect(
   const cdfg::OpKind root_kind =
       certificate.shape.node(NodeId(certificate.root_rank)).kind;
   const LocalityDeriver deriver(suspect);
-  for (const NodeId root : deriver.candidateRoots()) {
+  // Per-root locality re-derivation is independent; fold the per-root
+  // shared-register counts serially in root order so the winning root (and
+  // every tie-break) matches the serial scan exactly.
+  const std::vector<NodeId> roots = deriver.candidateRoots();
+  std::vector<std::optional<std::size_t>> shared_at(roots.size());
+  rt::parallel_for(0, roots.size(), /*grain=*/1, [&](std::size_t i) {
+    const NodeId root = roots[i];
     if (suspect.node(root).kind != root_kind) {
-      continue;
+      return;
     }
     crypto::KeyedBitstream carve_bits(signature_,
                                       certificate.context + "/carve");
     const std::optional<Locality> loc =
         deriver.derive(root, certificate.locality_params, carve_bits);
     if (!loc || !shapeEquals(loc->shape, certificate.shape)) {
-      continue;
+      return;
     }
-    ++best.shape_matches;
     std::size_t shared = 0;
     for (const RankConstraint& c : certificate.pairs) {
       const NodeId a = loc->nodes[c.before_rank];
@@ -168,9 +174,16 @@ RegDetectResult RegisterWatermarker::detect(
         ++shared;
       }
     }
-    if (shared > best.shared || !best.root.isValid()) {
-      best.shared = shared;
-      best.root = root;
+    shared_at[i] = shared;
+  });
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (!shared_at[i]) {
+      continue;
+    }
+    ++best.shape_matches;
+    if (*shared_at[i] > best.shared || !best.root.isValid()) {
+      best.shared = *shared_at[i];
+      best.root = roots[i];
     }
   }
   best.found =

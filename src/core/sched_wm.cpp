@@ -7,6 +7,7 @@
 #include "cdfg/error.h"
 #include "core/pass_audit.h"
 #include "obs/obs.h"
+#include "rt/rt.h"
 #include "sched/timeframes.h"
 
 namespace locwm::wm {
@@ -284,21 +285,33 @@ SchedDetector::SchedDetector(const SchedulingWatermarker& marker,
   const cdfg::OpKind root_kind =
       certificate.shape.node(NodeId(certificate.root_rank)).kind;
   const LocalityDeriver deriver(suspect);
-  for (const NodeId root : deriver.candidateRoots()) {
+  // Every candidate root re-derives its locality independently (the
+  // deriver is stateless, the bitstream is rebuilt per root), so the scan
+  // parallelizes; matches are gathered in root order afterwards, which
+  // keeps matches_ identical to the serial left-to-right scan.
+  const std::vector<NodeId> roots = deriver.candidateRoots();
+  std::vector<std::optional<Match>> found(roots.size());
+  rt::parallel_for(0, roots.size(), /*grain=*/1, [&](std::size_t i) {
+    const NodeId root = roots[i];
     LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", 1);
     // Cheap pre-filter: a shape match requires the root's operation kind
     // to equal the certificate root's kind.
     if (suspect.node(root).kind != root_kind) {
-      continue;
+      return;
     }
     crypto::KeyedBitstream carve_bits(marker.signature(),
                                       certificate.context + "/carve");
     const std::optional<Locality> loc =
         deriver.derive(root, certificate.locality_params, carve_bits);
     if (!loc || !shapeEquals(loc->shape, certificate.shape)) {
-      continue;
+      return;
     }
-    matches_.push_back(Match{root, loc->nodes});
+    found[i] = Match{root, loc->nodes};
+  });
+  for (std::optional<Match>& m : found) {
+    if (m) {
+      matches_.push_back(std::move(*m));
+    }
   }
   LOCWM_OBS_COUNT("core.sched_wm.detect_shape_matches", matches_.size());
 }

@@ -9,6 +9,7 @@
 #include "cdfg/error.h"
 #include "core/pass_audit.h"
 #include "obs/obs.h"
+#include "rt/rt.h"
 
 namespace locwm::wm {
 
@@ -254,7 +255,12 @@ TmDetectResult TemplateWatermarker::detect(
   } else {
     scan_roots = deriver.candidateRoots();
   }
-  for (const NodeId root : scan_roots) {
+  // Per-root scans are independent (the cover-key set is read-only); the
+  // serial fold keeps the `present >= best.present` later-root-wins
+  // tie-break byte-identical to the sequential loop.
+  std::vector<std::optional<std::size_t>> present_at(scan_roots.size());
+  rt::parallel_for(0, scan_roots.size(), /*grain=*/1, [&](std::size_t i) {
+    const NodeId root = scan_roots[i];
     std::optional<Locality> loc;
     if (certificate.whole_design) {
       loc = deriver.wholeDesign(certificate.locality_params.min_size);
@@ -264,9 +270,8 @@ TmDetectResult TemplateWatermarker::detect(
       loc = deriver.derive(root, certificate.locality_params, carve_bits);
     }
     if (!loc || !shapeEquals(loc->shape, certificate.shape)) {
-      continue;
+      return;
     }
-    ++best.shape_matches;
     std::size_t present = 0;
     for (const EnforcedMatching& em : certificate.matchings) {
       tm::Matching expect;
@@ -282,9 +287,16 @@ TmDetectResult TemplateWatermarker::detect(
         ++present;
       }
     }
-    if (present >= best.present) {
-      best.present = present;
-      best.root = root;
+    present_at[i] = present;
+  });
+  for (std::size_t i = 0; i < scan_roots.size(); ++i) {
+    if (!present_at[i]) {
+      continue;
+    }
+    ++best.shape_matches;
+    if (*present_at[i] >= best.present) {
+      best.present = *present_at[i];
+      best.root = scan_roots[i];
     }
   }
   best.found = best.shape_matches > 0 && best.present == best.total &&

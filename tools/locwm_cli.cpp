@@ -45,6 +45,7 @@
 #include "regbind/binding.h"
 #include "regbind/binding_io.h"
 #include "regbind/lifetime.h"
+#include "rt/rt.h"
 #include "sched/list_scheduler.h"
 #include "sched/schedule_io.h"
 #include "sched/timeframes.h"
@@ -123,6 +124,10 @@ void note(const char* format, ...) {
       "                                 as JSON\n"
       "  --report                       print per-pass wall-time table to\n"
       "                                 stderr at exit\n"
+      "  --threads N                    worker threads for the parallel\n"
+      "                                 passes; overrides LOCWM_THREADS,\n"
+      "                                 which overrides the hardware\n"
+      "                                 concurrency default\n"
       "\n"
       "exit codes:\n"
       "  0  success; for detect commands: at least one mark detected\n"
@@ -715,6 +720,13 @@ int main(int argc, char** argv) {
   const Args args = parseArgs(argc, argv, 2);
 
   g_quiet = args.has("-q") || args.has("--quiet");
+  if (const auto threads = args.get("--threads")) {
+    try {
+      rt::setThreadCount(std::stoul(*threads));
+    } catch (const std::exception&) {
+      die("--threads needs a number, got '" + *threads + "'");
+    }
+  }
   const std::optional<std::string> trace_path = args.get("--trace");
   const std::optional<std::string> stats_path = args.get("--stats");
   const bool report = args.has("--report");
@@ -738,6 +750,8 @@ int main(int argc, char** argv) {
     die("cannot write stats file '" + *stats_path + "'");
   }
   if (report) {
+    std::fprintf(stderr, "threads: %zu effective (of %zu hardware)\n",
+                 rt::threadCount(), rt::hardwareThreads());
     obs::PassTimer::instance().printReport(stderr);
   }
   return rc;

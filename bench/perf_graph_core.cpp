@@ -1,0 +1,183 @@
+// PERF-GRAPH-CORE — microbench of the CSR/SoA graph snapshot (cdfg::
+// CsrView) against the pointer-chasing Cdfg builder it is lowered from:
+//
+//   * lowering cost: one counting-sort pass over the edge table — the
+//     price an analysis batch pays once before traversing;
+//   * neighbour-walk throughput, sequential (node 0..n-1, the access
+//     pattern of the fixpoint engines) and random (shuffled node order,
+//     the access pattern of per-query DFS / detection probes), on both
+//     layouts, in visited edges per microsecond;
+//   * memory per node: the view's single arena vs the builder's
+//     node/edge tables plus per-node adjacency vectors (counted from
+//     capacities; the builder's std::string labels are counted only as
+//     their inline header, so the builder figure is a *lower* bound).
+//
+// Not a paper table; documents the layout decision behind the CSR core
+// (docs/GRAPH_CORE.md) and gives CI a cheap regression signal for it.
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cdfg/csr.h"
+#include "cdfg/prng.h"
+#include "cdfg/random_dfg.h"
+#include "rt/rt.h"
+
+namespace {
+
+using namespace locwm;
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  const auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+cdfg::Cdfg buildGraph(std::size_t ops, std::uint64_t seed) {
+  cdfg::RandomDfgOptions options;
+  options.operations = ops;
+  options.inputs = ops / 64 + 4;
+  options.width = ops / 128 + 8;
+  return cdfg::randomDfg(options, seed);
+}
+
+/// Heap bytes of the builder's structural storage: node/edge tables and
+/// the two adjacency vector-of-vectors.  Label strings are counted as
+/// sizeof(std::string) only (no payload), so this is a lower bound.
+std::size_t builderBytes(const cdfg::Cdfg& g) {
+  std::size_t bytes = g.nodes().capacity() * sizeof(cdfg::Node) +
+                      g.edges().capacity() * sizeof(cdfg::Edge);
+  // in_/out_ outer vectors + per-node edge-id buffers.
+  bytes += 2 * g.nodeCount() * sizeof(std::vector<cdfg::EdgeId>);
+  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+    const cdfg::NodeId v(static_cast<std::uint32_t>(i));
+    bytes += g.inEdges(v).capacity() * sizeof(cdfg::EdgeId);
+    bytes += g.outEdges(v).capacity() * sizeof(cdfg::EdgeId);
+  }
+  return bytes;
+}
+
+/// Sums successor node values over `order` on the builder (allocating
+/// successors() per node, as the pre-CSR analyses did).  The checksum
+/// keeps the walks honest and the optimizer out.
+std::uint64_t walkBuilder(const cdfg::Cdfg& g,
+                          const std::vector<cdfg::NodeId>& order,
+                          std::uint64_t* visited) {
+  std::uint64_t sum = 0;
+  for (const cdfg::NodeId v : order) {
+    for (const cdfg::NodeId s : g.successors(v, /*includeTemporal=*/true)) {
+      sum += s.value();
+      ++*visited;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t walkCsr(const cdfg::CsrView& view,
+                      const std::vector<cdfg::NodeId>& order,
+                      std::uint64_t* visited) {
+  std::uint64_t sum = 0;
+  for (const cdfg::NodeId v : order) {
+    for (const cdfg::NodeId s : view.successors(v, cdfg::EdgeSel::kAll)) {
+      sum += s.value();
+      ++*visited;
+    }
+  }
+  return sum;
+}
+
+/// Edges visited per microsecond over `repeats` full walks.
+template <typename Walk>
+double throughput(Walk&& walk, const std::vector<cdfg::NodeId>& order,
+                  std::size_t repeats, std::uint64_t expect_sum) {
+  std::uint64_t visited = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const std::uint64_t sum = walk(order, &visited);
+    if (sum != expect_sum) {
+      std::fprintf(stderr, "walk checksum mismatch\n");
+      std::exit(1);
+    }
+  }
+  const double ms = millisSince(t0);
+  return ms <= 0 ? 0.0 : static_cast<double>(visited) / (ms * 1000.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t seed = bench::seedArg(argc, argv, /*fallback=*/11);
+  bench::JsonReport json("perf_graph_core", argc, argv);
+  bench::banner("PERF-GRAPH-CORE: CSR/SoA snapshot vs pointer-layout builder",
+                "graph core (docs/GRAPH_CORE.md)");
+  std::printf("%8s %8s %8s | %9s %9s | %9s %9s | %7s %7s\n", "ops", "edges",
+              "lower", "seq/bld", "seq/csr", "rnd/bld", "rnd/csr", "B/n",
+              "B/n");
+  std::printf("%8s %8s %8s | %9s %9s | %9s %9s | %7s %7s\n", "", "", "(ms)",
+              "(e/us)", "(e/us)", "(e/us)", "(e/us)", "bld", "csr");
+  bench::rule(96);
+
+  for (const std::size_t ops : {1000UL, 10000UL, 100000UL, 500000UL}) {
+    const cdfg::Cdfg g = buildGraph(ops, seed);
+
+    const auto tl = std::chrono::steady_clock::now();
+    const cdfg::CsrView view(g);
+    const double lower_ms = millisSince(tl);
+
+    // Sequential order 0..n-1 and a seeded shuffle of it.
+    std::vector<cdfg::NodeId> seq = g.allNodes();
+    std::vector<cdfg::NodeId> rnd = seq;
+    cdfg::SplitMix64 rng(seed ^ ops);
+    for (std::size_t i = rnd.size(); i > 1; --i) {
+      std::swap(rnd[i - 1], rnd[rng.below(i)]);
+    }
+
+    // One warm-up walk fixes the checksum both layouts must reproduce.
+    std::uint64_t scratch = 0;
+    const std::uint64_t expect = walkCsr(view, seq, &scratch);
+    const std::size_t repeats = ops >= 100000 ? 3 : 20;
+
+    auto builder = [&](const std::vector<cdfg::NodeId>& order,
+                       std::uint64_t* visited) {
+      return walkBuilder(g, order, visited);
+    };
+    auto csr = [&](const std::vector<cdfg::NodeId>& order,
+                   std::uint64_t* visited) {
+      return walkCsr(view, order, visited);
+    };
+    const double seq_builder = throughput(builder, seq, repeats, expect);
+    const double seq_csr = throughput(csr, seq, repeats, expect);
+    const double rnd_builder = throughput(builder, rnd, repeats, expect);
+    const double rnd_csr = throughput(csr, rnd, repeats, expect);
+
+    const double builder_bpn =
+        g.nodeCount() == 0
+            ? 0.0
+            : static_cast<double>(builderBytes(g)) /
+                  static_cast<double>(g.nodeCount());
+
+    std::printf("%8zu %8zu %8.2f | %9.1f %9.1f | %9.1f %9.1f | %7.1f %7.1f\n",
+                g.nodeCount(), g.edgeCount(), lower_ms, seq_builder, seq_csr,
+                rnd_builder, rnd_csr, builder_bpn, view.bytesPerNode());
+
+    json.row({{"ops", static_cast<std::uint64_t>(g.nodeCount())},
+              {"edges", static_cast<std::uint64_t>(g.edgeCount())},
+              {"seed", seed},
+              {"threads", static_cast<std::uint64_t>(rt::threadCount())},
+              {"lower_ms", lower_ms},
+              {"seq_builder_edges_per_us", seq_builder},
+              {"seq_csr_edges_per_us", seq_csr},
+              {"rnd_builder_edges_per_us", rnd_builder},
+              {"rnd_csr_edges_per_us", rnd_csr},
+              {"seq_speedup", seq_builder > 0 ? seq_csr / seq_builder : -1.0},
+              {"rnd_speedup", rnd_builder > 0 ? rnd_csr / rnd_builder : -1.0},
+              {"builder_bytes_per_node", builder_bpn},
+              {"csr_bytes_per_node", view.bytesPerNode()}});
+  }
+  bench::rule(96);
+  std::printf("builder B/n excludes label payloads (lower bound); "
+              "walk checksums verified\n");
+  return 0;
+}

@@ -1,24 +1,38 @@
 // PERF-STATIC — throughput of the static-analysis subsystem on random
-// DFGs from 1k to 50k operations: the dataflow engine's concrete analyses
-// (precedence closure, reachability, ASAP/ALAP slack), the semantic rule
-// pack built on them (checkSemantics, LW6xx), and the full text-level
-// lint (parse + every rule).  Not a paper table; documents that `locwm
-// lint` scales to real designs and pins the closure's node-count gate.
+// DFGs from 1k to 50k operations (or one size via --ops N, up to 10^6):
+// the dataflow engine's concrete analyses (precedence closure,
+// reachability, ASAP/ALAP slack) timed on BOTH graph representations —
+// the mutable Cdfg builder (legacy) and the cdfg::CsrView snapshot (the
+// CSR/SoA fast path) — plus the semantic rule pack (checkSemantics,
+// LW6xx, CSR-backed internally) and the full text-level lint (parse +
+// every rule).  Not a paper table; documents that `locwm lint` scales to
+// million-node designs, pins the closure's node-count gate, and records
+// the per-pass CSR speedup plus the view's memory cost (bytes/node) and
+// the process peak RSS in every --json row.
 //
 // Closure rows stop at check::kClosureNodeLimit (the bit-matrix gate —
 // larger graphs take the per-query DFS fallback); full-lint rows stop at
 // 5k operations because printing + reparsing dominates beyond that.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench/bench_util.h"
+#include "cdfg/csr.h"
 #include "cdfg/io.h"
 #include "cdfg/prng.h"
 #include "cdfg/random_dfg.h"
 #include "check/dataflow.h"
 #include "check/linter.h"
 #include "check/rules.h"
+#include "rt/rt.h"
 #include "sched/latency.h"
 
 namespace {
@@ -30,12 +44,30 @@ double millisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
-cdfg::Cdfg buildGraph(std::size_t ops) {
+/// Process peak resident set size in MiB (-1 when unavailable).
+/// ru_maxrss is KiB on Linux and bytes on macOS.
+double peakRssMib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return -1.0;
+  }
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+cdfg::Cdfg buildGraph(std::size_t ops, std::uint64_t seed) {
   cdfg::RandomDfgOptions options;
   options.operations = ops;
   options.inputs = ops / 64 + 4;
   options.width = ops / 128 + 8;
-  cdfg::Cdfg g = cdfg::randomDfg(options, /*seed=*/7);
+  cdfg::Cdfg g = cdfg::randomDfg(options, seed);
   // A watermark-like sprinkling of forward temporal edges so the semantic
   // rules have something to chew on (ids are topological by construction).
   cdfg::SplitMix64 rng(ops);
@@ -51,28 +83,72 @@ cdfg::Cdfg buildGraph(std::size_t ops) {
   return g;
 }
 
+/// Parses `--ops N` (0 = not given: run the default size ladder).
+std::size_t opsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+std::string cell(double ms) {
+  char buf[32];
+  if (ms < 0) {
+    std::snprintf(buf, sizeof buf, "%9s", "-");
+  } else {
+    std::snprintf(buf, sizeof buf, "%9.2f", ms);
+  }
+  return buf;
+}
+
+double speedup(double legacy_ms, double csr_ms) {
+  return (legacy_ms < 0 || csr_ms <= 0) ? -1.0 : legacy_ms / csr_ms;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t seed = bench::seedArg(argc, argv, /*fallback=*/7);
   bench::JsonReport json("perf_static_analysis", argc, argv);
-  bench::banner("PERF-STATIC: lint + dataflow throughput on random DFGs",
-                "static-analysis subsystem (docs/STATIC_ANALYSIS.md)");
-  std::printf("%8s %8s %10s %10s %10s %10s %10s\n", "ops", "edges",
-              "closure", "reach", "slack", "semantic", "lint");
-  std::printf("%8s %8s %10s %10s %10s %10s %10s\n", "", "", "(ms)", "(ms)",
-              "(ms)", "(ms)", "(ms)");
-  bench::rule(78);
+  bench::banner("PERF-STATIC: lint + dataflow throughput, builder vs CSR",
+                "static-analysis subsystem (docs/STATIC_ANALYSIS.md, "
+                "docs/GRAPH_CORE.md)");
+  std::printf("%8s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "ops", "lower",
+              "clos/leg", "clos/csr", "rch/leg", "rch/csr", "slk/leg",
+              "slk/csr", "semantic", "lint");
+  std::printf("%8s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "", "(ms)",
+              "(ms)", "(ms)", "(ms)", "(ms)", "(ms)", "(ms)", "(ms)",
+              "(ms)");
+  bench::rule(108);
 
-  for (const std::size_t ops : {1000UL, 5000UL, 20000UL, 50000UL}) {
-    const cdfg::Cdfg g = buildGraph(ops);
+  std::vector<std::size_t> sizes{1000, 5000, 20000, 50000};
+  if (const std::size_t ops = opsArg(argc, argv); ops != 0) {
+    sizes.assign(1, ops);
+  }
 
-    double closure_ms = -1.0;
+  for (const std::size_t ops : sizes) {
+    const cdfg::Cdfg g = buildGraph(ops, seed);
+
+    // Lowering cost is paid once per analysis batch; every CSR pass below
+    // reuses this snapshot.
+    const auto tl = std::chrono::steady_clock::now();
+    const cdfg::CsrView view(g);
+    const double lower_ms = millisSince(tl);
+
+    double closure_legacy_ms = -1.0;
+    double closure_csr_ms = -1.0;
     std::uint64_t closure_kib = 0;
     if (g.nodeCount() <= check::kClosureNodeLimit) {
       const auto t0 = std::chrono::steady_clock::now();
       const auto closure = check::computePrecedenceClosure(g);
-      closure_ms = millisSince(t0);
+      closure_legacy_ms = millisSince(t0);
       closure_kib = closure.domain.ancestors.memoryBytes() / 1024;
+      const auto t0c = std::chrono::steady_clock::now();
+      const auto closure_csr = check::computePrecedenceClosure(view);
+      closure_csr_ms = millisSince(t0c);
     }
 
     std::vector<cdfg::NodeId> sources;
@@ -84,11 +160,19 @@ int main(int argc, char** argv) {
     const auto t1 = std::chrono::steady_clock::now();
     const auto reach = check::computeReachability(
         g, sources, check::Direction::kForward);
-    const double reach_ms = millisSince(t1);
+    const double reach_legacy_ms = millisSince(t1);
+    const auto t1c = std::chrono::steady_clock::now();
+    const auto reach_csr = check::computeReachability(
+        view, sources, check::Direction::kForward);
+    const double reach_csr_ms = millisSince(t1c);
 
     const auto t2 = std::chrono::steady_clock::now();
     const auto slack = check::computeSlack(g, sched::LatencyModel::unit());
-    const double slack_ms = millisSince(t2);
+    const double slack_legacy_ms = millisSince(t2);
+    const auto t2c = std::chrono::steady_clock::now();
+    const auto slack_csr =
+        check::computeSlack(view, sched::LatencyModel::unit());
+    const double slack_csr_ms = millisSince(t2c);
 
     const auto t3 = std::chrono::steady_clock::now();
     const auto semantic = check::checkSemantics(g);
@@ -105,38 +189,46 @@ int main(int argc, char** argv) {
       lint_findings = linter.report().diagnostics().size();
     }
 
-    auto cell = [](double ms) {
-      char buf[32];
-      if (ms < 0) {
-        std::snprintf(buf, sizeof buf, "%10s", "-");
-      } else {
-        std::snprintf(buf, sizeof buf, "%10.2f", ms);
-      }
-      return std::string(buf);
-    };
-    std::printf("%8zu %8zu %s %s %s %s %s\n", g.nodeCount(), g.edgeCount(),
-                cell(closure_ms).c_str(), cell(reach_ms).c_str(),
-                cell(slack_ms).c_str(), cell(semantic_ms).c_str(),
+    std::printf("%8zu %s %s %s %s %s %s %s %s %s\n", g.nodeCount(),
+                cell(lower_ms).c_str(), cell(closure_legacy_ms).c_str(),
+                cell(closure_csr_ms).c_str(), cell(reach_legacy_ms).c_str(),
+                cell(reach_csr_ms).c_str(), cell(slack_legacy_ms).c_str(),
+                cell(slack_csr_ms).c_str(), cell(semantic_ms).c_str(),
                 cell(lint_ms).c_str());
 
     json.row({{"ops", static_cast<std::uint64_t>(g.nodeCount())},
               {"edges", static_cast<std::uint64_t>(g.edgeCount())},
-              {"closure_ms", closure_ms},
+              {"seed", seed},
+              {"threads", static_cast<std::uint64_t>(rt::threadCount())},
+              {"lower_ms", lower_ms},
+              {"csr_bytes_per_node", view.bytesPerNode()},
+              {"closure_legacy_ms", closure_legacy_ms},
+              {"closure_csr_ms", closure_csr_ms},
+              {"closure_speedup",
+               speedup(closure_legacy_ms, closure_csr_ms)},
               {"closure_kib", closure_kib},
               {"closure_gated",
                g.nodeCount() > check::kClosureNodeLimit},
-              {"reach_ms", reach_ms},
-              {"reach_converged", reach.stats.converged},
-              {"slack_ms", slack_ms},
-              {"slack_converged", slack.converged()},
+              {"reach_legacy_ms", reach_legacy_ms},
+              {"reach_csr_ms", reach_csr_ms},
+              {"reach_speedup", speedup(reach_legacy_ms, reach_csr_ms)},
+              {"reach_converged",
+               reach.stats.converged && reach_csr.stats.converged},
+              {"slack_legacy_ms", slack_legacy_ms},
+              {"slack_csr_ms", slack_csr_ms},
+              {"slack_speedup", speedup(slack_legacy_ms, slack_csr_ms)},
+              {"slack_converged",
+               slack.converged() && slack_csr.converged()},
               {"semantic_ms", semantic_ms},
               {"semantic_findings",
                static_cast<std::uint64_t>(semantic.diagnostics().size())},
               {"lint_ms", lint_ms},
-              {"lint_findings", static_cast<std::uint64_t>(lint_findings)}});
+              {"lint_findings", static_cast<std::uint64_t>(lint_findings)},
+              {"peak_rss_mib", peakRssMib()}});
   }
-  bench::rule(78);
+  bench::rule(108);
   std::printf("closure is gated at %zu nodes (bit-matrix memory); '-' "
               "means skipped\n", check::kClosureNodeLimit);
+  std::printf("peak RSS %.1f MiB\n", peakRssMib());
   return 0;
 }

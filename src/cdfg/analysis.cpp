@@ -14,16 +14,19 @@ std::uint32_t nodeWeight(const Cdfg& g, NodeId n) {
 
 }  // namespace
 
-StructuralAnalysis::StructuralAnalysis(const Cdfg& graph) : graph_(&graph) {
+StructuralAnalysis::StructuralAnalysis(const Cdfg& graph)
+    : graph_(&graph), csr_(graph) {
   const std::size_t n = graph.nodeCount();
   level_.assign(n, 0);
   height_.assign(n, 0);
 
   const std::vector<NodeId> topo = graph.topologicalOrder(/*includeTemporal=*/false);
 
+  // Temporal edges are excluded throughout (see class comment), so every
+  // neighbour walk uses the data+control CSR segment.
   for (const NodeId v : topo) {
     std::uint32_t best = 0;
-    for (const NodeId p : graph.predecessors(v)) {
+    for (const NodeId p : csr_.predecessors(v, EdgeSel::kDataControl)) {
       best = std::max(best, level_[p.value()]);
     }
     level_[v.value()] = best + nodeWeight(graph, v);
@@ -31,7 +34,7 @@ StructuralAnalysis::StructuralAnalysis(const Cdfg& graph) : graph_(&graph) {
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId v = *it;
     std::uint32_t best = 0;
-    for (const NodeId s : graph.successors(v)) {
+    for (const NodeId s : csr_.successors(v, EdgeSel::kDataControl)) {
       best = std::max(best, height_[s.value()]);
     }
     height_[v.value()] = best + nodeWeight(graph, v);
@@ -83,7 +86,7 @@ std::vector<NodeId> StructuralAnalysis::faninTree(NodeId n,
   for (std::uint32_t d = 0; d < dist && !frontier.empty(); ++d) {
     std::vector<NodeId> next;
     for (const NodeId v : frontier) {
-      for (const NodeId p : graph_->predecessors(v)) {
+      for (const NodeId p : csr_.predecessors(v, EdgeSel::kDataControl)) {
         if (!seen[p.value()]) {
           seen[p.value()] = true;
           next.push_back(p);

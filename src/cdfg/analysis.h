@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cdfg/csr.h"
 #include "cdfg/graph.h"
 #include "cdfg/ids.h"
 
@@ -71,8 +72,17 @@ class StructuralAnalysis {
   /// The graph the analysis was built over.
   [[nodiscard]] const Cdfg& graph() const noexcept { return *graph_; }
 
+  /// CSR snapshot of the graph, lowered once at construction.  The
+  /// ordering refinement (ordering.cpp) and every other read-mostly
+  /// consumer of the analysis traverses this instead of the builder's
+  /// allocating accessors.  Snapshot semantics: taken before any
+  /// mutation the caller performs after constructing the analysis —
+  /// which would stale the level/height tables anyway.
+  [[nodiscard]] const CsrView& csr() const noexcept { return csr_; }
+
  private:
   const Cdfg* graph_;
+  CsrView csr_;
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> height_;
   std::uint32_t critical_path_ = 0;

@@ -75,6 +75,16 @@ class Cdfg {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] const Edge& edge(EdgeId id) const;
 
+  /// The dense node/edge tables, in id order.  These back bulk consumers —
+  /// CSR lowering (csr.h), IO — that would otherwise pay a bounds check per
+  /// element; element i corresponds to NodeId(i) / EdgeId(i).
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
   /// Renames a node (labels only; no structural effect).
   void setNodeName(NodeId id, std::string name);
 

@@ -42,6 +42,7 @@ NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
   // same adder are separated by *who consumes them*, not by their inputs).
   LOCWM_OBS_SPAN("cdfg.ordering");
   const auto& g = analysis.graph();
+  const CsrView& csr = analysis.csr();
   NodeOrdering result;
   result.ordered = nodes;
   const std::size_t n = nodes.size();
@@ -62,7 +63,7 @@ NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
     base.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       base.push_back({{analysis.level(nodes[i]),
-                       functionalityId(g.node(nodes[i]).kind)},
+                       functionalityId(csr.kind(nodes[i]))},
                       i});
     }
     std::sort(base.begin(), base.end());
@@ -92,13 +93,18 @@ NodeOrdering computeOrdering(const StructuralAnalysis& analysis,
     for (std::size_t i = 0; i < n; ++i) {
       RefineKey key;
       key.own = ranks[i];
-      for (const NodeId p : g.predecessors(nodes[i])) {
+      // CSR spans instead of the builder's per-call vectors: this loop
+      // runs rounds × nodes times and dominated the refinement cost.
+      // The keys sort their rank multisets, so the kind-grouped span
+      // order is immaterial.
+      for (const NodeId p :
+           csr.predecessors(nodes[i], EdgeSel::kDataControl)) {
         const std::uint32_t j = index_of[p.value()];
         if (j != kOutside) {
           key.preds.push_back(ranks[j]);
         }
       }
-      for (const NodeId s : g.successors(nodes[i])) {
+      for (const NodeId s : csr.successors(nodes[i], EdgeSel::kDataControl)) {
         const std::uint32_t j = index_of[s.value()];
         if (j != kOutside) {
           key.succs.push_back(ranks[j]);

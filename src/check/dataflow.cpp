@@ -139,6 +139,86 @@ PrecedenceClosure computePrecedenceClosure(const cdfg::Cdfg& g,
   return result;
 }
 
+PrecedenceClosure computePrecedenceClosure(const cdfg::CsrView& v,
+                                           const EdgeMask& mask) {
+  PrecedenceClosure result{ClosureDomain(v.nodeCount()), {}};
+  const std::size_t n = v.nodeCount();
+  if (n == 0) {
+    return result;
+  }
+
+  // Same Kahn layering + per-level parallel row unions as the builder
+  // path, over contiguous CSR spans.  Determinism: each task owns its
+  // row, all rows it reads were finalized in an earlier level, and the
+  // result is independent of in-level execution order — byte-identical
+  // at any thread count.
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node(static_cast<std::uint32_t>(i));
+    for (const cdfg::EdgeKind kind : cdfg::kCsrKindOrder) {
+      if (mask.accepts(kind)) {
+        indegree[i] += static_cast<std::uint32_t>(
+            v.inDegree(node, cdfg::edgeSelOf(kind)));
+      }
+    }
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> level_start{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      order.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (level_start.back() < order.size()) {
+    const std::size_t lo = level_start.back();
+    const std::size_t hi = order.size();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId node(order[i]);
+      for (const cdfg::EdgeKind kind : cdfg::kCsrKindOrder) {
+        if (!mask.accepts(kind)) {
+          continue;
+        }
+        for (const NodeId dst : v.successors(node, cdfg::edgeSelOf(kind))) {
+          if (--indegree[dst.value()] == 0) {
+            order.push_back(dst.value());
+          }
+        }
+      }
+    }
+    level_start.push_back(order.size());
+  }
+
+  if (order.size() < n) {
+    result.stats =
+        solveFixpoint(v, Direction::kForward, mask, result.domain);
+    return result;
+  }
+
+  BitRows& rows = result.domain.ancestors;
+  for (std::size_t lv = 0; lv + 1 < level_start.size(); ++lv) {
+    const std::size_t lo = level_start[lv];
+    const std::size_t hi = level_start[lv + 1];
+    rt::parallel_for(lo, hi, /*grain=*/16, [&](std::size_t i) {
+      const NodeId node(order[i]);
+      for (const cdfg::EdgeKind kind : cdfg::kCsrKindOrder) {
+        if (!mask.accepts(kind)) {
+          continue;
+        }
+        for (const NodeId src :
+             v.predecessors(node, cdfg::edgeSelOf(kind))) {
+          rows.set(node.value(), src.value());
+          rows.unionInto(node.value(), src.value());
+        }
+      }
+    });
+  }
+  result.stats.visits = n;
+  result.stats.updates = n;
+  result.stats.converged = true;
+  return result;
+}
+
 Reachability computeReachability(const cdfg::Cdfg& g,
                                  const std::vector<NodeId>& seeds,
                                  Direction dir, const EdgeMask& mask) {
@@ -152,19 +232,46 @@ Reachability computeReachability(const cdfg::Cdfg& g,
   return result;
 }
 
+Reachability computeReachability(const cdfg::CsrView& v,
+                                 const std::vector<NodeId>& seeds,
+                                 Direction dir, const EdgeMask& mask) {
+  Reachability result{ReachDomain(v.nodeCount()), {}};
+  for (const NodeId s : seeds) {
+    if (s.isValid() && s.value() < v.nodeCount()) {
+      result.domain.mark[s.value()] = 1;
+    }
+  }
+  result.stats = solveFixpoint(v, dir, mask, result.domain);
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // Slack
 
 namespace {
 
-/// Max-plus forward: asap[dst] >= asap[src] + edgeGap(src).
-struct AsapDomain {
+/// Node-kind lookup shared by the slack domains: 40-byte Node structs on
+/// the builder path, the 1-byte SoA table on the CSR path.
+struct BuilderKinds {
   const cdfg::Cdfg& g;
+  [[nodiscard]] cdfg::OpKind operator()(NodeId v) const {
+    return g.node(v).kind;
+  }
+};
+struct CsrKinds {
+  const cdfg::CsrView& v;
+  [[nodiscard]] cdfg::OpKind operator()(NodeId n) const { return v.kind(n); }
+};
+
+/// Max-plus forward: asap[dst] >= asap[src] + edgeGap(src).
+template <typename Kinds>
+struct AsapDomain {
+  Kinds kinds;
   const sched::LatencyModel& lat;
   std::vector<std::uint32_t>& asap;
 
-  bool edgeTransfer(NodeId from, NodeId to, const cdfg::Edge& e) {
-    const std::uint32_t gap = lat.edgeGap(g.node(from).kind, e.kind);
+  bool edgeTransfer(NodeId from, NodeId to, cdfg::EdgeKind kind) {
+    const std::uint32_t gap = lat.edgeGap(kinds(from), kind);
     const std::uint32_t candidate = asap[from.value()] + gap;
     if (candidate > asap[to.value()]) {
       asap[to.value()] = candidate;
@@ -177,13 +284,14 @@ struct AsapDomain {
 /// Min-plus backward: alap[src] <= alap[dst] - edgeGap(src).  Backward
 /// solving hands us (from=dst, to=src); the gap is keyed on the *source*
 /// node's kind, i.e. `to` here — same convention as sched::TimeFrames.
+template <typename Kinds>
 struct AlapDomain {
-  const cdfg::Cdfg& g;
+  Kinds kinds;
   const sched::LatencyModel& lat;
   std::vector<std::uint32_t>& alap;
 
-  bool edgeTransfer(NodeId from, NodeId to, const cdfg::Edge& e) {
-    const std::uint32_t gap = lat.edgeGap(g.node(to).kind, e.kind);
+  bool edgeTransfer(NodeId from, NodeId to, cdfg::EdgeKind kind) {
+    const std::uint32_t gap = lat.edgeGap(kinds(to), kind);
     const std::uint32_t succ = alap[from.value()];
     const std::uint32_t candidate = succ >= gap ? succ - gap : 0u;
     if (candidate < alap[to.value()]) {
@@ -194,23 +302,24 @@ struct AlapDomain {
   }
 };
 
-}  // namespace
-
-SlackAnalysis computeSlack(const cdfg::Cdfg& g, const sched::LatencyModel& lat,
-                           std::optional<std::uint32_t> deadline,
-                           const EdgeMask& mask) {
-  const std::size_t n = g.nodeCount();
+/// Both computeSlack overloads are this one algorithm; `graph` is either
+/// representation and `kinds` the matching node-kind lookup.
+template <typename Graph, typename Kinds>
+SlackAnalysis slackImpl(const Graph& graph, Kinds kinds, std::size_t n,
+                        const sched::LatencyModel& lat,
+                        std::optional<std::uint32_t> deadline,
+                        const EdgeMask& mask) {
   SlackAnalysis out;
   out.asap.assign(n, 0);
   out.alap.assign(n, 0);
 
-  AsapDomain fwd{g, lat, out.asap};
-  out.forward_stats = solveFixpoint(g, Direction::kForward, mask, fwd);
+  AsapDomain<Kinds> fwd{kinds, lat, out.asap};
+  out.forward_stats = solveFixpoint(graph, Direction::kForward, mask, fwd);
 
   for (std::size_t i = 0; i < n; ++i) {
     out.critical = std::max(
-        out.critical, out.asap[i] + lat.latency(g.node(NodeId(
-                          static_cast<std::uint32_t>(i))).kind));
+        out.critical,
+        out.asap[i] + lat.latency(kinds(NodeId(static_cast<std::uint32_t>(i)))));
   }
   // A lint analysis clamps an infeasible deadline instead of throwing —
   // the schedule rules report the violation separately.
@@ -218,11 +327,26 @@ SlackAnalysis computeSlack(const cdfg::Cdfg& g, const sched::LatencyModel& lat,
 
   for (std::size_t i = 0; i < n; ++i) {
     out.alap[i] = out.deadline -
-                  lat.latency(g.node(NodeId(static_cast<std::uint32_t>(i))).kind);
+                  lat.latency(kinds(NodeId(static_cast<std::uint32_t>(i))));
   }
-  AlapDomain bwd{g, lat, out.alap};
-  out.backward_stats = solveFixpoint(g, Direction::kBackward, mask, bwd);
+  AlapDomain<Kinds> bwd{kinds, lat, out.alap};
+  out.backward_stats = solveFixpoint(graph, Direction::kBackward, mask, bwd);
   return out;
+}
+
+}  // namespace
+
+SlackAnalysis computeSlack(const cdfg::Cdfg& g, const sched::LatencyModel& lat,
+                           std::optional<std::uint32_t> deadline,
+                           const EdgeMask& mask) {
+  return slackImpl(g, BuilderKinds{g}, g.nodeCount(), lat, deadline, mask);
+}
+
+SlackAnalysis computeSlack(const cdfg::CsrView& v,
+                           const sched::LatencyModel& lat,
+                           std::optional<std::uint32_t> deadline,
+                           const EdgeMask& mask) {
+  return slackImpl(v, CsrKinds{v}, v.nodeCount(), lat, deadline, mask);
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +377,42 @@ bool hasPathSkipping(const cdfg::Cdfg& g, NodeId from, NodeId to, EdgeId skip,
       if (seen[ed.dst.value()] == 0) {
         seen[ed.dst.value()] = 1;
         stack.push_back(ed.dst);
+      }
+    }
+  }
+  return false;
+}
+
+bool hasPathSkipping(const cdfg::CsrView& view, NodeId from, NodeId to,
+                     EdgeId skip, const EdgeMask& mask) {
+  if (!from.isValid() || !to.isValid() || from == to) {
+    return from == to;
+  }
+  std::vector<char> seen(view.nodeCount(), 0);
+  std::vector<NodeId> stack{from};
+  seen[from.value()] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const cdfg::EdgeKind kind : cdfg::kCsrKindOrder) {
+      if (!mask.accepts(kind)) {
+        continue;
+      }
+      const cdfg::EdgeSel sel = cdfg::edgeSelOf(kind);
+      const auto nbrs = view.successors(v, sel);
+      const auto ids = view.outEdges(v, sel);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (ids[i] == skip) {
+          continue;
+        }
+        const NodeId dst = nbrs[i];
+        if (dst == to) {
+          return true;
+        }
+        if (seen[dst.value()] == 0) {
+          seen[dst.value()] = 1;
+          stack.push_back(dst);
+        }
       }
     }
   }

@@ -10,16 +10,24 @@
 // on cyclic garbage from lenient parsing the visit cap guarantees
 // termination and the stats report non-convergence instead of hanging.
 //
+// The engine runs over either representation of the same graph: the
+// mutable cdfg::Cdfg builder (the seed implementation, kept as the
+// differential oracle) or a cdfg::CsrView snapshot (the fast path the
+// rules use — see csr.h and docs/GRAPH_CORE.md).  Both overloads solve
+// the same problem; the masked-edge visit order differs but every domain
+// here is a confluent (join-semilattice) problem, so the fixpoint —
+// and therefore every report built from it — is identical.
+//
 // Domain contract (duck-typed, see ClosureDomain for the smallest
 // example):
 //
 //   bool edgeTransfer(cdfg::NodeId from, cdfg::NodeId to,
-//                     const cdfg::Edge& e);
-//     Propagates `from`'s state into `to`'s state across `e` and returns
-//     true iff `to`'s state changed.  Forward solving passes
-//     (src, dst, e); backward solving passes (dst, src, e).  Transfer
-//     must be monotone over a finite-height lattice for the solver to
-//     converge.
+//                     cdfg::EdgeKind kind);
+//     Propagates `from`'s state into `to`'s state across an edge of
+//     `kind` and returns true iff `to`'s state changed.  Forward solving
+//     passes (src, dst, kind); backward solving passes (dst, src, kind).
+//     Transfer must be monotone over a finite-height lattice for the
+//     solver to converge.
 //
 // Instantiations provided here:
 //   * PrecedenceClosure — per-node ancestor bitsets (must-precede
@@ -37,6 +45,7 @@
 #include <optional>
 #include <vector>
 
+#include "cdfg/csr.h"
 #include "cdfg/graph.h"
 #include "cdfg/ids.h"
 #include "sched/latency.h"
@@ -135,11 +144,73 @@ FixpointStats solveFixpoint(const cdfg::Cdfg& g, Direction dir,
       }
       const cdfg::NodeId from = dir == Direction::kForward ? ed.src : ed.dst;
       const cdfg::NodeId to = dir == Direction::kForward ? ed.dst : ed.src;
-      if (domain.edgeTransfer(from, to, ed)) {
+      if (domain.edgeTransfer(from, to, ed.kind)) {
         ++stats.updates;
         if (queued[to.value()] == 0) {
           queued[to.value()] = 1;
           fifo.push_back(to.value());
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+/// Same solver over a CsrView snapshot.  Neighbour visits walk contiguous
+/// per-kind spans instead of chasing edge ids through the builder's
+/// vector-of-vectors, which is where the speedup on large graphs comes
+/// from (bench/perf_static_analysis measures both paths).
+template <typename Domain>
+FixpointStats solveFixpoint(const cdfg::CsrView& v, Direction dir,
+                            const EdgeMask& mask, Domain& domain,
+                            std::size_t max_visits = 0) {
+  FixpointStats stats;
+  const std::size_t n = v.nodeCount();
+  if (n == 0) {
+    return stats;
+  }
+  if (max_visits == 0) {
+    max_visits = (n + 1) * (n + v.edgeCount() + 1);
+  }
+
+  std::vector<char> queued(n, 1);
+  std::vector<std::uint32_t> fifo;
+  fifo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fifo.push_back(static_cast<std::uint32_t>(
+        dir == Direction::kForward ? i : n - 1 - i));
+  }
+  std::size_t head = 0;
+
+  while (head < fifo.size()) {
+    if (stats.visits >= max_visits) {
+      stats.converged = false;
+      return stats;
+    }
+    const cdfg::NodeId node(fifo[head++]);
+    queued[node.value()] = 0;
+    ++stats.visits;
+    if (head > n && head * 2 > fifo.size()) {
+      fifo.erase(fifo.begin(),
+                 fifo.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+
+    for (const cdfg::EdgeKind kind : cdfg::kCsrKindOrder) {
+      if (!mask.accepts(kind)) {
+        continue;
+      }
+      const cdfg::EdgeSel sel = cdfg::edgeSelOf(kind);
+      const auto nbrs = dir == Direction::kForward
+                            ? v.successors(node, sel)
+                            : v.predecessors(node, sel);
+      for (const cdfg::NodeId to : nbrs) {
+        if (domain.edgeTransfer(node, to, kind)) {
+          ++stats.updates;
+          if (queued[to.value()] == 0) {
+            queued[to.value()] = 1;
+            fifo.push_back(to.value());
+          }
         }
       }
     }
@@ -181,7 +252,7 @@ struct ClosureDomain {
   explicit ClosureDomain(std::size_t n) : ancestors(n, n) {}
   BitRows ancestors;
 
-  bool edgeTransfer(cdfg::NodeId from, cdfg::NodeId to, const cdfg::Edge&) {
+  bool edgeTransfer(cdfg::NodeId from, cdfg::NodeId to, cdfg::EdgeKind) {
     const bool a = ancestors.set(to.value(), from.value());
     const bool b = ancestors.unionInto(to.value(), from.value());
     return a || b;
@@ -207,13 +278,16 @@ inline constexpr std::size_t kClosureNodeLimit = 8192;
 
 [[nodiscard]] PrecedenceClosure computePrecedenceClosure(
     const cdfg::Cdfg& g, const EdgeMask& mask = EdgeMask::all());
+/// CSR fast path; identical result (the closure is a confluent fixpoint).
+[[nodiscard]] PrecedenceClosure computePrecedenceClosure(
+    const cdfg::CsrView& v, const EdgeMask& mask = EdgeMask::all());
 
 /// Boolean mark spreading from seeds.
 struct ReachDomain {
   explicit ReachDomain(std::size_t n) : mark(n, 0) {}
   std::vector<char> mark;
 
-  bool edgeTransfer(cdfg::NodeId from, cdfg::NodeId to, const cdfg::Edge&) {
+  bool edgeTransfer(cdfg::NodeId from, cdfg::NodeId to, cdfg::EdgeKind) {
     if (mark[from.value()] != 0 && mark[to.value()] == 0) {
       mark[to.value()] = 1;
       return true;
@@ -235,6 +309,9 @@ struct Reachability {
 /// (seeds themselves included).
 [[nodiscard]] Reachability computeReachability(
     const cdfg::Cdfg& g, const std::vector<cdfg::NodeId>& seeds,
+    Direction dir, const EdgeMask& mask = EdgeMask::dataControl());
+[[nodiscard]] Reachability computeReachability(
+    const cdfg::CsrView& v, const std::vector<cdfg::NodeId>& seeds,
     Direction dir, const EdgeMask& mask = EdgeMask::dataControl());
 
 /// ASAP (max-plus forward) / ALAP (min-plus backward) start windows under
@@ -263,6 +340,10 @@ struct SlackAnalysis {
     const cdfg::Cdfg& g, const sched::LatencyModel& lat,
     std::optional<std::uint32_t> deadline = std::nullopt,
     const EdgeMask& mask = EdgeMask::all());
+[[nodiscard]] SlackAnalysis computeSlack(
+    const cdfg::CsrView& v, const sched::LatencyModel& lat,
+    std::optional<std::uint32_t> deadline = std::nullopt,
+    const EdgeMask& mask = EdgeMask::all());
 
 /// True when a path `from` -> `to` exists over the masked edges that does
 /// not use edge `skip`.  Per-query DFS: the closure fallback for graphs
@@ -270,6 +351,10 @@ struct SlackAnalysis {
 /// fast path is validated against.
 [[nodiscard]] bool hasPathSkipping(
     const cdfg::Cdfg& g, cdfg::NodeId from, cdfg::NodeId to,
+    cdfg::EdgeId skip = cdfg::EdgeId::invalid(),
+    const EdgeMask& mask = EdgeMask::all());
+[[nodiscard]] bool hasPathSkipping(
+    const cdfg::CsrView& v, cdfg::NodeId from, cdfg::NodeId to,
     cdfg::EdgeId skip = cdfg::EdgeId::invalid(),
     const EdgeMask& mask = EdgeMask::all());
 

@@ -25,8 +25,7 @@ std::vector<EdgeTriple> coreEdges(const cdfg::Cdfg& g,
                                   const std::vector<NodeId>* map) {
   std::vector<EdgeTriple> out;
   out.reserve(g.edgeCount());
-  for (const EdgeId e : g.allEdges()) {
-    const cdfg::Edge& ed = g.edge(e);
+  for (const cdfg::Edge& ed : g.edges()) {
     if (ed.kind == cdfg::EdgeKind::kTemporal) {
       continue;
     }
@@ -68,11 +67,11 @@ std::optional<std::vector<NodeId>> canonicalMapping(
 std::string histogramDelta(const cdfg::Cdfg& original,
                            const cdfg::Cdfg& marked) {
   std::array<int, cdfg::kOpKindCount> delta{};
-  for (const NodeId n : marked.allNodes()) {
-    ++delta[static_cast<std::size_t>(marked.node(n).kind)];
+  for (const cdfg::Node& n : marked.nodes()) {
+    ++delta[static_cast<std::size_t>(n.kind)];
   }
-  for (const NodeId n : original.allNodes()) {
-    --delta[static_cast<std::size_t>(original.node(n).kind)];
+  for (const cdfg::Node& n : original.nodes()) {
+    --delta[static_cast<std::size_t>(n.kind)];
   }
   std::string out;
   for (std::size_t k = 0; k < delta.size(); ++k) {

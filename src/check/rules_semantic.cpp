@@ -34,22 +34,24 @@ bool isSideEffecting(OpKind kind) noexcept {
 /// only when the implication needs at least one other temporal edge —
 /// typically a buggy embedder stacking constraints onto one chain.
 void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
+                            const cdfg::CsrView& view,
                             const std::string& artifact) {
   const std::vector<cdfg::EdgeId> temporal = g.temporalEdges();
   if (temporal.empty()) {
     return;
   }
   std::optional<PrecedenceClosure> closure;
-  if (g.nodeCount() <= kClosureNodeLimit) {
-    closure = computePrecedenceClosure(g, EdgeMask::all());
+  if (view.nodeCount() <= kClosureNodeLimit) {
+    closure = computePrecedenceClosure(view, EdgeMask::all());
   }
-  // The per-edge implication queries only read the graph and the solved
+  // The per-edge implication queries only read the view and the solved
   // closure; flags are computed in parallel and diagnostics added in edge
   // order afterwards, so the report is identical to the serial loop.
   std::vector<char> implied_at(temporal.size(), 0);
   rt::parallel_for(0, temporal.size(), /*grain=*/1, [&](std::size_t i) {
     const cdfg::Edge& e = g.edge(temporal[i]);
-    if (detail::hasDataControlPath(g, e.src, e.dst, temporal[i])) {
+    if (hasPathSkipping(view, e.src, e.dst, temporal[i],
+                        EdgeMask::dataControl())) {
       return;  // LW104's finding; one diagnostic per defect
     }
     bool implied = false;
@@ -57,11 +59,13 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
       // On a DAG, any a->..->b path avoiding e must leave a by some other
       // edge a->m with m == b or m preceding b; the closure may use e
       // internally only on paths through b, which the DAG forbids here.
-      for (const cdfg::EdgeId oe : g.outEdges(e.src)) {
-        if (oe == temporal[i]) {
+      const auto succs = view.successors(e.src, cdfg::EdgeSel::kAll);
+      const auto ids = view.outEdges(e.src, cdfg::EdgeSel::kAll);
+      for (std::size_t s = 0; s < succs.size(); ++s) {
+        if (ids[s] == temporal[i]) {
           continue;
         }
-        const cdfg::NodeId m = g.edge(oe).dst;
+        const cdfg::NodeId m = succs[s];
         if (m == e.dst || closure->precedes(m, e.dst)) {
           implied = true;
           break;
@@ -69,7 +73,7 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
       }
     } else {
       implied =
-          hasPathSkipping(g, e.src, e.dst, temporal[i], EdgeMask::all());
+          hasPathSkipping(view, e.src, e.dst, temporal[i], EdgeMask::all());
     }
     implied_at[i] = implied ? 1 : 0;
   });
@@ -91,12 +95,14 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
 /// the published design pays, and exactly the kind of anomaly an adversary
 /// profiles for (§IV-A picks high-laxity pairs to avoid this).
 void checkStretchingTemporal(Report& r, const cdfg::Cdfg& g,
+                             const cdfg::CsrView& view,
                              const std::string& artifact) {
   if (g.temporalEdges().empty()) {
     return;
   }
-  const SlackAnalysis slack = computeSlack(
-      g, sched::LatencyModel::unit(), std::nullopt, EdgeMask::dataControl());
+  const SlackAnalysis slack =
+      computeSlack(view, sched::LatencyModel::unit(), std::nullopt,
+                   EdgeMask::dataControl());
   if (!slack.converged()) {
     return;
   }
@@ -117,12 +123,14 @@ void checkStretchingTemporal(Report& r, const cdfg::Cdfg& g,
 /// a primary output or side-effecting operation.  Unreachable: no
 /// data/control path from a primary input or constant.  Orphans (no edges
 /// at all) are LW105's finding and excluded here.
-void checkLiveness(Report& r, const cdfg::Cdfg& g,
+void checkLiveness(Report& r, const cdfg::Cdfg& g, const cdfg::CsrView& view,
                    const std::string& artifact) {
   std::vector<NodeId> sinks;
   std::vector<NodeId> sources;
-  for (const NodeId n : g.allNodes()) {
-    const OpKind kind = g.node(n).kind;
+  const std::size_t n_count = view.nodeCount();
+  for (std::size_t i = 0; i < n_count; ++i) {
+    const NodeId n(static_cast<std::uint32_t>(i));
+    const OpKind kind = view.kind(n);
     if (kind == OpKind::kOutput || isSideEffecting(kind)) {
       sinks.push_back(n);
     }
@@ -131,16 +139,18 @@ void checkLiveness(Report& r, const cdfg::Cdfg& g,
     }
   }
   const Reachability live = computeReachability(
-      g, sinks, Direction::kBackward, EdgeMask::dataControl());
+      view, sinks, Direction::kBackward, EdgeMask::dataControl());
   const Reachability reachable = computeReachability(
-      g, sources, Direction::kForward, EdgeMask::dataControl());
+      view, sources, Direction::kForward, EdgeMask::dataControl());
 
-  for (const NodeId n : g.allNodes()) {
-    const OpKind kind = g.node(n).kind;
+  for (std::size_t i = 0; i < n_count; ++i) {
+    const NodeId n(static_cast<std::uint32_t>(i));
+    const OpKind kind = view.kind(n);
     if (cdfg::isPseudoOp(kind) || isSideEffecting(kind)) {
       continue;
     }
-    if (g.inEdges(n).empty() && g.outEdges(n).empty()) {
+    if (view.inDegree(n, cdfg::EdgeSel::kAll) == 0 &&
+        view.outDegree(n, cdfg::EdgeSel::kAll) == 0) {
       continue;  // LW105's finding
     }
     if (!live.reached(n)) {
@@ -166,9 +176,12 @@ Report checkSemantics(const cdfg::Cdfg& g, const std::string& artifact) {
   } catch (const GraphError&) {
     return r;  // LW103 is checkGraph's finding; fixpoints need a DAG
   }
-  checkRedundantTemporal(r, g, artifact);
-  checkStretchingTemporal(r, g, artifact);
-  checkLiveness(r, g, artifact);
+  // One lowering serves all three rule families; the builder stays around
+  // for edge endpoints and node labels in diagnostics.
+  const cdfg::CsrView view(g);
+  checkRedundantTemporal(r, g, view, artifact);
+  checkStretchingTemporal(r, g, view, artifact);
+  checkLiveness(r, g, view, artifact);
   return r;
 }
 

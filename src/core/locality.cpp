@@ -15,15 +15,20 @@ bool shapeEquals(const cdfg::Cdfg& a, const cdfg::Cdfg& b) {
   if (a.nodeCount() != b.nodeCount() || a.edgeCount() != b.edgeCount()) {
     return false;
   }
-  for (const NodeId v : a.allNodes()) {
-    if (a.node(v).kind != b.node(v).kind) {
+  // Direct table walks: this runs once per shape-matching candidate root
+  // during detection scans, so the allNodes()/allEdges() id vectors the
+  // convenience API allocates are worth avoiding.
+  const std::vector<cdfg::Node>& an = a.nodes();
+  const std::vector<cdfg::Node>& bn = b.nodes();
+  for (std::size_t i = 0; i < an.size(); ++i) {
+    if (an[i].kind != bn[i].kind) {
       return false;
     }
   }
   auto edgeSet = [](const cdfg::Cdfg& g) {
     std::vector<std::tuple<std::uint32_t, std::uint32_t, cdfg::EdgeKind>> set;
-    for (const cdfg::EdgeId e : g.allEdges()) {
-      const cdfg::Edge& ed = g.edge(e);
+    set.reserve(g.edgeCount());
+    for (const cdfg::Edge& ed : g.edges()) {
       set.emplace_back(ed.src.value(), ed.dst.value(), ed.kind);
     }
     std::sort(set.begin(), set.end());
@@ -38,43 +43,84 @@ bool Locality::sameShape(const Locality& other) const {
 
 namespace {
 
-/// True for nodes the identification treats as wires, not operations:
+/// True for kinds the identification treats as wires, not operations:
 /// pseudo-ops (the port boundary) and register-to-register copies.  Copy
 /// transparency makes the cheapest structural attack — splitting edges
 /// with no-op moves — a no-op against detection.
-bool isTransparent(const cdfg::Cdfg& g, NodeId v) {
-  return cdfg::isPseudoOp(g.node(v).kind) ||
-         g.node(v).kind == cdfg::OpKind::kCopy;
+bool isTransparentKind(cdfg::OpKind kind) {
+  return cdfg::isPseudoOp(kind) || kind == cdfg::OpKind::kCopy;
+}
+
+/// Copy-transparent walk shared by realPreds/realSuccs: collects real
+/// operations, expands copies, stops at pseudo-ops.  `seen` membership is
+/// a linear scan — the walks touch a handful of local nodes, so a small
+/// vector beats the O(graph) bitmap the old builder-based helpers zeroed
+/// on every call.
+template <typename Expand>
+std::vector<NodeId> realNeighbourWalk(const cdfg::CsrView& v, NodeId start,
+                                      Expand&& neighbours) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> seen;
+  std::vector<NodeId> stack;
+  {
+    const auto first = neighbours(start);
+    stack.assign(first.begin(), first.end());
+  }
+  while (!stack.empty()) {
+    const NodeId p = stack.back();
+    stack.pop_back();
+    if (std::find(seen.begin(), seen.end(), p) != seen.end()) {
+      continue;
+    }
+    seen.push_back(p);
+    const cdfg::OpKind kind = v.kind(p);
+    if (cdfg::isPseudoOp(kind)) {
+      continue;
+    }
+    if (kind == cdfg::OpKind::kCopy) {
+      for (const NodeId q : neighbours(p)) {
+        stack.push_back(q);
+      }
+      continue;
+    }
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 /// Real-operation predecessors (via data/control edges), walking *through*
 /// copy chains, deduplicated, ascending by id.  Pseudo-ops terminate the
 /// walk (they are the traversal boundary).
-std::vector<NodeId> realPreds(const cdfg::Cdfg& g, NodeId v) {
-  std::vector<NodeId> preds;
-  std::vector<NodeId> stack = g.predecessors(v, /*includeTemporal=*/false);
-  std::vector<bool> seen(g.nodeCount(), false);
-  while (!stack.empty()) {
-    const NodeId p = stack.back();
-    stack.pop_back();
-    if (seen[p.value()]) {
-      continue;
+std::vector<NodeId> realPreds(const cdfg::CsrView& v, NodeId n) {
+  return realNeighbourWalk(v, n, [&](NodeId x) {
+    return v.predecessors(x, cdfg::EdgeSel::kDataControl);
+  });
+}
+
+/// Calls f(dst, kind) for every data/control edge leaving `n`, in edge
+/// *insertion* order — merging the kind-grouped CSR segments by edge id
+/// reproduces exactly the order the builder's outEdges() walk visits, so
+/// graphs built from this traversal have identical edge numbering.
+template <typename F>
+void forEachDataControlOut(const cdfg::CsrView& v, NodeId n, F&& f) {
+  const auto dn = v.successors(n, cdfg::EdgeSel::kData);
+  const auto de = v.outEdges(n, cdfg::EdgeSel::kData);
+  const auto cn = v.successors(n, cdfg::EdgeSel::kControl);
+  const auto ce = v.outEdges(n, cdfg::EdgeSel::kControl);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < dn.size() || j < cn.size()) {
+    if (j >= cn.size() ||
+        (i < dn.size() && de[i].value() < ce[j].value())) {
+      f(dn[i], cdfg::EdgeKind::kData);
+      ++i;
+    } else {
+      f(cn[j], cdfg::EdgeKind::kControl);
+      ++j;
     }
-    seen[p.value()] = true;
-    if (cdfg::isPseudoOp(g.node(p).kind)) {
-      continue;
-    }
-    if (g.node(p).kind == cdfg::OpKind::kCopy) {
-      for (const NodeId q : g.predecessors(p, /*includeTemporal=*/false)) {
-        stack.push_back(q);
-      }
-      continue;
-    }
-    preds.push_back(p);
   }
-  std::sort(preds.begin(), preds.end());
-  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
-  return preds;
 }
 
 /// Builds the *contracted* identification graph over `members` (sorted,
@@ -83,44 +129,43 @@ std::vector<NodeId> realPreds(const cdfg::Cdfg& g, NodeId v) {
 /// multiplicity (x + x through a copy stays a double edge).  All
 /// identification — ordering, carving, shapes — happens on this graph, so
 /// splitting edges with copies cannot perturb detection.
-cdfg::Cdfg buildContracted(const cdfg::Cdfg& g,
+cdfg::Cdfg buildContracted(const cdfg::CsrView& view,
                            const std::vector<NodeId>& members,
                            cdfg::NodeMap* map_out) {
   cdfg::Cdfg c;
   cdfg::NodeMap map;
   map.reserve(members.size());
   for (const NodeId v : members) {
-    map.emplace(v, c.addNode(g.node(v).kind));
+    map.emplace(v, c.addNode(view.kind(v)));
   }
   for (const NodeId v : members) {
-    for (const cdfg::EdgeId e : g.outEdges(v)) {
-      const cdfg::Edge& ed = g.edge(e);
-      if (ed.kind == cdfg::EdgeKind::kTemporal) {
-        continue;
-      }
-      const auto direct = map.find(ed.dst);
+    // forEachDataControlOut replays the builder's edge-insertion order,
+    // so the contracted graph's edge numbering is identical to what the
+    // pre-CSR implementation produced.
+    forEachDataControlOut(view, v, [&](NodeId dst, cdfg::EdgeKind kind) {
+      const auto direct = map.find(dst);
       if (direct != map.end()) {
-        c.addEdge(map.at(v), direct->second, ed.kind);
-        continue;
+        c.addEdge(map.at(v), direct->second, kind);
+        return;
       }
-      if (g.node(ed.dst).kind != cdfg::OpKind::kCopy) {
-        continue;  // boundary (pseudo-op or outside the member set)
+      if (view.kind(dst) != cdfg::OpKind::kCopy) {
+        return;  // boundary (pseudo-op or outside the member set)
       }
       // Expand the copy chain, preserving multiplicity (no dedup).
-      std::vector<NodeId> stack{ed.dst};
+      std::vector<NodeId> stack{dst};
       std::size_t guard = 0;
       while (!stack.empty() && ++guard < 4096) {
         const NodeId p = stack.back();
         stack.pop_back();
-        for (const NodeId q : g.successors(p, /*includeTemporal=*/false)) {
-          if (g.node(q).kind == cdfg::OpKind::kCopy) {
+        forEachDataControlOut(view, p, [&](NodeId q, cdfg::EdgeKind) {
+          if (view.kind(q) == cdfg::OpKind::kCopy) {
             stack.push_back(q);
           } else if (const auto it = map.find(q); it != map.end()) {
             c.addEdge(map.at(v), it->second, cdfg::EdgeKind::kData);
           }
-        }
+        });
       }
-    }
+    });
   }
   if (map_out != nullptr) {
     *map_out = std::move(map);
@@ -129,31 +174,10 @@ cdfg::Cdfg buildContracted(const cdfg::Cdfg& g,
 }
 
 /// Real-operation successors with the same copy transparency.
-std::vector<NodeId> realSuccs(const cdfg::Cdfg& g, NodeId v) {
-  std::vector<NodeId> succs;
-  std::vector<NodeId> stack = g.successors(v, /*includeTemporal=*/false);
-  std::vector<bool> seen(g.nodeCount(), false);
-  while (!stack.empty()) {
-    const NodeId p = stack.back();
-    stack.pop_back();
-    if (seen[p.value()]) {
-      continue;
-    }
-    seen[p.value()] = true;
-    if (cdfg::isPseudoOp(g.node(p).kind)) {
-      continue;
-    }
-    if (g.node(p).kind == cdfg::OpKind::kCopy) {
-      for (const NodeId q : g.successors(p, /*includeTemporal=*/false)) {
-        stack.push_back(q);
-      }
-      continue;
-    }
-    succs.push_back(p);
-  }
-  std::sort(succs.begin(), succs.end());
-  succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
-  return succs;
+std::vector<NodeId> realSuccs(const cdfg::CsrView& v, NodeId n) {
+  return realNeighbourWalk(v, n, [&](NodeId x) {
+    return v.successors(x, cdfg::EdgeSel::kDataControl);
+  });
 }
 
 }  // namespace
@@ -163,17 +187,16 @@ std::optional<Locality> LocalityDeriver::derive(
     crypto::KeyedBitstream& bits) const {
   LOCWM_OBS_SPAN("core.locality.derive");
   LOCWM_OBS_COUNT("core.locality.derive_calls", 1);
-  const cdfg::Cdfg& g = *graph_;
-  if (isTransparent(g, root)) {
+  const cdfg::CsrView& view = csr_;
+  if (isTransparentKind(view.kind(root))) {
     LOCWM_OBS_COUNT("core.locality.rejected", 1);
     return std::nullopt;
   }
 
-  auto realNeighbours = [&](const cdfg::Cdfg& graph, NodeId v,
-                            bool undirected) {
-    std::vector<NodeId> out = realPreds(graph, v);
+  auto realNeighbours = [&](NodeId v, bool undirected) {
+    std::vector<NodeId> out = realPreds(view, v);
     if (undirected) {
-      const std::vector<NodeId> succs = realSuccs(graph, v);
+      const std::vector<NodeId> succs = realSuccs(view, v);
       out.insert(out.end(), succs.begin(), succs.end());
       std::sort(out.begin(), out.end());
       out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -182,14 +205,14 @@ std::optional<Locality> LocalityDeriver::derive(
   };
   auto ball = [&](std::uint32_t radius, bool undirected) {
     std::vector<NodeId> members;
-    std::vector<bool> seen(g.nodeCount(), false);
+    std::vector<bool> seen(view.nodeCount(), false);
     std::vector<NodeId> frontier{root};
     seen[root.value()] = true;
     members.push_back(root);
     for (std::uint32_t d = 0; d < radius && !frontier.empty(); ++d) {
       std::vector<NodeId> next;
       for (const NodeId v : frontier) {
-        for (const NodeId p : realNeighbours(g, v, undirected)) {
+        for (const NodeId p : realNeighbours(v, undirected)) {
           if (!seen[p.value()]) {
             seen[p.value()] = true;
             next.push_back(p);
@@ -226,7 +249,7 @@ std::optional<Locality> LocalityDeriver::derive(
   // re-indexed copy, so they are barred from the carve; the root itself
   // must be uniquely identified.
   cdfg::NodeMap to_map;  // graph -> contracted (context coordinates)
-  const cdfg::Cdfg to_graph = buildContracted(g, ctx_nodes, &to_map);
+  const cdfg::Cdfg to_graph = buildContracted(view, ctx_nodes, &to_map);
   const cdfg::StructuralAnalysis to_analysis(to_graph);
   const cdfg::NodeOrdering ordering = cdfg::computeOrdering(to_analysis);
   // rank_of[induced node value] = canonical rank; kTied marks automorphic
@@ -264,7 +287,8 @@ std::optional<Locality> LocalityDeriver::derive(
     });
     std::vector<NodeId> next;
     for (const NodeId v : frontier) {
-      std::vector<NodeId> preds = realPreds(to_graph, v);
+      // to_analysis already lowered the contracted graph — reuse its view.
+      std::vector<NodeId> preds = realPreds(to_analysis.csr(), v);
       // Only fanin-tree members are selectable, and automorphic
       // predecessors are invisible to the carve.
       std::erase_if(preds, [&](NodeId p) {
@@ -337,10 +361,11 @@ std::optional<Locality> LocalityDeriver::derive(
 
 std::optional<Locality> LocalityDeriver::wholeDesign(
     std::size_t minSize) const {
-  const cdfg::Cdfg& g = *graph_;
   std::vector<NodeId> real;
-  for (const NodeId v : g.allNodes()) {
-    if (!isTransparent(g, v)) {
+  const std::size_t n = csr_.nodeCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v(static_cast<std::uint32_t>(i));
+    if (!isTransparentKind(csr_.kind(v))) {
       real.push_back(v);
     }
   }
@@ -348,7 +373,7 @@ std::optional<Locality> LocalityDeriver::wholeDesign(
     return std::nullopt;
   }
   cdfg::NodeMap map;
-  const cdfg::Cdfg sub = buildContracted(g, real, &map);
+  const cdfg::Cdfg sub = buildContracted(csr_, real, &map);
   const cdfg::StructuralAnalysis analysis(sub);
   const cdfg::NodeOrdering ordering = cdfg::computeOrdering(analysis);
 
@@ -384,11 +409,13 @@ std::optional<Locality> LocalityDeriver::wholeDesign(
 
 std::vector<NodeId> LocalityDeriver::candidateRoots() const {
   std::vector<NodeId> roots;
-  for (const NodeId v : graph_->allNodes()) {
-    if (isTransparent(*graph_, v)) {
+  const std::size_t n = csr_.nodeCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v(static_cast<std::uint32_t>(i));
+    if (isTransparentKind(csr_.kind(v))) {
       continue;
     }
-    if (!realPreds(*graph_, v).empty()) {
+    if (!realPreds(csr_, v).empty()) {
       roots.push_back(v);
     }
   }

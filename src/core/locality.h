@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "cdfg/analysis.h"
+#include "cdfg/csr.h"
 #include "cdfg/graph.h"
 #include "cdfg/ordering.h"
 #include "crypto/bitstream.h"
@@ -68,9 +69,17 @@ struct Locality {
 [[nodiscard]] bool shapeEquals(const cdfg::Cdfg& a, const cdfg::Cdfg& b);
 
 /// Derives localities from a graph.
+///
+/// Construction lowers a CSR snapshot of the graph; every traversal the
+/// deriver performs (fanin balls, copy-chain walks, root scans) runs on
+/// that snapshot.  The snapshot stays semantically valid across *temporal*
+/// edge additions — the only mutation the embedders perform between
+/// derivations — because derivation never follows temporal edges (see the
+/// file comment).  Any other mutation requires constructing a new deriver.
 class LocalityDeriver {
  public:
-  explicit LocalityDeriver(const cdfg::Cdfg& graph) : graph_(&graph) {}
+  explicit LocalityDeriver(const cdfg::Cdfg& graph)
+      : graph_(&graph), csr_(graph) {}
 
   /// Derives the locality anchored at `root`, consuming carve decisions
   /// from `bits`.  Returns nullopt when the fanin tree cannot be uniquely
@@ -93,8 +102,14 @@ class LocalityDeriver {
   [[nodiscard]] std::optional<Locality> wholeDesign(
       std::size_t minSize = 2) const;
 
+  /// The CSR snapshot the deriver traverses.  Exposed so detection scans
+  /// sharing the deriver (sched/reg/tm) can reuse it instead of lowering
+  /// their own.
+  [[nodiscard]] const cdfg::CsrView& csr() const noexcept { return csr_; }
+
  private:
   const cdfg::Cdfg* graph_;
+  cdfg::CsrView csr_;
 };
 
 }  // namespace locwm::wm

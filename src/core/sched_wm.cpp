@@ -18,6 +18,10 @@ namespace {
 
 /// True when `to` is reachable from `from` over data/control/temporal
 /// edges.  Used to keep added temporal edges acyclic and non-vacuous.
+/// Queried between temporal-edge insertions, so it must read the live
+/// builder (a CSR snapshot would miss the edges just added); iterating
+/// outEdges() directly keeps it allocation-free per visited node where
+/// successors() built a vector each time.
 bool reaches(const cdfg::Cdfg& g, NodeId from, NodeId to) {
   if (from == to) {
     return true;
@@ -28,7 +32,8 @@ bool reaches(const cdfg::Cdfg& g, NodeId from, NodeId to) {
   while (!stack.empty()) {
     const NodeId v = stack.back();
     stack.pop_back();
-    for (const NodeId s : g.successors(v, /*includeTemporal=*/true)) {
+    for (const cdfg::EdgeId e : g.outEdges(v)) {
+      const NodeId s = g.edge(e).dst;
       if (s == to) {
         return true;
       }
@@ -295,8 +300,9 @@ SchedDetector::SchedDetector(const SchedulingWatermarker& marker,
     const NodeId root = roots[i];
     LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", 1);
     // Cheap pre-filter: a shape match requires the root's operation kind
-    // to equal the certificate root's kind.
-    if (suspect.node(root).kind != root_kind) {
+    // to equal the certificate root's kind.  The SoA kind table touches
+    // one byte instead of the 40-byte Node with its label string.
+    if (deriver.csr().kind(root) != root_kind) {
       return;
     }
     crypto::KeyedBitstream carve_bits(marker.signature(),

@@ -100,7 +100,8 @@ std::optional<TmEmbedResult> TemplateWatermarker::embed(
           instance.insert(p.node);
         }
         for (const tm::MatchPair& p : m.pairs) {
-          for (const NodeId pred : g.dataPredecessors(p.node)) {
+          for (const NodeId pred :
+               deriver.csr().predecessors(p.node, cdfg::EdgeSel::kData)) {
             if (!instance.contains(pred) && internal.contains(pred)) {
               clashes = true;
             }
@@ -142,9 +143,10 @@ std::optional<TmEmbedResult> TemplateWatermarker::embed(
         instance.insert(p.node);
       }
       for (const tm::MatchPair& p : chosen.pairs) {
-        for (const NodeId pred : g.dataPredecessors(p.node)) {
+        for (const NodeId pred :
+             deriver.csr().predecessors(p.node, cdfg::EdgeSel::kData)) {
           if (!instance.contains(pred) &&
-              !cdfg::isPseudoOp(g.node(pred).kind)) {
+              !cdfg::isPseudoOp(deriver.csr().kind(pred))) {
             result.ppo.insert(pred);  // module input
           }
         }

@@ -15,6 +15,18 @@ namespace {
 /// True when the node's result is a register value.  Outputs are sinks;
 /// stores and branches produce no value; constants/inputs do produce one
 /// (they occupy a register or port, and bind like any other value).
+/// True when `n` has at least one outgoing data edge.  Early-exit walk
+/// over the edge list — dataSuccessors() would materialize the full
+/// successor vector just to test emptiness.
+bool hasDataSuccessor(const cdfg::Cdfg& g, NodeId n) {
+  for (const EdgeId e : g.outEdges(n)) {
+    if (g.edge(e).kind == cdfg::EdgeKind::kData) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool producesValue(const cdfg::Cdfg& g, NodeId n) {
   switch (g.node(n).kind) {
     case OpKind::kOutput:
@@ -22,8 +34,7 @@ bool producesValue(const cdfg::Cdfg& g, NodeId n) {
     case OpKind::kBranch:
       return false;
     default:
-      return !g.dataSuccessors(n).empty() ||
-             g.node(n).kind != OpKind::kConst;
+      return hasDataSuccessor(g, n) || g.node(n).kind != OpKind::kConst;
   }
 }
 

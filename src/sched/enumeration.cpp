@@ -23,6 +23,16 @@ struct Enumerator {
   // before[v] / after[v]: extra-edge partners of v, by node value.
   std::vector<std::vector<NodeId>> extra_before;  // u in extra_before[v]: u -> v
   std::vector<std::uint32_t> window_lo;           // explicit lower bounds
+  // Flattened per-node predecessor constraints (CSR-style): for node v,
+  // entries [pred_off[v], pred_off[v+1]) of pred_src/pred_gap hold the
+  // source node value and latency gap of every constraining in-edge.
+  // Built once in makeEnumerator with the temporal/zero-latency filtering
+  // already applied, so the exponential recursion below touches only
+  // these three flat arrays instead of chasing inEdges -> edge -> node
+  // through the builder graph at every step.
+  std::vector<std::uint32_t> pred_off;
+  std::vector<std::uint32_t> pred_src;
+  std::vector<std::uint32_t> pred_gap;
   std::uint64_t steps = 0;
   bool budget_hit = false;
   std::uint64_t count = 0;
@@ -72,17 +82,11 @@ struct Enumerator {
     }
     const NodeId v = order[index];
     std::uint32_t lo = window_lo[v.value()];
-    for (const EdgeId e : g->inEdges(v)) {
-      const cdfg::Edge& ed = g->edge(e);
-      if (ed.kind == cdfg::EdgeKind::kTemporal && !options->honor_temporal) {
-        continue;
-      }
-      if (options->latency.latency(g->node(ed.src).kind) == 0) {
-        continue;
-      }
-      const std::uint32_t gap =
-          options->latency.edgeGap(g->node(ed.src).kind, ed.kind);
-      lo = std::max(lo, start[ed.src.value()] + gap);
+    // max() over the constraints is order-independent, so the flattened
+    // arrays reproduce the inEdges walk exactly.
+    for (std::uint32_t i = pred_off[v.value()]; i < pred_off[v.value() + 1];
+         ++i) {
+      lo = std::max(lo, start[pred_src[i]] + pred_gap[i]);
     }
     for (const NodeId u : extra_before[v.value()]) {
       lo = std::max(lo, start[u.value()] + 1);
@@ -111,6 +115,25 @@ Enumerator makeEnumerator(const cdfg::Cdfg& g,
   for (const NodeId v : g.allNodes()) {
     en.alap[v.value()] = tf.alap(v);
   }
+  // Flatten the recursion's constraint lookups (see Enumerator comment).
+  en.pred_off.assign(g.nodeCount() + 1, 0);
+  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+    const NodeId v(static_cast<std::uint32_t>(i));
+    for (const EdgeId e : g.inEdges(v)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal && !options.honor_temporal) {
+        continue;
+      }
+      if (options.latency.latency(g.node(ed.src).kind) == 0) {
+        continue;
+      }
+      en.pred_src.push_back(ed.src.value());
+      en.pred_gap.push_back(options.latency.edgeGap(g.node(ed.src).kind,
+                                                    ed.kind));
+    }
+    en.pred_off[i + 1] = static_cast<std::uint32_t>(en.pred_src.size());
+  }
+
   en.window_lo.assign(g.nodeCount(), 0);
   for (const EnumerationOptions::Window& w : options.windows) {
     detail::check<ScheduleError>(

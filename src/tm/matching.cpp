@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "cdfg/csr.h"
 #include "cdfg/error.h"
 #include "obs/obs.h"
 
@@ -35,7 +36,7 @@ std::string Matching::key() const {
 namespace {
 
 struct MatcherState {
-  const cdfg::Cdfg* g = nullptr;
+  const cdfg::CsrView* g = nullptr;
   const Template* tmpl = nullptr;
   TemplateId tid;
   const std::vector<std::size_t>* subset = nullptr;
@@ -81,11 +82,16 @@ struct MatcherState {
       }
     }
     const NodeId parent_node = assignment[parent];
-    for (const NodeId cand : g->dataPredecessors(parent_node)) {
+    // The data-segment CSR span replaces a dataPredecessors() vector that
+    // was allocated on every frame of this exponential recursion; span
+    // order equals data-edge insertion order, so the enumeration emits
+    // matchings in the same sequence as before.
+    for (const NodeId cand :
+         g->predecessors(parent_node, cdfg::EdgeSel::kData)) {
       if (node_used[cand.value()] || !nodeAllowed(cand)) {
         continue;
       }
-      if (g->node(cand).kind != tmpl->ops[op].kind) {
+      if (g->kind(cand) != tmpl->ops[op].kind) {
         continue;
       }
       assignment[op] = cand;
@@ -105,6 +111,9 @@ std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
   LOCWM_OBS_SPAN("tm.match");
   std::vector<Matching> out;
 
+  // One lowering serves every (root, template, subset) enumeration below.
+  const cdfg::CsrView view(g);
+
   std::vector<bool> allowed;
   if (!options.restrict_to.empty()) {
     allowed.assign(g.nodeCount(), false);
@@ -113,8 +122,10 @@ std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
     }
   }
 
-  for (const NodeId root : g.allNodes()) {
-    if (cdfg::isPseudoOp(g.node(root).kind)) {
+  const std::size_t node_count = g.nodeCount();
+  for (std::size_t ri = 0; ri < node_count; ++ri) {
+    const NodeId root(static_cast<std::uint32_t>(ri));
+    if (cdfg::isPseudoOp(view.kind(root))) {
       continue;
     }
     if (!allowed.empty() && !allowed[root.value()]) {
@@ -149,12 +160,12 @@ std::vector<Matching> enumerateMatchings(const cdfg::Cdfg& g,
             local_root = op;
           }
         }
-        if (g.node(root).kind != tmpl.ops[local_root].kind) {
+        if (view.kind(root) != tmpl.ops[local_root].kind) {
           continue;
         }
 
         MatcherState st;
-        st.g = &g;
+        st.g = &view;
         st.tmpl = &tmpl;
         st.tid = tid;
         st.subset = &subset;

@@ -4,7 +4,9 @@
 // rows the paper's tables use.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,7 +14,18 @@
 #include <string>
 #include <vector>
 
+#if __has_include(<locwm/build_info.h>)
+#include <locwm/build_info.h>
+#endif
+#ifndef LOCWM_GIT_DESCRIBE
+#define LOCWM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LOCWM_BUILD_TYPE
+#define LOCWM_BUILD_TYPE "unknown"
+#endif
+
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "rt/rt.h"
 
 namespace locwm::bench {
@@ -81,6 +94,26 @@ inline std::string pcString(double log10_pc) {
   return buf;
 }
 
+/// Nearest-rank percentile of a sample set: the smallest sample s such
+/// that at least ceil(q * n) samples are <= s.  `q` in [0, 1]; returns 0
+/// for an empty set.  Used for the wall-clock percentile columns the perf
+/// gate compares (scripts/bench_gate.py).
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > samples.size()) {
+    rank = samples.size();
+  }
+  return samples[rank - 1];
+}
+
 /// One named cell of a table row, pre-rendered as JSON.
 struct Field {
   std::string name;
@@ -132,9 +165,17 @@ class JsonReport {
     if (!enabled()) {
       return;
     }
+    // Rows render with keys in sorted order (schema_version invariant:
+    // diffable output), stamped with the build that produced them.
+    std::vector<Field> all(fields);
+    all.emplace_back("git_describe", LOCWM_GIT_DESCRIBE);
+    all.emplace_back("build_type", LOCWM_BUILD_TYPE);
+    std::sort(all.begin(), all.end(), [](const Field& a, const Field& b) {
+      return a.name < b.name;
+    });
     std::string r = "{";
     bool first = true;
-    for (const Field& f : fields) {
+    for (const Field& f : all) {
       if (!first) {
         r += ", ";
       }
@@ -164,7 +205,8 @@ class JsonReport {
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(out, "%s\n  %s", i == 0 ? "" : ",", rows_[i].c_str());
     }
-    std::fprintf(out, "\n]}\n");
+    std::fprintf(out, "\n], \"schema_version\": %d}\n",
+                 obs::kStatsSchemaVersion);
     std::fclose(out);
     std::printf("json rows -> %s\n", path_.c_str());
     return true;

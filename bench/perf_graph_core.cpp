@@ -152,6 +152,19 @@ int main(int argc, char** argv) {
     const double rnd_builder = throughput(builder, rnd, repeats, expect);
     const double rnd_csr = throughput(csr, rnd, repeats, expect);
 
+    // Per-repeat wall times of the CSR random walk (the cache-hostile
+    // case) feed the p50/p95/p99 columns the perf gate compares.
+    std::vector<double> rnd_csr_samples;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      std::uint64_t visited = 0;
+      const auto tr = std::chrono::steady_clock::now();
+      if (walkCsr(view, rnd, &visited) != expect) {
+        std::fprintf(stderr, "walk checksum mismatch\n");
+        return 1;
+      }
+      rnd_csr_samples.push_back(millisSince(tr));
+    }
+
     const double builder_bpn =
         g.nodeCount() == 0
             ? 0.0
@@ -174,7 +187,10 @@ int main(int argc, char** argv) {
               {"seq_speedup", seq_builder > 0 ? seq_csr / seq_builder : -1.0},
               {"rnd_speedup", rnd_builder > 0 ? rnd_csr / rnd_builder : -1.0},
               {"builder_bytes_per_node", builder_bpn},
-              {"csr_bytes_per_node", view.bytesPerNode()}});
+              {"csr_bytes_per_node", view.bytesPerNode()},
+              {"p50_ms", bench::percentile(rnd_csr_samples, 0.50)},
+              {"p95_ms", bench::percentile(rnd_csr_samples, 0.95)},
+              {"p99_ms", bench::percentile(rnd_csr_samples, 0.99)}});
   }
   bench::rule(96);
   std::printf("builder B/n excludes label payloads (lower bound); "

@@ -178,6 +178,20 @@ int main(int argc, char** argv) {
     const auto semantic = check::checkSemantics(g);
     const double semantic_ms = millisSince(t3);
 
+    // Percentiles for the perf gate: re-run the CSR analysis batch (the
+    // steady-state fast path) a few times and report its p50/p95/p99.
+    std::vector<double> batch_samples;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto tb = std::chrono::steady_clock::now();
+      const auto reach_rep = check::computeReachability(
+          view, sources, check::Direction::kForward);
+      const auto slack_rep =
+          check::computeSlack(view, sched::LatencyModel::unit());
+      static_cast<void>(reach_rep);
+      static_cast<void>(slack_rep);
+      batch_samples.push_back(millisSince(tb));
+    }
+
     double lint_ms = -1.0;
     std::size_t lint_findings = 0;
     if (ops <= 5000) {
@@ -224,6 +238,9 @@ int main(int argc, char** argv) {
                static_cast<std::uint64_t>(semantic.diagnostics().size())},
               {"lint_ms", lint_ms},
               {"lint_findings", static_cast<std::uint64_t>(lint_findings)},
+              {"p50_ms", bench::percentile(batch_samples, 0.50)},
+              {"p95_ms", bench::percentile(batch_samples, 0.95)},
+              {"p99_ms", bench::percentile(batch_samples, 0.99)},
               {"peak_rss_mib", peakRssMib()}});
   }
   bench::rule(108);

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Structural validator for locwm's OpenMetrics exposition (--metrics).
+
+Checks the text-format invariants that src/obs/openmetrics.cpp promises:
+
+  * every non-comment line is a sample of a family declared by a
+    preceding `# TYPE <family> <counter|gauge|summary>` line;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the locwm_
+    prefix;
+  * counter samples use the `<family>_total` suffix;
+  * summary families expose quantile 0.5/0.9/0.95/0.99 samples plus
+    `_sum` and `_count`;
+  * families appear in sorted name order, each declared once;
+  * the exposition ends with `# EOF`.
+
+Usage:
+  check_metrics.py FILE [--require FAMILY]... [--min-summaries N]
+
+--require fails unless the named family exists (e.g.
+locwm_rt_lane_utilization_pct); --min-summaries fails unless at least N
+summary (histogram) families are present.  Exit 1 on any violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? (?P<value>-?[0-9]+(\.[0-9]+)?)$")
+TYPES = ("counter", "gauge", "summary")
+REQUIRED_QUANTILES = {"0.5", "0.9", "0.95", "0.99"}
+
+
+def parse_labels(block):
+    if not block:
+        return {}
+    labels = {}
+    for item in block[1:-1].split(","):
+        if not item:
+            continue
+        k, _, v = item.partition("=")
+        labels[k] = v.strip('"')
+    return labels
+
+
+def check(path, require, min_summaries):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    if not lines or lines[-1] != "# EOF":
+        errors.append("missing terminal '# EOF' line")
+
+    families = {}  # name -> {"type": ..., "samples": [(name, labels, value)]}
+    order = []
+    current = None
+    for i, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if i != len(lines):
+                errors.append(f"line {i}: '# EOF' before end of file")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {i}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {i}: illegal family name {name!r}")
+            if not name.startswith("locwm_"):
+                errors.append(f"line {i}: family {name!r} lacks the "
+                              "locwm_ prefix")
+            if name in families:
+                errors.append(f"line {i}: family {name!r} declared twice")
+            families[name] = {"type": parts[3], "samples": []}
+            order.append(name)
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # HELP or other comments: legal, unchecked
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {i}: unparsable sample line: {line!r}")
+            continue
+        sample = m.group("name")
+        if current is None:
+            errors.append(f"line {i}: sample {sample!r} before any TYPE")
+            continue
+        fam = families[current]
+        expected = {current}
+        if fam["type"] == "counter":
+            expected = {current + "_total"}
+        elif fam["type"] == "summary":
+            expected = {current, current + "_sum", current + "_count"}
+        if sample not in expected:
+            errors.append(
+                f"line {i}: sample {sample!r} does not belong to "
+                f"{fam['type']} family {current!r}")
+            continue
+        fam["samples"].append(
+            (sample, parse_labels(m.group("labels")), m.group("value")))
+
+    if order != sorted(order):
+        errors.append("families are not in sorted name order")
+
+    summaries = 0
+    for name, fam in families.items():
+        if not fam["samples"]:
+            errors.append(f"family {name!r} has no samples")
+        if fam["type"] != "summary":
+            continue
+        summaries += 1
+        quantiles = {labels.get("quantile")
+                     for s, labels, _ in fam["samples"] if s == name}
+        missing = REQUIRED_QUANTILES - quantiles
+        if missing:
+            errors.append(f"summary {name!r} missing quantiles "
+                          f"{sorted(missing)}")
+        suffixes = {s for s, _, _ in fam["samples"]}
+        for suffix in (name + "_sum", name + "_count"):
+            if suffix not in suffixes:
+                errors.append(f"summary {name!r} missing {suffix}")
+
+    for name in require:
+        if name not in families:
+            errors.append(f"required family {name!r} not present")
+    if summaries < min_summaries:
+        errors.append(f"only {summaries} summary families, "
+                      f"need >= {min_summaries}")
+
+    for e in errors:
+        print(f"{path}: {e}", file=sys.stderr)
+    if not errors:
+        print(f"{path}: OK ({len(families)} families, "
+              f"{summaries} summaries)")
+    return 0 if not errors else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FAMILY")
+    ap.add_argument("--min-summaries", type=int, default=0)
+    args = ap.parse_args()
+    return check(args.file, args.require, args.min_summaries)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "cdfg/csr.h"
 
+#include "obs/obs.h"
+
 namespace locwm::cdfg {
 
 CsrView::CsrView(const Cdfg& g) {
@@ -61,6 +63,8 @@ CsrView::CsrView(const Cdfg& g) {
   in_node_ = reinterpret_cast<const NodeId*>(in_node);
   in_edge_ = reinterpret_cast<const EdgeId*>(in_edge);
   kinds_ = kinds;
+
+  LOCWM_OBS_GAUGE_MAX("cdfg.csr.arena_bytes", memoryBytes());
 }
 
 }  // namespace locwm::cdfg

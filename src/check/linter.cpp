@@ -12,6 +12,7 @@
 #include "cdfg/io.h"
 #include "check/differ.h"
 #include "check/internal.h"
+#include "obs/obs.h"
 #include "rt/rt.h"
 #include "core/certificate_io.h"
 #include "regbind/binding_io.h"
@@ -56,6 +57,7 @@ bool looksLikeScheduleEntry(const std::string& line) {
 Linter::Linter(LintOptions options) : options_(std::move(options)) {}
 
 void Linter::lintFile(const std::string& path) {
+  LOCWM_OBS_LATENCY("check.lint.file_ns");
   std::ifstream is(path);
   if (!is) {
     report_.add(diag("LW001", Severity::kError, path, {},

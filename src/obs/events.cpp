@@ -1,0 +1,123 @@
+#include "obs/events.h"
+
+#if __has_include(<locwm/build_info.h>)
+#include <locwm/build_info.h>
+#endif
+#ifndef LOCWM_GIT_DESCRIBE
+#define LOCWM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LOCWM_BUILD_TYPE
+#define LOCWM_BUILD_TYPE "unknown"
+#endif
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace locwm::obs {
+
+namespace detail {
+std::atomic<bool> g_event_log_active{false};
+}  // namespace detail
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+bool EventLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) {
+    detail::g_event_log_active.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  seq_ = 0;
+  last_counters_.clear();
+  detail::g_event_log_active.store(true, std::memory_order_relaxed);
+  emitLine(std::string("\"type\":\"meta\",\"tool\":\"locwm\"") +
+           ",\"git_describe\":" + jsonString(LOCWM_GIT_DESCRIBE) +
+           ",\"build_type\":" + jsonString(LOCWM_BUILD_TYPE));
+  return true;
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  detail::g_event_log_active.store(false, std::memory_order_relaxed);
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+void EventLog::emitLine(const std::string& body) {
+  // Caller holds mutex_ or is single-threaded through open(); every
+  // public emit* takes the lock before calling here.
+  if (out_ == nullptr) {
+    return;
+  }
+  std::fprintf(out_, "{\"seq\":%llu,\"schema_version\":%d,%s}\n",
+               static_cast<unsigned long long>(seq_++), kStatsSchemaVersion,
+               body.c_str());
+}
+
+void EventLog::emitSpanBegin(const char* name, std::uint64_t start_ns,
+                             std::uint32_t tid, std::uint32_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emitLine("\"type\":\"span_begin\",\"name\":" + jsonString(name) +
+           ",\"start_ns\":" + std::to_string(start_ns) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"depth\":" + std::to_string(depth));
+}
+
+void EventLog::emitSpanEnd(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, std::uint32_t tid,
+                           std::uint32_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emitLine("\"type\":\"span_end\",\"name\":" + jsonString(name) +
+           ",\"start_ns\":" + std::to_string(start_ns) +
+           ",\"dur_ns\":" + std::to_string(dur_ns) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"depth\":" + std::to_string(depth));
+}
+
+void EventLog::emitMetricsSnapshot() {
+  // Snapshot outside the log lock: the registry takes its own mutex.
+  const auto samples =
+      MetricsRegistry::instance().snapshot(/*nonzero_only=*/true);
+  const auto histograms = MetricsRegistry::instance().histogramSnapshots();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : samples) {
+    if (s.is_gauge) {
+      emitLine("\"type\":\"gauge\",\"name\":" + jsonString(s.name) +
+               ",\"value\":" + std::to_string(s.value));
+      continue;
+    }
+    const std::uint64_t value = static_cast<std::uint64_t>(s.value);
+    std::uint64_t& last = last_counters_[s.name];
+    const std::uint64_t delta = value >= last ? value - last : value;
+    last = value;
+    emitLine("\"type\":\"counter\",\"name\":" + jsonString(s.name) +
+             ",\"value\":" + std::to_string(value) +
+             ",\"delta\":" + std::to_string(delta));
+  }
+  for (const auto& [name, snap] : histograms) {
+    if (snap.count == 0) {
+      continue;
+    }
+    emitLine("\"type\":\"histogram\",\"name\":" + jsonString(name) +
+             ",\"count\":" + std::to_string(snap.count) +
+             ",\"sum\":" + std::to_string(snap.sum) +
+             ",\"max\":" + std::to_string(snap.max) +
+             ",\"p50\":" + std::to_string(snap.p50()) +
+             ",\"p90\":" + std::to_string(snap.p90()) +
+             ",\"p95\":" + std::to_string(snap.p95()) +
+             ",\"p99\":" + std::to_string(snap.p99()));
+  }
+}
+
+}  // namespace locwm::obs

@@ -1,0 +1,82 @@
+// Append-only structured event log (newline-delimited JSON).
+//
+// Where the Chrome trace is a bounded ring for humans and the --stats
+// snapshot is one aggregate at exit, the event log is a *stream*: every
+// span begin/end, counter delta, and histogram snapshot appends one JSON
+// object per line, stamped with a monotonic per-process sequence number.
+// A future `locwm serve` daemon emits the same stream per request; a
+// consumer tails the file and orders events by "seq" alone.
+//
+// Line shapes (all lines carry "seq" and "schema_version"):
+//   {"seq":N,"schema_version":2,"type":"meta","version":...,
+//    "git_describe":...,"build_type":...}
+//   {"seq":N,...,"type":"span_begin","name":...,"start_ns":...,
+//    "tid":T,"depth":D}
+//   {"seq":N,...,"type":"span_end","name":...,"start_ns":...,
+//    "dur_ns":...,"tid":T,"depth":D}
+//   {"seq":N,...,"type":"counter","name":...,"value":V,"delta":D}
+//   {"seq":N,...,"type":"gauge","name":...,"value":V}
+//   {"seq":N,...,"type":"histogram","name":...,"count":...,"sum":...,
+//    "max":...,"p50":...,"p90":...,"p95":...,"p99":...}
+//
+// Counter lines report the value *and* the delta since the previous
+// snapshot on this log, so a streaming consumer needs no state.  The
+// writer holds one mutex per line; span emission is gated on the same
+// runtime-enabled flag as every other obs primitive and costs nothing
+// when no log is open.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace locwm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_event_log_active;
+}  // namespace detail
+
+/// True when an event log is open; one relaxed load, checked by the span
+/// hooks before formatting anything.
+inline bool eventLogActive() noexcept {
+  return detail::g_event_log_active.load(std::memory_order_relaxed);
+}
+
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  /// Opens (truncates) `path` and arms streaming; also writes the "meta"
+  /// header line.  Returns false on I/O failure.  Implies nothing about
+  /// obs::enabled(): callers arm both (the CLI's --events does).
+  bool open(const std::string& path);
+
+  /// Flushes and closes the log; further emissions are dropped.
+  void close();
+
+  void emitSpanBegin(const char* name, std::uint64_t start_ns,
+                     std::uint32_t tid, std::uint32_t depth);
+  void emitSpanEnd(const char* name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns, std::uint32_t tid,
+                   std::uint32_t depth);
+
+  /// Appends one line per nonzero counter (with its delta since the last
+  /// snapshot on this log), per nonzero gauge, and per non-empty
+  /// histogram, in sorted name order.
+  void emitMetricsSnapshot();
+
+ private:
+  EventLog() = default;
+
+  void emitLine(const std::string& body);  // wraps with seq + newline
+
+  std::mutex mutex_;
+  std::FILE* out_ = nullptr;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, std::uint64_t> last_counters_;
+};
+
+}  // namespace locwm::obs

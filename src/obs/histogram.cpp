@@ -1,0 +1,149 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace locwm::obs {
+
+std::size_t Histogram::bucketIndex(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) {
+    return static_cast<std::size_t>(value);
+  }
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  if (msb >= kMaxValueBits) {
+    return kOverflowBucket;
+  }
+  // Octave `msb` contributes kSubBuckets buckets of width 2^(msb -
+  // kSubBucketBits); the sub-bucket is the kSubBucketBits bits below the
+  // leading one.
+  const unsigned shift = msb - kSubBucketBits;
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  return (static_cast<std::size_t>(msb - kSubBucketBits + 1)
+          << kSubBucketBits) +
+         sub;
+}
+
+std::uint64_t Histogram::bucketUpperBound(std::size_t index) noexcept {
+  if (index >= kOverflowBucket) {
+    return ~std::uint64_t{0};
+  }
+  if (index < kSubBuckets) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const unsigned octave =
+      static_cast<unsigned>(index >> kSubBucketBits) + kSubBucketBits - 1;
+  const std::uint64_t sub = index & (kSubBuckets - 1);
+  const unsigned shift = octave - kSubBucketBits;
+  // Lower bound of the bucket, plus the bucket width minus one.
+  const std::uint64_t lo = (std::uint64_t{1} << octave) | (sub << shift);
+  return lo + ((std::uint64_t{1} << shift) - 1);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  Shard& shard = shards_[threadIndex() % kShards];
+  shard.buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = shard.max.load(std::memory_order_relaxed);
+  while (cur < value && !shard.max.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  for (const Shard& shard : shards_) {
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    const std::uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+    if (shard_max > snap.max) {
+      snap.max = shard_max;
+    }
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const std::uint64_t c = shard.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += c;
+      snap.count += c;
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+    for (auto& b : shard.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), with rank at least 1.
+  const double scaled = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      const std::uint64_t bound = Histogram::bucketUpperBound(b);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::render() const {
+  std::string out = "count=" + std::to_string(count) +
+                    " sum=" + std::to_string(sum) +
+                    " max=" + std::to_string(max) +
+                    " p50=" + std::to_string(p50()) +
+                    " p90=" + std::to_string(p90()) +
+                    " p95=" + std::to_string(p95()) +
+                    " p99=" + std::to_string(p99()) + " buckets=[";
+  bool first = true;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += std::to_string(b) + ":" + std::to_string(buckets[b]);
+  }
+  out += ']';
+  return out;
+}
+
+ScopedLatency::ScopedLatency(Histogram* histogram) noexcept {
+  if (histogram == nullptr || !enabled()) {
+    return;
+  }
+  histogram_ = histogram;
+  start_ns_ = nowNs();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (histogram_ != nullptr) {
+    histogram_->record(nowNs() - start_ns_);
+  }
+}
+
+}  // namespace locwm::obs

@@ -1,0 +1,130 @@
+// Streaming log-linear histograms (HdrHistogram-style).
+//
+// A Histogram records non-negative integer values (typically durations in
+// nanoseconds) into a fixed set of buckets whose width grows geometrically:
+// each power-of-two octave is split into 16 linear sub-buckets, so every
+// bucket bounds its values within 1/16 (6.25%) relative error.  Values at
+// or above 2^kMaxValueBits land in one explicit overflow bucket; the exact
+// observed maximum is tracked separately so the top quantiles never
+// over-report past it.
+//
+// Recording is lock-free and wait-free: each writer thread hashes onto one
+// of a small fixed set of shards and does two relaxed fetch_adds plus a
+// CAS-max.  snapshot() merges the shards by summing per-bucket counts —
+// addition is commutative, so the merged snapshot is a pure function of
+// the multiset of recorded values: byte-identical for any thread count or
+// interleaving (HistogramTest pins this at 1/2/8 threads).
+//
+// Quantile semantics: quantile(q) returns the upper bound of the bucket
+// holding the q-th ranked value (a "no more than" estimate), clamped to
+// the observed maximum.  p50/p90/p95/p99/max are the conventional cuts.
+//
+// Histograms register in MetricsRegistry next to counters and gauges (see
+// metrics.h) and render into the --stats JSON, the OpenMetrics exposition
+// (as a summary family with quantile labels), and the ndjson event log.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locwm::obs {
+
+/// Merged, immutable view of a Histogram at one instant.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;  ///< total values recorded
+  std::uint64_t sum = 0;    ///< sum of recorded values
+  std::uint64_t max = 0;    ///< exact observed maximum (0 when empty)
+  std::vector<std::uint64_t> buckets;  ///< dense per-bucket counts
+
+  /// Upper bound of the bucket holding the ceil(q * count)-th value,
+  /// clamped to `max`; 0 for an empty histogram.  q is clamped to [0, 1].
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  /// Compact deterministic text render ("count=... sum=... max=...
+  /// p50=... buckets=[i:c,...]"), used by the determinism tests to compare
+  /// snapshots byte-for-byte.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Fixed-bucket log-linear streaming histogram with sharded lock-free
+/// recording.  See the file comment for the layout and the determinism
+/// contract.
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave (16 -> 6.25% bound error).
+  static constexpr unsigned kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1u << kSubBucketBits;
+  /// Values at or above 2^kMaxValueBits (about 18 minutes in ns) fall into
+  /// the overflow bucket.
+  static constexpr unsigned kMaxValueBits = 40;
+  /// Regular buckets: kSubBuckets for [0, kSubBuckets), then kSubBuckets
+  /// per octave up to msb kMaxValueBits-1, plus one overflow bucket.
+  static constexpr std::size_t kBucketCount =
+      ((kMaxValueBits - kSubBucketBits) << kSubBucketBits) + kSubBuckets + 1;
+  static constexpr std::size_t kOverflowBucket = kBucketCount - 1;
+  /// Writer shards.  Threads hash onto shards by dense thread index, so
+  /// up to kShards writers never contend on a cache line.
+  static constexpr std::size_t kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one value.  Lock-free; safe from any thread.
+  void record(std::uint64_t value) noexcept;
+
+  /// Bucket index for `value` (kOverflowBucket for out-of-range values).
+  [[nodiscard]] static std::size_t bucketIndex(std::uint64_t value) noexcept;
+
+  /// Inclusive upper bound of bucket `index` (the largest value that maps
+  /// to it).  The overflow bucket has no finite bound; it returns
+  /// UINT64_MAX and quantile() clamps to the observed max instead.
+  [[nodiscard]] static std::uint64_t bucketUpperBound(
+      std::size_t index) noexcept;
+
+  /// Merges all shards into one snapshot.  Deterministic: a pure function
+  /// of the multiset of recorded values.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Zeroes every shard.  Not atomic with respect to concurrent writers;
+  /// callers quiesce recording first (same contract as Counter::reset).
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+  };
+
+  Shard shards_[kShards];
+};
+
+/// RAII latency probe: construction stamps the monotonic clock,
+/// destruction records the elapsed nanoseconds into `*histogram`.  Inert
+/// when `histogram` is null or observability is disabled at construction
+/// time.  Call sites go through LOCWM_OBS_LATENCY (obs/obs.h), which
+/// passes null without touching the registry when obs is off.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram) noexcept;
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;  ///< null when obs was disabled
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace locwm::obs

@@ -39,6 +39,27 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
               .first->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histogramSnapshots() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot(
     bool nonzero_only) const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -84,6 +105,22 @@ std::string MetricsRegistry::snapshotJson() const {
     first = false;
     json += "    " + jsonString(s.name) + ": " + std::to_string(s.value);
   }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : histogramSnapshots()) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    // Keys inside each histogram object are in sorted order too.
+    json += "    " + jsonString(name) + ": {\"count\": " +
+            std::to_string(snap.count) +
+            ", \"max\": " + std::to_string(snap.max) +
+            ", \"p50\": " + std::to_string(snap.p50()) +
+            ", \"p90\": " + std::to_string(snap.p90()) +
+            ", \"p95\": " + std::to_string(snap.p95()) +
+            ", \"p99\": " + std::to_string(snap.p99()) +
+            ", \"sum\": " + std::to_string(snap.sum) + "}";
+  }
   json += first ? "}\n" : "\n  }\n";
   json += "}\n";
   return json;
@@ -105,6 +142,9 @@ void MetricsRegistry::reset() {
   }
   for (const auto& [name, g] : gauges_) {
     g->reset();
+  }
+  for (const auto& [name, h] : histograms_) {
+    h->reset();
   }
 }
 

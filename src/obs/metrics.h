@@ -21,9 +21,17 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace locwm::obs {
+
+/// Version stamp of every machine-readable snapshot this library emits
+/// (--stats JSON, bench --json rows, ndjson events).  Bump when a field
+/// is renamed or its meaning changes; additions do not require a bump.
+inline constexpr int kStatsSchemaVersion = 2;
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
@@ -76,15 +84,16 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-/// Name -> counter/gauge table.  Handles returned by counter()/gauge()
-/// stay valid for the life of the process (values are never erased, only
-/// reset), so call sites may cache them.
+/// Name -> counter/gauge/histogram table.  Handles returned by
+/// counter()/gauge()/histogram() stay valid for the life of the process
+/// (values are never erased, only reset), so call sites may cache them.
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   struct Sample {
     std::string name;
@@ -92,12 +101,17 @@ class MetricsRegistry {
     bool is_gauge = false;
   };
 
-  /// All registered metrics, sorted by name.  `nonzero_only` drops
-  /// zero-valued entries so two runs compare equal regardless of which
-  /// other call sites happened to register in between.
+  /// All registered counters and gauges, sorted by name.  `nonzero_only`
+  /// drops zero-valued entries so two runs compare equal regardless of
+  /// which other call sites happened to register in between.
   [[nodiscard]] std::vector<Sample> snapshot(bool nonzero_only = false) const;
 
-  /// {"counters": {...}, "gauges": {...}} with names sorted.
+  /// Merged snapshots of every registered histogram, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histogramSnapshots() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// names sorted at every level.
   [[nodiscard]] std::string snapshotJson() const;
 
   /// Writes snapshotJson() to `path`.  Returns false on I/O failure.
@@ -111,6 +125,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace locwm::obs

@@ -11,11 +11,13 @@
 //     read), and nothing is formatted, registered, or allocated.
 //
 // Naming conventions (see docs/OBSERVABILITY.md):
-//   spans     "module.pass"            e.g. "sched.list"
-//   counters  "module.pass.event"      e.g. "sched.bb.steps_explored"
-//   gauges    "module.pass.level"      e.g. "sched.list.ready_peak"
+//   spans      "module.pass"            e.g. "sched.list"
+//   counters   "module.pass.event"      e.g. "sched.bb.steps_explored"
+//   gauges     "module.pass.level"      e.g. "sched.list.ready_peak"
+//   histograms "module.pass.what_ns"    e.g. "check.lint.file_ns"
 #pragma once
 
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -64,6 +66,26 @@
     }                                                                 \
   } while (0)
 
+/// Records `value_ns` (or any uint64 magnitude) into the named histogram.
+#define LOCWM_OBS_HISTOGRAM(name, value_ns)                            \
+  do {                                                                 \
+    if (::locwm::obs::enabled()) {                                     \
+      static ::locwm::obs::Histogram& locwm_obs_hist_ =                \
+          ::locwm::obs::MetricsRegistry::instance().histogram(name);   \
+      locwm_obs_hist_.record(static_cast<std::uint64_t>(value_ns));    \
+    }                                                                  \
+  } while (0)
+
+/// Declares an RAII latency probe: at scope exit the elapsed nanoseconds
+/// are recorded into the named histogram.  `name` must be a string
+/// literal; the histogram handle is resolved once per call site.
+#define LOCWM_OBS_LATENCY(name)                                           \
+  const ::locwm::obs::ScopedLatency LOCWM_OBS_CONCAT(locwm_obs_latency_,  \
+                                                     __LINE__)(           \
+      ::locwm::obs::enabled()                                             \
+          ? &::locwm::obs::MetricsRegistry::instance().histogram(name)    \
+          : nullptr)
+
 #else  // !LOCWM_OBS_ENABLED
 
 #define LOCWM_OBS_SPAN(name) static_cast<void>(0)
@@ -85,5 +107,12 @@
       static_cast<void>(value);          \
     }                                    \
   } while (0)
+#define LOCWM_OBS_HISTOGRAM(name, value_ns) \
+  do {                                      \
+    if (false) {                            \
+      static_cast<void>(value_ns);          \
+    }                                       \
+  } while (0)
+#define LOCWM_OBS_LATENCY(name) static_cast<void>(0)
 
 #endif  // LOCWM_OBS_ENABLED

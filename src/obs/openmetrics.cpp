@@ -1,0 +1,172 @@
+#include "obs/openmetrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace locwm::obs {
+
+namespace {
+
+/// One exposition family: its OpenMetrics type and its samples, keyed by
+/// the rendered label block ("" or "{lane=\"3\"}") so samples sort
+/// deterministically.
+struct Family {
+  const char* type = "gauge";
+  std::map<std::string, std::string> samples;  // label block -> value
+};
+
+/// Legal OpenMetrics name: [a-zA-Z_:][a-zA-Z0-9_:]*.  Dots and anything
+/// else illegal become underscores.
+std::string sanitizeName(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Maps an internal dotted name to (family, label block).  The per-lane
+/// rt metrics ("rt.lane<i>.<rest>") fold into one family with a lane
+/// label; everything else is a plain `locwm_<dots-to-underscores>` name.
+std::pair<std::string, std::string> familyOf(const std::string& name) {
+  constexpr std::string_view kLanePrefix = "rt.lane";
+  if (name.rfind(kLanePrefix, 0) == 0) {
+    const std::size_t digits_begin = kLanePrefix.size();
+    std::size_t digits_end = digits_begin;
+    while (digits_end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[digits_end])) != 0) {
+      ++digits_end;
+    }
+    if (digits_end > digits_begin && digits_end < name.size() &&
+        name[digits_end] == '.') {
+      const std::string lane = name.substr(digits_begin,
+                                           digits_end - digits_begin);
+      const std::string rest = name.substr(digits_end + 1);
+      return {"locwm_rt_lane_" + sanitizeName(rest),
+              "{lane=\"" + lane + "\"}"};
+    }
+  }
+  return {"locwm_" + sanitizeName(name), ""};
+}
+
+std::string formatU64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void sampleMemoryGauges() {
+#if defined(__linux__)
+  if (!enabled()) {
+    return;
+  }
+  std::ifstream status("/proc/self/status");
+  if (!status) {
+    return;
+  }
+  auto& registry = MetricsRegistry::instance();
+  std::string line;
+  while (std::getline(status, line)) {
+    const bool is_peak = line.rfind("VmHWM:", 0) == 0;
+    const bool is_rss = line.rfind("VmRSS:", 0) == 0;
+    if (!is_peak && !is_rss) {
+      continue;
+    }
+    long long kib = 0;
+    if (std::sscanf(line.c_str() + 6, "%lld", &kib) != 1) {
+      continue;
+    }
+    if (is_peak) {
+      registry.gauge("mem.peak_rss_kib").raiseTo(kib);
+    } else {
+      registry.gauge("mem.rss_kib").set(kib);
+    }
+  }
+#endif
+}
+
+std::string renderOpenMetrics() {
+  sampleMemoryGauges();
+
+  std::map<std::string, Family> families;
+  auto& registry = MetricsRegistry::instance();
+
+  for (const auto& s : registry.snapshot(/*nonzero_only=*/false)) {
+    auto [family, labels] = familyOf(s.name);
+    Family& f = families[family];
+    f.type = s.is_gauge ? "gauge" : "counter";
+    f.samples[labels] = std::to_string(s.value);
+  }
+
+  // The trace ring is not a registry metric; synthesize its health
+  // families so a scrape sees truncation.
+  const TraceBuffer& buffer = TraceBuffer::instance();
+  families["locwm_obs_trace_recorded"] =
+      Family{"counter", {{"", formatU64(buffer.totalRecorded())}}};
+  families["locwm_obs_trace_dropped"] =
+      Family{"counter", {{"", formatU64(buffer.dropped())}}};
+  families["locwm_obs_trace_buffer_bytes"] =
+      Family{"gauge", {{"", formatU64(buffer.bufferBytes())}}};
+
+  // Render every family into one text block, then emit the blocks in
+  // sorted family-name order so scrapes diff cleanly.
+  std::map<std::string, std::string> blocks;
+  for (const auto& [family, f] : families) {
+    std::string block = "# TYPE " + family + " " + f.type + "\n";
+    for (const auto& [labels, value] : f.samples) {
+      block += family + (f.type[0] == 'c' ? "_total" : "") + labels + " " +
+               value + "\n";
+    }
+    blocks[family] = std::move(block);
+  }
+
+  // Histograms render as summary families with quantile labels, plus a
+  // companion _max gauge (summaries cannot carry an exact max).
+  for (const auto& [name, snap] : registry.histogramSnapshots()) {
+    const std::string family = familyOf(name).first;
+    std::string block = "# TYPE " + family + " summary\n";
+    const std::pair<const char*, std::uint64_t> quantiles[] = {
+        {"0.5", snap.p50()},
+        {"0.9", snap.p90()},
+        {"0.95", snap.p95()},
+        {"0.99", snap.p99()},
+    };
+    for (const auto& [q, v] : quantiles) {
+      block += family + "{quantile=\"" + q + "\"} " + formatU64(v) + "\n";
+    }
+    block += family + "_sum " + formatU64(snap.sum) + "\n";
+    block += family + "_count " + formatU64(snap.count) + "\n";
+    blocks[family] = std::move(block);
+    blocks[family + "_max"] = "# TYPE " + family + "_max gauge\n" + family +
+                              "_max " + formatU64(snap.max) + "\n";
+  }
+
+  std::string out;
+  for (const auto& [family, block] : blocks) {
+    out += block;
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool writeOpenMetrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << renderOpenMetrics();
+  return static_cast<bool>(out);
+}
+
+}  // namespace locwm::obs

@@ -1,0 +1,43 @@
+// OpenMetrics / Prometheus text exposition of the metrics registry.
+//
+// Every internal dotted metric name maps onto one stable OpenMetrics
+// family name:
+//
+//   "sched.list.nodes_scheduled" -> locwm_sched_list_nodes_scheduled
+//   "rt.lane3.steals"            -> locwm_rt_lane_steals{lane="3"}
+//   "mem.peak_rss_kib"           -> locwm_mem_peak_rss_kib
+//
+// i.e. `locwm_<subsys>_<name>`, dots to underscores, with the per-lane rt
+// metrics folded into one family carrying a `lane` label.  Counters
+// render as counter families (samples carry the `_total` suffix the spec
+// requires), gauges as gauge families, histograms as summary families
+// with `quantile` labels (0.5 / 0.9 / 0.95 / 0.99) plus `_sum`/`_count`
+// and a companion `<family>_max` gauge.  The exposition ends with the
+// mandatory `# EOF` line; scripts/check_metrics.py validates all of this
+// structurally in CI.
+//
+// The trace ring's health is synthesized into the exposition as
+// locwm_obs_trace_recorded_total / locwm_obs_trace_dropped_total /
+// locwm_obs_trace_buffer_bytes, so a scrape sees trace truncation even
+// though the ring is not a registry metric.
+#pragma once
+
+#include <string>
+
+namespace locwm::obs {
+
+/// Renders the full registry (counters, gauges, histograms) plus the
+/// trace-ring health metrics as OpenMetrics text.  Families are emitted
+/// in sorted name order; within a family, samples in sorted label order.
+[[nodiscard]] std::string renderOpenMetrics();
+
+/// Writes renderOpenMetrics() to `path`.  Returns false on I/O failure.
+bool writeOpenMetrics(const std::string& path);
+
+/// Samples process memory into gauges: `mem.rss_kib` and `mem.peak_rss_kib`
+/// from /proc/self/status (VmRSS / VmHWM).  No-op on platforms without
+/// procfs or when obs is disabled.  Called at top-level span boundaries
+/// and before every export so peak RSS is never stale.
+void sampleMemoryGauges();
+
+}  // namespace locwm::obs

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <fstream>
 
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 
 namespace locwm::obs {
 
@@ -20,19 +22,18 @@ std::chrono::steady_clock::time_point traceEpoch() {
   return epoch;
 }
 
-/// Dense thread index for the Chrome "tid" field; assigned on first use.
-std::uint32_t threadIndex() {
-  static std::atomic<std::uint32_t> next{0};
-  thread_local const std::uint32_t index =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return index;
-}
-
 // The innermost live span on this thread, for parent/child attribution.
 thread_local ObsSpan* t_current_span = nullptr;
 thread_local std::uint32_t t_depth = 0;
 
 }  // namespace
+
+std::uint32_t threadIndex() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
 
 std::uint64_t nowNs() noexcept {
   return static_cast<std::uint64_t>(
@@ -73,6 +74,16 @@ std::uint64_t TraceBuffer::totalRecorded() const {
   return total_;
 }
 
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > kCapacity ? total_ - kCapacity : 0;
+}
+
+std::size_t TraceBuffer::bufferBytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.capacity() * sizeof(TraceEvent);
+}
+
 void TraceBuffer::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
@@ -108,6 +119,12 @@ bool TraceBuffer::writeChromeTrace(const std::string& path) const {
   std::ofstream out(path);
   if (!out) {
     return false;
+  }
+  if (const std::uint64_t lost = dropped(); lost > 0) {
+    std::fprintf(stderr,
+                 "obs: trace ring dropped %llu event(s) (capacity %zu); "
+                 "the Chrome trace is truncated to the newest spans\n",
+                 static_cast<unsigned long long>(lost), kCapacity);
   }
   out << chromeTraceJson();
   return static_cast<bool>(out);
@@ -173,6 +190,10 @@ ObsSpan::ObsSpan(const char* name) noexcept : name_(name) {
   t_current_span = this;
   ++t_depth;
   start_ns_ = nowNs();
+  if (eventLogActive()) {
+    EventLog::instance().emitSpanBegin(name_, start_ns_, threadIndex(),
+                                       t_depth - 1);
+  }
 }
 
 ObsSpan::~ObsSpan() {
@@ -189,14 +210,27 @@ ObsSpan::~ObsSpan() {
       TraceEvent{name_, start_ns_, dur, threadIndex(), depth});
   PassTimer::instance().record(name_, dur,
                                dur > child_ns_ ? dur - child_ns_ : 0);
+  if (eventLogActive()) {
+    EventLog::instance().emitSpanEnd(name_, start_ns_, dur, threadIndex(),
+                                     depth);
+  }
+  // A closing top-level span is the natural boundary to refresh the
+  // process-memory gauges so a streaming event log sees per-pass peaks.
+  // Only when a log is attached: the registry's counter snapshots must
+  // stay a pure function of the work performed (see the determinism
+  // test), and RSS is anything but.
+  if (depth == 0 && eventLogActive()) {
+    sampleMemoryGauges();
+  }
 }
 
 std::string statsJson() {
   const std::string metrics = MetricsRegistry::instance().snapshotJson();
-  // Splice the passes array into the metrics object: drop the final "}\n".
+  // Splice the remaining top-level keys into the metrics object: drop the
+  // final "}\n".  Keys render in sorted order — counters, gauges,
+  // histograms (from snapshotJson), then passes, schema_version, trace —
+  // so two snapshots diff cleanly.
   std::string json = metrics.substr(0, metrics.rfind('}'));
-  // snapshotJson() ends the gauges object with "  }\n" or "}"; ensure a
-  // separating comma before the passes key.
   while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
     json.pop_back();
   }
@@ -206,14 +240,22 @@ std::string statsJson() {
   for (const PassStat& s : stats) {
     json += first ? "\n" : ",\n";
     first = false;
-    json += "    {\"name\": " + jsonString(s.name) +
-            ", \"calls\": " + std::to_string(s.calls) +
-            ", \"total_ms\": " +
-            jsonNumber(static_cast<double>(s.total_ns) / 1e6) +
+    json += "    {\"calls\": " + std::to_string(s.calls) +
+            ", \"name\": " + jsonString(s.name) +
             ", \"self_ms\": " +
-            jsonNumber(static_cast<double>(s.self_ns) / 1e6) + "}";
+            jsonNumber(static_cast<double>(s.self_ns) / 1e6) +
+            ", \"total_ms\": " +
+            jsonNumber(static_cast<double>(s.total_ns) / 1e6) + "}";
   }
-  json += first ? "]\n" : "\n  ]\n";
+  json += first ? "],\n" : "\n  ],\n";
+  json += "  \"schema_version\": " + std::to_string(kStatsSchemaVersion) +
+          ",\n";
+  const TraceBuffer& buffer = TraceBuffer::instance();
+  json += "  \"trace\": {\"buffer_bytes\": " +
+          std::to_string(buffer.bufferBytes()) +
+          ", \"dropped\": " + std::to_string(buffer.dropped()) +
+          ", \"recorded\": " + std::to_string(buffer.totalRecorded()) +
+          "}\n";
   json += "}\n";
   return json;
 }

@@ -48,6 +48,15 @@ class TraceBuffer {
   /// Events recorded since the last clear(), including overwritten ones.
   [[nodiscard]] std::uint64_t totalRecorded() const;
 
+  /// Events overwritten (lost from the ring) since the last clear().
+  /// Surfaced as the locwm_obs_trace_dropped_total counter and warned
+  /// about on stderr by writeChromeTrace() — a truncated Chrome trace is
+  /// never silent.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Bytes held by the ring buffer (capacity, not occupancy).
+  [[nodiscard]] std::size_t bufferBytes() const;
+
   void clear();
 
   /// Chrome trace-event JSON (chrome://tracing, Perfetto "open trace").
@@ -111,9 +120,17 @@ class ObsSpan {
 /// epoch (first observability use).
 [[nodiscard]] std::uint64_t nowNs() noexcept;
 
+/// Dense per-process index of the calling thread, assigned on first use.
+/// Shared by the Chrome-trace "tid" field, the histogram shard hash, and
+/// the ndjson event log.
+[[nodiscard]] std::uint32_t threadIndex() noexcept;
+
 /// Writes the combined stats document — metric snapshot plus pass-timer
-/// report — as one JSON object:
-///   {"counters": {...}, "gauges": {...}, "passes": [...]}
+/// report — as one JSON object with keys in sorted order:
+///   {"counters": {...}, "gauges": {...}, "histograms": {...},
+///    "passes": [...], "schema_version": N, "trace": {...}}
+/// Object keys render sorted at every level so two snapshots diff
+/// cleanly; "schema_version" is kStatsSchemaVersion (metrics.h).
 [[nodiscard]] std::string statsJson();
 bool writeStatsJson(const std::string& path);
 

@@ -10,7 +10,7 @@
 #include <string>
 #include <thread>
 
-#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace locwm::rt {
 
@@ -46,6 +46,53 @@ std::size_t envThreads() noexcept {
   return static_cast<std::size_t>(v);
 }
 
+/// Percent of wall time a lane spent executing chunks, out of the time it
+/// was either executing or waiting.  0 when the lane never did either.
+std::int64_t utilizationPct(std::uint64_t busy_ns,
+                            std::uint64_t idle_ns) noexcept {
+  const std::uint64_t total = busy_ns + idle_ns;
+  if (total == 0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>((busy_ns * 100 + total / 2) / total);
+}
+
+/// Publishes one pool's scheduling state as obs gauges.  Gauges, not
+/// counters: each publish overwrites the previous values with the pool's
+/// cumulative state, so repeated publishes never double-count.
+void publishStats(const std::vector<LaneStats>& per_lane,
+                  std::size_t lanes) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("rt.pool.lanes").set(static_cast<std::int64_t>(lanes));
+  LaneStats total;
+  for (std::size_t l = 0; l < per_lane.size(); ++l) {
+    const LaneStats& s = per_lane[l];
+    total.tasks += s.tasks;
+    total.steals += s.steals;
+    total.steal_fails += s.steal_fails;
+    total.parks += s.parks;
+    total.idle_ns += s.idle_ns;
+    total.busy_ns += s.busy_ns;
+    const std::string prefix = "rt.lane" + std::to_string(l);
+    reg.gauge(prefix + ".tasks").set(static_cast<std::int64_t>(s.tasks));
+    reg.gauge(prefix + ".steals").set(static_cast<std::int64_t>(s.steals));
+    reg.gauge(prefix + ".steal_fails")
+        .set(static_cast<std::int64_t>(s.steal_fails));
+    reg.gauge(prefix + ".parks").set(static_cast<std::int64_t>(s.parks));
+    reg.gauge(prefix + ".idle_ns").set(static_cast<std::int64_t>(s.idle_ns));
+    reg.gauge(prefix + ".busy_ns").set(static_cast<std::int64_t>(s.busy_ns));
+    reg.gauge(prefix + ".utilization_pct")
+        .set(utilizationPct(s.busy_ns, s.idle_ns));
+  }
+  reg.gauge("rt.pool.parks").set(static_cast<std::int64_t>(total.parks));
+  reg.gauge("rt.pool.steal_fails")
+      .set(static_cast<std::int64_t>(total.steal_fails));
+  reg.gauge("rt.pool.busy_ns").set(static_cast<std::int64_t>(total.busy_ns));
+  reg.gauge("rt.pool.idle_ns").set(static_cast<std::int64_t>(total.idle_ns));
+  reg.gauge("rt.pool.utilization_pct")
+      .set(utilizationPct(total.busy_ns, total.idle_ns));
+}
+
 }  // namespace
 
 bool inParallelRegion() noexcept { return t_in_parallel_region; }
@@ -68,7 +115,10 @@ struct Pool::Impl {
   struct alignas(64) LaneCounters {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_fails{0};
+    std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> busy_ns{0};
   };
 
   std::size_t lanes = 1;
@@ -90,11 +140,21 @@ struct Pool::Impl {
 
   void workRegion(const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t lane) {
+    const std::uint64_t busy_start = monotonicNs();
+    workRegionInner(fn, lane);
+    counters[lane].busy_ns.fetch_add(monotonicNs() - busy_start,
+                                     std::memory_order_relaxed);
+  }
+
+  void workRegionInner(
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t lane) {
     LaneCounters& mine = counters[lane];
     // Own static block first, then drain the other lanes' leftovers.
     for (std::size_t offset = 0; offset < lanes; ++offset) {
       const std::size_t victim = (lane + offset) % lanes;
       Block& b = blocks[victim];
+      bool claimed_any = false;
       for (;;) {
         if (abort.load(std::memory_order_relaxed)) {
           return;
@@ -103,6 +163,7 @@ struct Pool::Impl {
         if (c >= b.end) {
           break;
         }
+        claimed_any = true;
         try {
           fn(static_cast<std::size_t>(c), lane);
         } catch (...) {
@@ -118,6 +179,9 @@ struct Pool::Impl {
           mine.steals.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      if (offset > 0 && !claimed_any) {
+        mine.steal_fails.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -128,6 +192,7 @@ struct Pool::Impl {
       {
         std::unique_lock<std::mutex> lock(mutex);
         const std::uint64_t idle_start = monotonicNs();
+        counters[lane].parks.fetch_add(1, std::memory_order_relaxed);
         work_cv.wait(lock, [&] { return stop || generation != seen; });
         counters[lane].idle_ns.fetch_add(monotonicNs() - idle_start,
                                          std::memory_order_relaxed);
@@ -214,6 +279,7 @@ void Pool::run(std::size_t chunk_count,
   }
   im.work_cv.notify_all();
 
+  const std::uint64_t region_start = monotonicNs();
   t_in_parallel_region = true;
   im.workRegion(fn, /*lane=*/0);
   t_in_parallel_region = false;
@@ -221,28 +287,24 @@ void Pool::run(std::size_t chunk_count,
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(im.mutex);
+    // Lane 0's wait for quiescence is its idle time.
+    const std::uint64_t wait_start = monotonicNs();
     im.done_cv.wait(lock, [&] { return im.busy_workers == 0; });
+    im.counters[0].idle_ns.fetch_add(monotonicNs() - wait_start,
+                                     std::memory_order_relaxed);
     im.job = nullptr;
     error = im.first_error;
     im.first_error = nullptr;
   }
+  const std::uint64_t region_ns = monotonicNs() - region_start;
 
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::instance();
     reg.counter("rt.pool.regions").add(1);
     reg.counter("rt.pool.tasks").add(totalStats().tasks - tasks_before);
     reg.counter("rt.pool.steals").add(totalStats().steals - steals_before);
-    reg.gauge("rt.pool.lanes").set(static_cast<std::int64_t>(im.lanes));
-    const std::vector<LaneStats> per_lane = laneStats();
-    for (std::size_t l = 0; l < per_lane.size(); ++l) {
-      const std::string prefix = "rt.lane" + std::to_string(l);
-      reg.gauge(prefix + ".tasks")
-          .set(static_cast<std::int64_t>(per_lane[l].tasks));
-      reg.gauge(prefix + ".steals")
-          .set(static_cast<std::int64_t>(per_lane[l].steals));
-      reg.gauge(prefix + ".idle_ns")
-          .set(static_cast<std::int64_t>(per_lane[l].idle_ns));
-    }
+    LOCWM_OBS_HISTOGRAM("rt.pool.region_ns", region_ns);
+    publishStats(laneStats(), im.lanes);
   }
 
   if (error) {
@@ -253,10 +315,13 @@ void Pool::run(std::size_t chunk_count,
 std::vector<LaneStats> Pool::laneStats() const {
   std::vector<LaneStats> out(impl_->lanes);
   for (std::size_t l = 0; l < impl_->lanes; ++l) {
-    out[l].tasks = impl_->counters[l].tasks.load(std::memory_order_relaxed);
-    out[l].steals = impl_->counters[l].steals.load(std::memory_order_relaxed);
-    out[l].idle_ns =
-        impl_->counters[l].idle_ns.load(std::memory_order_relaxed);
+    const Impl::LaneCounters& c = impl_->counters[l];
+    out[l].tasks = c.tasks.load(std::memory_order_relaxed);
+    out[l].steals = c.steals.load(std::memory_order_relaxed);
+    out[l].steal_fails = c.steal_fails.load(std::memory_order_relaxed);
+    out[l].parks = c.parks.load(std::memory_order_relaxed);
+    out[l].idle_ns = c.idle_ns.load(std::memory_order_relaxed);
+    out[l].busy_ns = c.busy_ns.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -266,7 +331,10 @@ LaneStats Pool::totalStats() const {
   for (const LaneStats& l : laneStats()) {
     total.tasks += l.tasks;
     total.steals += l.steals;
+    total.steal_fails += l.steal_fails;
+    total.parks += l.parks;
     total.idle_ns += l.idle_ns;
+    total.busy_ns += l.busy_ns;
   }
   return total;
 }
@@ -307,6 +375,14 @@ Pool& Pool::global() {
     g_pool = std::make_unique<Pool>(resolveLanesLocked());
   }
   return *g_pool;
+}
+
+void publishPoolMetrics() {
+  if (!obs::enabled()) {
+    return;
+  }
+  Pool& pool = Pool::global();
+  publishStats(pool.laneStats(), pool.lanes());
 }
 
 }  // namespace locwm::rt

@@ -66,9 +66,12 @@ void setThreadCount(std::size_t n);
 
 /// Per-lane scheduling statistics (cumulative since pool construction).
 struct LaneStats {
-  std::uint64_t tasks = 0;    ///< chunks executed by this lane
-  std::uint64_t steals = 0;   ///< chunks claimed from another lane's block
-  std::uint64_t idle_ns = 0;  ///< time spent waiting for work
+  std::uint64_t tasks = 0;        ///< chunks executed by this lane
+  std::uint64_t steals = 0;       ///< chunks claimed from another lane's block
+  std::uint64_t steal_fails = 0;  ///< victim blocks visited but found empty
+  std::uint64_t parks = 0;        ///< times the lane parked waiting for work
+  std::uint64_t idle_ns = 0;      ///< time spent waiting for work
+  std::uint64_t busy_ns = 0;      ///< time spent inside parallel regions
 };
 
 /// Fixed-size work-stealing thread pool.  Lane 0 is the calling thread;
@@ -114,6 +117,13 @@ inline constexpr std::size_t kDefaultGrain = 256;
 /// True while the current thread is executing inside a Pool task; used to
 /// run nested parallel regions inline.
 [[nodiscard]] bool inParallelRegion() noexcept;
+
+/// Publishes the global pool's scheduling state into the obs registry
+/// ("rt.lane<i>.*" gauges, "rt.pool.*" totals, per-lane utilization).
+/// Pool::run() publishes after every non-inline region; exporters call
+/// this before rendering so small runs whose loops all ran inline still
+/// expose the (all-zero) lane gauges.  No-op when obs is disabled.
+void publishPoolMetrics();
 
 /// Element-wise parallel loop: fn(i) for every i in [begin, end).
 /// `grain` elements per chunk; boundaries depend only on the range and

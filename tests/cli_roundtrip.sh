@@ -24,14 +24,31 @@ OUT=$("$LW" detect published.cdfg core.sched cert.wmc.0 -i "CI Author" -n it-1 -
 test -z "$OUT"
 
 # ...and with observability on: the trace is Chrome trace-event JSON and
-# the stats snapshot carries counters and pass timings.
+# the stats snapshot carries counters, pass timings, and a schema stamp.
 "$LW" detect published.cdfg core.sched cert.wmc.0 -i "CI Author" -n it-1 \
       --trace trace.json --stats stats.json --report 2> report.txt
 grep -q '"traceEvents"' trace.json
 grep -q '"counters"' stats.json
 grep -q '"passes"' stats.json
+grep -q '"schema_version"' stats.json
 grep -q 'core.sched_wm' stats.json
 grep -q 'calls' report.txt
+
+# Streaming telemetry: --metrics writes OpenMetrics text (EOF-terminated,
+# with at least one latency summary), --events writes ndjson with dense
+# sequence numbers starting at the meta line.
+"$LW" detect published.cdfg core.sched cert.wmc.0 -i "CI Author" -n it-1 \
+      --metrics metrics.txt --events events.ndjson
+grep -q '^# EOF$' metrics.txt
+grep -q '^# TYPE locwm_' metrics.txt
+grep -q 'quantile="0.99"' metrics.txt
+grep -q 'locwm_mem_peak_rss_kib' metrics.txt
+head -1 events.ndjson | grep -q '^{"seq":0,.*"type":"meta"'
+grep -q '"type":"span_end"' events.ndjson
+
+# The version command reports the build provenance triple.
+"$LW" --version | grep -q '^locwm '
+"$LW" version | grep -q '^locwm '
 
 # Register-binding round trip.
 "$LW" schedule published.cdfg -o pub.sched
@@ -103,9 +120,14 @@ grep -Eq 'LW70[0-9]' tamper.out
 grep -q '"version": "2.1.0"' lint.sarif
 grep -q '"version": "2.1.0"' diff.sarif
 
-# ...validated structurally when python3 and the repo checkout are around.
+# ...validated structurally when python3 and the repo checkout are around,
+# as is the OpenMetrics exposition (required families per ISSUE 7).
 if [ -n "$SRC" ] && command -v python3 > /dev/null 2>&1; then
   python3 "$SRC/scripts/check_sarif.py" lint.sarif diff.sarif
+  python3 "$SRC/scripts/check_metrics.py" metrics.txt \
+      --require locwm_rt_lane_utilization_pct \
+      --require locwm_mem_peak_rss_kib \
+      --min-summaries 1
 fi
 
 echo "cli round trip OK"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# ISSUE 7 acceptance: `locwm lint --metrics m.txt --events e.ndjson` over
+# the example artifact chain emits a valid OpenMetrics exposition (per
+# scripts/check_metrics.py) with at least one latency summary, the
+# per-lane runtime gauges, and the peak-RSS gauge — plus a well-formed
+# ndjson event stream.
+#   $1 = path to the locwm binary
+#   $2 = repo source dir
+#   $3 = python3 interpreter
+set -e
+LW="$1"
+SRC="$2"
+PY="$3"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+"$LW" lint --metrics "$DIR/metrics.txt" --events "$DIR/events.ndjson" \
+      "$SRC/examples/artifacts/marked.cdfg" \
+      "$SRC/examples/artifacts/schedule.txt" \
+      "$SRC/examples/artifacts/binding.txt" \
+      "$SRC/examples/artifacts/library.tmlib" \
+      "$SRC/examples/artifacts/cover.txt" \
+      "$SRC/examples/artifacts/sched.cert" \
+      "$SRC/examples/artifacts/reg.cert" \
+      "$SRC/examples/artifacts/tm.cert"
+
+"$PY" "$SRC/scripts/check_metrics.py" "$DIR/metrics.txt" \
+    --require locwm_rt_lane_utilization_pct \
+    --require locwm_mem_peak_rss_kib \
+    --require locwm_check_lint_file_ns \
+    --min-summaries 1
+
+# The event stream: dense seq from 0, every line stamped with the schema
+# version, and the meta line leads with the build provenance.
+head -1 "$DIR/events.ndjson" | grep -q '"type":"meta"'
+head -1 "$DIR/events.ndjson" | grep -q '"git_describe"'
+SEQS=$(sed 's/^{"seq":\([0-9]*\),.*/\1/' "$DIR/events.ndjson")
+WANT=$(seq 0 $(($(echo "$SEQS" | wc -l) - 1)))
+test "$SEQS" = "$WANT"
+LINES=$(wc -l < "$DIR/events.ndjson")
+STAMPED=$(grep -c '"schema_version":' "$DIR/events.ndjson")
+test "$LINES" -eq "$STAMPED"
+
+echo "metrics export OK ($LINES events)"

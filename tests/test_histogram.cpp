@@ -1,0 +1,202 @@
+// obs::Histogram — log-linear bucket geometry, quantile semantics, and
+// the determinism contract: the merged snapshot is a pure function of the
+// multiset of recorded values, byte-identical for any thread count or
+// interleaving.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace {
+
+using locwm::obs::Histogram;
+using locwm::obs::HistogramSnapshot;
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override { locwm::obs::setEnabled(true); }
+  void TearDown() override {
+    locwm::obs::MetricsRegistry::instance().reset();
+    locwm::obs::setEnabled(false);
+  }
+};
+
+TEST_F(HistogramTest, BucketGeometry) {
+  // Values below one sub-bucket span map onto themselves (exact).
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucketIndex(v), v);
+    EXPECT_EQ(Histogram::bucketUpperBound(v), v);
+  }
+  // First bucket of the first split octave.
+  EXPECT_EQ(Histogram::bucketIndex(16), Histogram::kSubBuckets);
+  // Indices never decrease as values grow, and every value is at or
+  // below its bucket's upper bound with at most 1/16 relative error.
+  std::size_t last = 0;
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 40); v = v * 2 + 3) {
+    const std::size_t idx = Histogram::bucketIndex(v);
+    EXPECT_GE(idx, last) << v;
+    last = idx;
+    const std::uint64_t hi = Histogram::bucketUpperBound(idx);
+    EXPECT_GE(hi, v);
+    EXPECT_LE(hi - v, v / Histogram::kSubBuckets + 1) << v;
+  }
+}
+
+TEST_F(HistogramTest, OverflowBucketCatchesHugeValues) {
+  EXPECT_EQ(Histogram::bucketIndex(std::uint64_t{1} << 40),
+            Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}),
+            Histogram::kOverflowBucket);
+  // One bucket below the cap is still a regular bucket.
+  EXPECT_LT(Histogram::bucketIndex((std::uint64_t{1} << 40) - 1),
+            Histogram::kOverflowBucket);
+
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  h.record(7);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.max, ~std::uint64_t{0});
+  EXPECT_EQ(snap.buckets[Histogram::kOverflowBucket], 1u);
+  // The overflow bucket has no finite bound; quantiles clamp to max.
+  EXPECT_EQ(snap.p99(), ~std::uint64_t{0});
+  EXPECT_EQ(snap.p50(), 7u);
+}
+
+TEST_F(HistogramTest, EmptySnapshotRendersZeros) {
+  const Histogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.quantile(0.99), 0u);
+  EXPECT_EQ(snap.render(),
+            "count=0 sum=0 max=0 p50=0 p90=0 p95=0 p99=0 buckets=[]");
+}
+
+TEST_F(HistogramTest, QuantilesAreNearestRankUpperBounds) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.record(v * 1000);  // 1000, 2000, ..., 100000
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.max, 100000u);
+  // Each quantile's bucket bound is >= the true ranked value and within
+  // the 1/16 relative-error guarantee.
+  const std::pair<double, std::uint64_t> cuts[] = {
+      {0.50, 50000}, {0.90, 90000}, {0.95, 95000}, {0.99, 99000}};
+  for (const auto& [q, truth] : cuts) {
+    const std::uint64_t est = snap.quantile(q);
+    EXPECT_GE(est, truth) << q;
+    EXPECT_LE(est, truth + truth / Histogram::kSubBuckets + 1) << q;
+  }
+  EXPECT_EQ(snap.quantile(1.0), 100000u);
+}
+
+/// Records the same multiset of values from `threads` writers (disjoint
+/// interleaved slices) and returns the rendered snapshot.
+std::string recordAcross(unsigned threads) {
+  Histogram h;
+  constexpr std::uint64_t kValues = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&h, t, threads] {
+      for (std::uint64_t v = t; v < kValues; v += threads) {
+        // A spread of magnitudes: v^2 mod a large range plus small values.
+        h.record((v * v) % 3000000007ULL);
+        h.record(v % 17);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  return h.snapshot().render();
+}
+
+// The flagship property: thread count never changes the merged snapshot.
+TEST_F(HistogramTest, SnapshotByteIdenticalAcrossThreadCounts) {
+  const std::string serial = recordAcross(1);
+  EXPECT_EQ(recordAcross(2), serial);
+  EXPECT_EQ(recordAcross(8), serial);
+  EXPECT_NE(serial.find("count=40000"), std::string::npos) << serial;
+}
+
+TEST_F(HistogramTest, ConcurrentRecordingIsLossless) {
+  Histogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * (kPerThread * (kPerThread - 1) / 2));
+  EXPECT_EQ(snap.max, kPerThread - 1);
+}
+
+TEST_F(HistogramTest, ResetZeroesEveryShard) {
+  Histogram h;
+  h.record(12345);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+#if LOCWM_OBS_ENABLED
+
+TEST_F(HistogramTest, ScopedLatencyRecordsElapsedNanoseconds) {
+  auto& h = locwm::obs::MetricsRegistry::instance().histogram(
+      "test.latency.probe_ns");
+  {
+    LOCWM_OBS_LATENCY("test.latency.probe_ns");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sink = sink + i;
+    }
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GT(snap.max, 0u);
+}
+
+TEST_F(HistogramTest, ScopedLatencyInertWhenDisabled) {
+  auto& h = locwm::obs::MetricsRegistry::instance().histogram(
+      "test.latency.ghost_ns");
+  locwm::obs::setEnabled(false);
+  { LOCWM_OBS_LATENCY("test.latency.ghost_ns"); }
+  locwm::obs::setEnabled(true);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(HistogramTest, RegistryRendersHistogramsIntoStatsJson) {
+  LOCWM_OBS_HISTOGRAM("test.json.hist_ns", 1000);
+  LOCWM_OBS_HISTOGRAM("test.json.hist_ns", 2000);
+  const std::string json =
+      locwm::obs::MetricsRegistry::instance().snapshotJson();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.hist_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+}
+
+#endif  // LOCWM_OBS_ENABLED
+
+}  // namespace

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -13,7 +16,9 @@
 #include "bench/bench_util.h"
 #include "json_checker.h"
 #include "core/sched_wm.h"
+#include "obs/events.h"
 #include "obs/obs.h"
+#include "obs/openmetrics.h"
 #include "sched/list_scheduler.h"
 #include "sched/timeframes.h"
 #include "workloads/hyper.h"
@@ -198,6 +203,148 @@ TEST_F(ObsTest, ConcurrentSpansAndCountersAreRaceFreeAndLossless) {
     }
   }
   EXPECT_EQ(counted, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST_F(ObsTest, StatsJsonCarriesSchemaVersionAndSortedKeys) {
+  LOCWM_OBS_COUNT("test.schema.hits", 1);
+  const std::string json = obs::statsJson();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+  EXPECT_NE(json.find("\"schema_version\": " +
+                      std::to_string(obs::kStatsSchemaVersion)),
+            std::string::npos)
+      << json;
+  // Top-level keys render in sorted order so snapshots diff cleanly.
+  const char* keys[] = {"\"counters\"", "\"gauges\"", "\"histograms\"",
+                        "\"passes\"", "\"schema_version\"", "\"trace\""};
+  std::size_t last = 0;
+  for (const char* key : keys) {
+    const std::size_t at = json.find(key);
+    ASSERT_NE(at, std::string::npos) << key << " missing from " << json;
+    EXPECT_GT(at, last) << key << " out of order in " << json;
+    last = at;
+  }
+}
+
+TEST_F(ObsTest, TraceBufferCountsDroppedEvents) {
+  auto& buf = obs::TraceBuffer::instance();
+  EXPECT_EQ(buf.dropped(), 0u);
+  for (std::size_t i = 0; i < obs::TraceBuffer::kCapacity + 25; ++i) {
+    buf.record(obs::TraceEvent{"e", i, 1, 0, 0});
+  }
+  EXPECT_EQ(buf.dropped(), 25u);
+  EXPECT_GT(buf.bufferBytes(), 0u);
+  const std::string json = obs::statsJson();
+  EXPECT_NE(json.find("\"dropped\": 25"), std::string::npos) << json;
+}
+
+TEST_F(ObsTest, OpenMetricsRenderIsStructurallyValid) {
+  LOCWM_OBS_COUNT("test.om.events", 3);
+  LOCWM_OBS_GAUGE_SET("test.om.level", 7);
+  LOCWM_OBS_HISTOGRAM("test.om.lat_ns", 1000);
+  LOCWM_OBS_HISTOGRAM("test.om.lat_ns", 2000);
+  const std::string text = obs::renderOpenMetrics();
+  // Counters carry _total; gauges do not; histograms render as summaries
+  // with the quantile ladder and a companion _max gauge.
+  EXPECT_NE(text.find("# TYPE locwm_test_om_events counter\n"
+                      "locwm_test_om_events_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE locwm_test_om_level gauge\n"
+                      "locwm_test_om_level 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE locwm_test_om_lat_ns summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("locwm_test_om_lat_ns{quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("locwm_test_om_lat_ns_sum 3000"), std::string::npos);
+  EXPECT_NE(text.find("locwm_test_om_lat_ns_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE locwm_test_om_lat_ns_max gauge"),
+            std::string::npos);
+  // Trace-ring health is always exposed; exposition terminates with # EOF.
+  EXPECT_NE(text.find("locwm_obs_trace_recorded_total "),
+            std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(ObsTest, OpenMetricsFoldsLaneMetricsIntoLabelledFamilies) {
+  LOCWM_OBS_GAUGE_SET("rt.lane0.tasks", 5);
+  LOCWM_OBS_GAUGE_SET("rt.lane12.tasks", 9);
+  const std::string text = obs::renderOpenMetrics();
+  EXPECT_NE(text.find("locwm_rt_lane_tasks{lane=\"0\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("locwm_rt_lane_tasks{lane=\"12\"} 9"),
+            std::string::npos)
+      << text;
+  // One family declaration covers both samples.
+  const std::size_t first = text.find("# TYPE locwm_rt_lane_tasks gauge");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE locwm_rt_lane_tasks gauge", first + 1),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, EventLogStreamsNdjsonWithMonotonicSeq) {
+  const std::string path = ::testing::TempDir() + "obs_events.ndjson";
+  ASSERT_TRUE(obs::EventLog::instance().open(path));
+  EXPECT_TRUE(obs::eventLogActive());
+  {
+    LOCWM_OBS_SPAN("test.events.outer");
+    { LOCWM_OBS_SPAN("test.events.inner"); }
+  }
+  LOCWM_OBS_COUNT("test.events.hits", 4);
+  LOCWM_OBS_HISTOGRAM("test.events.lat_ns", 500);
+  obs::EventLog::instance().emitMetricsSnapshot();
+  obs::EventLog::instance().emitMetricsSnapshot();  // deltas go to zero
+  obs::EventLog::instance().close();
+  EXPECT_FALSE(obs::eventLogActive());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::uint64_t expected_seq = 0;
+  bool saw_meta = false;
+  bool saw_begin = false;
+  bool saw_end = false;
+  bool saw_delta4 = false;
+  bool saw_delta0 = false;
+  bool saw_histogram = false;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonChecker(line).parse()) << line;
+    // Sequence numbers are dense and monotonic from 0.
+    const std::string want =
+        "{\"seq\":" + std::to_string(expected_seq) + ",";
+    EXPECT_EQ(line.substr(0, want.size()), want) << line;
+    EXPECT_NE(line.find("\"schema_version\":" +
+                        std::to_string(obs::kStatsSchemaVersion)),
+              std::string::npos)
+        << line;
+    ++expected_seq;
+    saw_meta |= line.find("\"type\":\"meta\"") != std::string::npos;
+    saw_begin |=
+        line.find("\"type\":\"span_begin\",\"name\":\"test.events.inner\"") !=
+        std::string::npos;
+    saw_end |=
+        line.find("\"type\":\"span_end\",\"name\":\"test.events.outer\"") !=
+        std::string::npos;
+    if (line.find("\"name\":\"test.events.hits\"") != std::string::npos) {
+      saw_delta4 |= line.find("\"delta\":4") != std::string::npos;
+      saw_delta0 |= line.find("\"delta\":0") != std::string::npos;
+    }
+    saw_histogram |=
+        line.find("\"type\":\"histogram\",\"name\":\"test.events.lat_ns\"") !=
+        std::string::npos;
+  }
+  EXPECT_GE(expected_seq, 8u);
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_delta4);
+  EXPECT_TRUE(saw_delta0);
+  EXPECT_TRUE(saw_histogram);
+  std::remove(path.c_str());
 }
 
 #endif  // LOCWM_OBS_ENABLED

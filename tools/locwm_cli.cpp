@@ -16,7 +16,9 @@
 // Observability: `--trace FILE` writes a Chrome trace-event JSON of every
 // pass span (open in chrome://tracing or https://ui.perfetto.dev),
 // `--stats FILE` writes the counter/gauge/pass-timer snapshot as JSON,
-// `--report` prints the per-pass wall-time table to stderr at exit.
+// `--metrics FILE` writes an OpenMetrics text exposition, `--events FILE`
+// streams ndjson telemetry events, `--report` prints the per-pass
+// wall-time table to stderr at exit.  See docs/OBSERVABILITY.md.
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +30,19 @@
 #include <utility>
 #include <vector>
 
+#if __has_include(<locwm/build_info.h>)
+#include <locwm/build_info.h>
+#endif
+#ifndef LOCWM_VERSION
+#define LOCWM_VERSION "unknown"
+#endif
+#ifndef LOCWM_GIT_DESCRIBE
+#define LOCWM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LOCWM_BUILD_TYPE
+#define LOCWM_BUILD_TYPE "unknown"
+#endif
+
 #include "cdfg/analysis.h"
 #include "cdfg/dot.h"
 #include "cdfg/io.h"
@@ -36,7 +51,9 @@
 #include "check/pass_audit.h"
 #include "core/certificate_io.h"
 #include "core/tm_wm.h"
+#include "obs/events.h"
 #include "obs/obs.h"
+#include "obs/openmetrics.h"
 #include "tm/cover.h"
 #include "tm/library_io.h"
 #include "core/pc.h"
@@ -116,12 +133,19 @@ void note(const char* format, ...) {
       "                                 certificates attribute the extra\n"
       "                                 edges (LW7xx diagnostics)\n"
       "\n"
+      "  version                        print version and build info\n"
+      "\n"
       "global options (any command):\n"
       "  -q, --quiet                    suppress informational output\n"
       "  --trace FILE                   write Chrome trace-event JSON\n"
       "                                 (chrome://tracing / Perfetto)\n"
       "  --stats FILE                   write counters/gauges/pass times\n"
       "                                 as JSON\n"
+      "  --metrics FILE                 write an OpenMetrics/Prometheus\n"
+      "                                 text exposition at exit\n"
+      "  --events FILE                  stream telemetry events (span\n"
+      "                                 begin/end, counters, histograms)\n"
+      "                                 as newline-delimited JSON\n"
       "  --report                       print per-pass wall-time table to\n"
       "                                 stderr at exit\n"
       "  --threads N                    worker threads for the parallel\n"
@@ -661,7 +685,17 @@ int cmdDiff(const Args& args) {
   return fail ? 1 : 0;
 }
 
+int cmdVersion() {
+  std::printf("locwm %s (%s, %s)\n", LOCWM_VERSION, LOCWM_GIT_DESCRIBE,
+              LOCWM_BUILD_TYPE);
+  return 0;
+}
+
 int runCommand(const std::string& cmd, const Args& args) {
+  LOCWM_OBS_LATENCY("cli.command_ns");
+  if (cmd == "version" || cmd == "--version") {
+    return cmdVersion();
+  }
   if (cmd == "gen") {
     return cmdGen(args);
   }
@@ -729,9 +763,14 @@ int main(int argc, char** argv) {
   }
   const std::optional<std::string> trace_path = args.get("--trace");
   const std::optional<std::string> stats_path = args.get("--stats");
+  const std::optional<std::string> metrics_path = args.get("--metrics");
+  const std::optional<std::string> events_path = args.get("--events");
   const bool report = args.has("--report");
-  if (trace_path || stats_path || report) {
+  if (trace_path || stats_path || metrics_path || events_path || report) {
     obs::setEnabled(true);
+  }
+  if (events_path && !obs::EventLog::instance().open(*events_path)) {
+    die("cannot write events file '" + *events_path + "'");
   }
   check::installPassAuditFromEnv();
 
@@ -742,12 +781,25 @@ int main(int argc, char** argv) {
     die(e.what());
   }
 
+  if (metrics_path || events_path) {
+    // Publish late-bound state before export: pool gauges even when every
+    // region ran inline, and a final memory sample.
+    rt::publishPoolMetrics();
+    obs::sampleMemoryGauges();
+  }
   if (trace_path &&
       !obs::TraceBuffer::instance().writeChromeTrace(*trace_path)) {
     die("cannot write trace file '" + *trace_path + "'");
   }
   if (stats_path && !obs::writeStatsJson(*stats_path)) {
     die("cannot write stats file '" + *stats_path + "'");
+  }
+  if (metrics_path && !obs::writeOpenMetrics(*metrics_path)) {
+    die("cannot write metrics file '" + *metrics_path + "'");
+  }
+  if (events_path) {
+    obs::EventLog::instance().emitMetricsSnapshot();
+    obs::EventLog::instance().close();
   }
   if (report) {
     std::fprintf(stderr, "threads: %zu effective (of %zu hardware)\n",

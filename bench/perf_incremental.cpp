@@ -1,0 +1,220 @@
+// PERF-INCR — the payoff table of check::delta (docs/STATIC_ANALYSIS.md):
+// re-linting a large design after a small edit, incremental engine vs the
+// one-shot oracle.  A healthy random DFG (high output fraction — few
+// findings, so neither side hides in report rendering) takes `--batches`
+// watermark-style edits of `--edits` temporal edges each (alternating
+// add / remove of the same edges, confined to the design's tail quarter);
+// after every batch both the resident engine and a full
+// checkSemantics + renderText run produce the report, the texts are
+// compared byte-for-byte, and both wall times are recorded.  The summary
+// row carries the aggregate speedup and the ISSUE 8 acceptance flag
+// (`meets_target`: >= 50x at 50k ops / 10-edge batches).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "cdfg/delta.h"
+#include "cdfg/graph.h"
+#include "cdfg/prng.h"
+#include "cdfg/random_dfg.h"
+#include "check/incremental.h"
+#include "check/rules.h"
+#include "rt/rt.h"
+
+namespace {
+
+using namespace locwm;
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  const auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Process peak resident set size in MiB (-1 when unavailable).
+double peakRssMib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return -1.0;
+  }
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+std::size_t sizeFlag(int argc, char** argv, const char* flag,
+                     std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// A large, healthy design: every fanout-free value is exported as an
+/// output, so LW603/604 stay rare and neither side of the comparison
+/// hides in report rendering.
+cdfg::Cdfg buildGraph(std::size_t ops, std::uint64_t seed) {
+  cdfg::RandomDfgOptions options;
+  options.operations = ops;
+  options.inputs = ops / 64 + 4;
+  options.width = ops / 128 + 8;
+  options.output_fraction = 1.0;
+  cdfg::Cdfg g = cdfg::randomDfg(options, seed);
+  std::size_t out_index = 0;
+  for (const cdfg::NodeId v : g.allNodes()) {
+    if (g.outEdges(v).empty() && g.node(v).kind != cdfg::OpKind::kOutput) {
+      const cdfg::NodeId o = g.addNode(
+          cdfg::OpKind::kOutput, "xout" + std::to_string(out_index++));
+      g.addEdge(v, o, cdfg::EdgeKind::kData);
+    }
+  }
+  return g;
+}
+
+/// `edits` distinct forward temporal edges among the tail quarter of the
+/// id space (ids are topological by construction, so the graph stays
+/// acyclic and the dirty region stays small — the watermarking edit
+/// pattern the engine is built for).
+std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> pickEdges(
+    const cdfg::Cdfg& g, std::size_t edits, std::uint64_t seed) {
+  cdfg::SplitMix64 rng(seed ^ 0xD1F0E345u);
+  std::vector<cdfg::NodeId> pool;  // tail quarter of the computation nodes
+  for (const cdfg::NodeId v : g.allNodes()) {
+    if (g.node(v).kind != cdfg::OpKind::kOutput) {
+      pool.push_back(v);
+    }
+  }
+  pool.erase(pool.begin(),
+             pool.begin() + static_cast<std::ptrdiff_t>(
+                                pool.size() - pool.size() / 4));
+  std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> picked;
+  while (picked.size() < edits) {
+    const cdfg::NodeId a = pool[rng.below(pool.size())];
+    const cdfg::NodeId b = pool[rng.below(pool.size())];
+    if (a.value() >= b.value() ||
+        g.hasEdge(a, b, cdfg::EdgeKind::kTemporal)) {
+      continue;
+    }
+    bool dup = false;
+    for (const auto& [pa, pb] : picked) {
+      dup = dup || (pa == a && pb == b);
+    }
+    if (!dup) {
+      picked.emplace_back(a, b);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t seed = bench::seedArg(argc, argv, /*fallback=*/7);
+  const std::size_t ops = sizeFlag(argc, argv, "--ops", 50000);
+  const std::size_t batches = sizeFlag(argc, argv, "--batches", 8);
+  const std::size_t edits = sizeFlag(argc, argv, "--edits", 10);
+  bench::JsonReport json("perf_incremental", argc, argv);
+  bench::banner("PERF-INCR: incremental re-lint vs full recompute",
+                "check::delta engine (docs/STATIC_ANALYSIS.md)");
+
+  cdfg::Cdfg g = buildGraph(ops, seed);
+  const std::size_t edge_count = g.edgeCount();
+  const auto edges = pickEdges(g, edits, seed);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  check::delta::IncrementalAnalysis engine(std::move(g), "bench");
+  static_cast<void>(engine.semanticReportText());
+  const double init_ms = millisSince(t0);
+  const std::size_t findings =
+      engine.semanticReport().diagnostics().size();
+
+  std::printf("%zu ops, %zu edges, %zu finding(s); %zu batch(es) of %zu "
+              "temporal-edge edit(s), %zu thread(s)\n\n",
+              engine.graph().nodeCount(), edge_count, findings, batches,
+              edits, rt::threadCount());
+  std::printf("%7s %7s %12s %12s %9s\n", "batch", "kind", "incr (ms)",
+              "full (ms)", "speedup");
+  bench::rule(52);
+
+  bool identical = true;
+  double inc_total = 0.0;
+  double full_total = 0.0;
+  std::vector<double> inc_samples;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const bool adding = (b % 2) == 0;
+    cdfg::EditDelta delta;
+    for (const auto& [src, dst] : edges) {
+      delta.ops.push_back(
+          adding ? cdfg::EditOp::addEdge(src, dst, cdfg::EdgeKind::kTemporal)
+                 : cdfg::EditOp::removeEdge(src, dst,
+                                            cdfg::EdgeKind::kTemporal));
+    }
+
+    const auto ti = std::chrono::steady_clock::now();
+    const check::delta::DeltaStats stats = engine.applyDelta(delta);
+    const std::string& inc_text = engine.semanticReportText();
+    const double inc_ms = millisSince(ti);
+
+    const auto tf = std::chrono::steady_clock::now();
+    const check::Report oracle =
+        check::checkSemantics(engine.graph(), engine.artifact());
+    const std::string full_text = oracle.renderText();
+    const double full_ms = millisSince(tf);
+
+    identical = identical && (inc_text == full_text);
+    inc_total += inc_ms;
+    full_total += full_ms;
+    inc_samples.push_back(inc_ms);
+    std::printf("%7zu %7s %12.3f %12.3f %8.1fx  lw601 %zu nodes %zu%s%s\n",
+                b, adding ? "add" : "remove", inc_ms, full_ms,
+                inc_ms > 0 ? full_ms / inc_ms : 0.0, stats.lw601_evals,
+                stats.node_evals, stats.ranks_rebuilt ? " ranks" : "",
+                stats.report_rebuilt ? " report" : "");
+  }
+
+  const double speedup = inc_total > 0 ? full_total / inc_total : 0.0;
+  const bool meets_target = identical && speedup >= 50.0;
+  bench::rule(52);
+  std::printf("init (full analysis)   %10.3f ms\n", init_ms);
+  std::printf("incremental total      %10.3f ms\n", inc_total);
+  std::printf("full-recompute total   %10.3f ms\n", full_total);
+  std::printf("aggregate speedup      %10.1fx   (target >= 50x: %s)\n",
+              speedup, meets_target ? "met" : "MISSED");
+  std::printf("reports byte-identical %10s\n", identical ? "yes" : "NO");
+  std::printf("peak RSS %.1f MiB\n", peakRssMib());
+
+  json.row({{"ops", static_cast<std::uint64_t>(engine.graph().nodeCount())},
+            {"edges", static_cast<std::uint64_t>(edge_count)},
+            {"seed", seed},
+            {"threads", static_cast<std::uint64_t>(rt::threadCount())},
+            {"batches", static_cast<std::uint64_t>(batches)},
+            {"edits", static_cast<std::uint64_t>(edits)},
+            {"findings", static_cast<std::uint64_t>(findings)},
+            {"init_ms", init_ms},
+            {"inc_total_ms", inc_total},
+            {"full_total_ms", full_total},
+            {"speedup", speedup},
+            {"identical", identical},
+            {"meets_target", meets_target},
+            {"p50_ms", bench::percentile(inc_samples, 0.50)},
+            {"p95_ms", bench::percentile(inc_samples, 0.95)},
+            {"p99_ms", bench::percentile(inc_samples, 0.99)},
+            {"peak_rss_mib", peakRssMib()}});
+  return (identical && (ops < 50000 || meets_target)) ? 0 : 1;
+}

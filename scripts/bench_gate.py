@@ -83,6 +83,27 @@ CONFIG = {
             "p99_ms": {"kind": "lower_better", "tol": WALL_TOL},
         },
     },
+    "perf_incremental": {
+        "key": ("ops",),
+        "metrics": {
+            "seed": {"kind": "exact"},
+            "threads": {"kind": "exact"},
+            "batches": {"kind": "exact"},
+            "edits": {"kind": "exact"},
+            "edges": {"kind": "exact"},
+            "findings": {"kind": "exact"},
+            # The ISSUE 8 acceptance invariants: byte-identical reports
+            # and the >= 50x re-lint speedup must never regress silently.
+            "identical": {"kind": "exact"},
+            "meets_target": {"kind": "exact"},
+            "init_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "inc_total_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "full_total_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "p50_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "p95_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "p99_ms": {"kind": "lower_better", "tol": WALL_TOL},
+        },
+    },
 }
 
 

@@ -27,10 +27,16 @@ CsrView::CsrView(const Cdfg& g) {
     kinds[v] = static_cast<std::uint8_t>(node_tab[v].kind);
   }
 
-  // Counting sort by (node, kind).  Pass 1: segment sizes, stored one slot
-  // ahead so the exclusive prefix sum can run in place.
+  // Counting sort by (node, kind) over the LIVE edges — the edge table may
+  // carry tombstones (graph.h removal semantics).  Pass 1: segment sizes,
+  // stored one slot ahead so the exclusive prefix sum can run in place.
   const std::vector<Edge>& edge_tab = g.edges();
-  for (const Edge& ed : edge_tab) {
+  const std::size_t table = g.edgeTableSize();
+  for (std::size_t id = 0; id < table; ++id) {
+    if (!g.edgeAlive(EdgeId(static_cast<std::uint32_t>(id)))) {
+      continue;
+    }
+    const Edge& ed = edge_tab[id];
     const auto k = static_cast<std::size_t>(ed.kind);
     ++out_off[std::size_t{3} * ed.src.value() + k + 1];
     ++in_off[std::size_t{3} * ed.dst.value() + k + 1];
@@ -45,7 +51,10 @@ CsrView::CsrView(const Cdfg& g) {
   // builder accessors produce.  Cursors start at the segment offsets.
   std::vector<std::uint32_t> out_cur(out_off, out_off + off_words - 1);
   std::vector<std::uint32_t> in_cur(in_off, in_off + off_words - 1);
-  for (std::size_t id = 0; id < e; ++id) {
+  for (std::size_t id = 0; id < table; ++id) {
+    if (!g.edgeAlive(EdgeId(static_cast<std::uint32_t>(id)))) {
+      continue;
+    }
     const Edge& ed = edge_tab[id];
     const auto k = static_cast<std::size_t>(ed.kind);
     const std::uint32_t o = out_cur[std::size_t{3} * ed.src.value() + k]++;

@@ -1,0 +1,172 @@
+#include "cdfg/delta.h"
+
+#include <algorithm>
+
+#include "cdfg/error.h"
+
+namespace locwm::cdfg {
+
+std::string_view editOpKindName(EditOpKind kind) noexcept {
+  switch (kind) {
+    case EditOpKind::kAddNode:
+      return "add-node";
+    case EditOpKind::kRemoveNode:
+      return "remove-node";
+    case EditOpKind::kAddEdge:
+      return "add-edge";
+    case EditOpKind::kRemoveEdge:
+      return "remove-edge";
+  }
+  return "?";
+}
+
+EditOp EditOp::addNode(OpKind op, std::string name) {
+  EditOp e;
+  e.kind = EditOpKind::kAddNode;
+  e.op_kind = op;
+  e.name = std::move(name);
+  return e;
+}
+
+EditOp EditOp::removeNode(NodeId node) {
+  EditOp e;
+  e.kind = EditOpKind::kRemoveNode;
+  e.node = node;
+  return e;
+}
+
+EditOp EditOp::addEdge(NodeId src, NodeId dst, EdgeKind kind) {
+  EditOp e;
+  e.kind = EditOpKind::kAddEdge;
+  e.src = src;
+  e.dst = dst;
+  e.edge_kind = kind;
+  return e;
+}
+
+EditOp EditOp::removeEdge(NodeId src, NodeId dst, EdgeKind kind) {
+  EditOp e;
+  e.kind = EditOpKind::kRemoveEdge;
+  e.src = src;
+  e.dst = dst;
+  e.edge_kind = kind;
+  return e;
+}
+
+void CsrDelta::addEdge(EdgeId id, const Edge& e) {
+  out_add_[e.src.value()].push_back(AddedHalfEdge{e.dst, id, e.kind});
+  in_add_[e.dst.value()].push_back(AddedHalfEdge{e.src, id, e.kind});
+  ++overlay_;
+}
+
+void CsrDelta::removeEdge(EdgeId id, const Edge& e) {
+  const auto out_it = out_add_.find(e.src.value());
+  if (out_it != out_add_.end()) {
+    auto& outs = out_it->second;
+    const auto pos = std::find_if(
+        outs.begin(), outs.end(),
+        [&](const AddedHalfEdge& h) { return h.id == id; });
+    if (pos != outs.end()) {
+      // The edge never reached the base arena: drop both overlay halves.
+      outs.erase(pos);
+      auto& ins = in_add_[e.dst.value()];
+      ins.erase(std::find_if(
+          ins.begin(), ins.end(),
+          [&](const AddedHalfEdge& h) { return h.id == id; }));
+      --overlay_;
+      return;
+    }
+  }
+  removed_.insert(id.value());
+}
+
+namespace {
+
+/// Patch-vs-relower policy: a node add invalidates the base offset tables
+/// outright; otherwise patch until the overlay would slow every traversal
+/// noticeably.
+bool shouldRelower(const CsrDelta& csr, bool node_added) {
+  if (node_added) {
+    return true;
+  }
+  const std::size_t base_edges = csr.base().edgeCount();
+  const std::size_t limit = std::max<std::size_t>(64, base_edges / 8);
+  return csr.overlaySize() + csr.removedCount() > limit;
+}
+
+}  // namespace
+
+AppliedDelta applyDelta(Cdfg& g, CsrDelta& csr, const EditDelta& delta) {
+  AppliedDelta out;
+  for (std::size_t i = 0; i < delta.ops.size(); ++i) {
+    const EditOp& op = delta.ops[i];
+    try {
+      switch (op.kind) {
+        case EditOpKind::kAddNode: {
+          const NodeId id = g.addNode(op.op_kind, op.name);
+          out.added_nodes.push_back(id);
+          out.touched_nodes.push_back(id);
+          break;
+        }
+        case EditOpKind::kRemoveNode: {
+          detail::check<GraphError>(
+              op.node.isValid() && op.node.value() < g.nodeCount() &&
+                  g.nodeAlive(op.node),
+              "remove-node: no such live node");
+          // Snapshot the incident lists before the graph drops them.
+          std::vector<EdgeId> incident(g.outEdges(op.node));
+          incident.insert(incident.end(), g.inEdges(op.node).begin(),
+                          g.inEdges(op.node).end());
+          for (const EdgeId e : incident) {
+            const Edge ed = g.edge(e);
+            out.removed_edge_ids.push_back(e);
+            out.removed_edges.push_back(ed);
+            out.touched_nodes.push_back(ed.src);
+            out.touched_nodes.push_back(ed.dst);
+            csr.removeEdge(e, ed);
+          }
+          g.removeNode(op.node);
+          out.removed_nodes.push_back(op.node);
+          out.touched_nodes.push_back(op.node);
+          break;
+        }
+        case EditOpKind::kAddEdge: {
+          const EdgeId id = g.addEdge(op.src, op.dst, op.edge_kind);
+          csr.addEdge(id, g.edge(id));
+          out.added_edge_ids.push_back(id);
+          out.touched_nodes.push_back(op.src);
+          out.touched_nodes.push_back(op.dst);
+          break;
+        }
+        case EditOpKind::kRemoveEdge: {
+          const EdgeId id = g.findEdge(op.src, op.dst, op.edge_kind);
+          detail::check<GraphError>(id.isValid(),
+                                    "remove-edge: no such live edge");
+          const Edge ed = g.edge(id);
+          g.removeEdge(id);
+          csr.removeEdge(id, ed);
+          out.removed_edge_ids.push_back(id);
+          out.removed_edges.push_back(ed);
+          out.touched_nodes.push_back(op.src);
+          out.touched_nodes.push_back(op.dst);
+          break;
+        }
+      }
+    } catch (const GraphError& err) {
+      out.rejected.push_back(RejectedOp{i, err.what()});
+    }
+  }
+
+  std::sort(out.touched_nodes.begin(), out.touched_nodes.end());
+  out.touched_nodes.erase(
+      std::unique(out.touched_nodes.begin(), out.touched_nodes.end()),
+      out.touched_nodes.end());
+
+  if (out.any() && shouldRelower(csr, !out.added_nodes.empty())) {
+    csr.rebase();
+    out.relowered = true;
+  }
+  return out;
+}
+
+}  // namespace locwm::cdfg

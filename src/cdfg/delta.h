@@ -1,0 +1,268 @@
+// Edit deltas and CSR patching — the mutation half of the incremental
+// static-analysis engine (check/incremental.h holds the analysis half).
+//
+// The service arc of the ROADMAP wants small edits against large resident
+// designs to be cheap.  Three pieces make that possible:
+//
+//   * EditDelta — a value type describing a batch of structural edits
+//     (add/remove node, add/remove edge by kind) in application order;
+//   * applyDelta — applies a batch to a Cdfg (using the tombstone removal
+//     semantics of graph.h) and reports exactly what changed: the touched
+//     node frontier, added/removed edge sets, and per-op rejections for
+//     edits the graph refuses (dangling endpoint, duplicate temporal,
+//     self-edge).  Rejected ops are skipped; accepted ops still apply —
+//     a delta is a stream, not a transaction;
+//   * CsrDelta — a patchable CSR snapshot: the immutable CsrView arena
+//     (csr.h) plus a small overlay of added half-edges and a tombstone
+//     set of removed edge ids.  Traversal visits the base arena (skipping
+//     removed ids) and then the overlay, so analyses see the post-edit
+//     graph without paying O(N + E) re-lowering per batch.  When the
+//     overlay grows past a fraction of the base — or a node is added,
+//     which would invalidate the offset tables — applyDelta re-lowers
+//     (rebases) instead and reports that decision in AppliedDelta.
+//
+// Determinism: overlay half-edges are visited in insertion order after
+// the base segments, and every consumer in check/ reduces over neighbours
+// with order-insensitive operations (max, min, OR), so a patched view and
+// a freshly lowered view produce identical analysis results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cdfg/csr.h"
+#include "cdfg/graph.h"
+#include "cdfg/ids.h"
+#include "cdfg/operation.h"
+
+namespace locwm::cdfg {
+
+/// One structural edit.
+enum class EditOpKind : std::uint8_t {
+  kAddNode = 0,
+  kRemoveNode = 1,
+  kAddEdge = 2,
+  kRemoveEdge = 3,
+};
+
+/// Stable mnemonic ("add-node" / "remove-node" / "add-edge" /
+/// "remove-edge") — the ndjson `op` field of `locwm delta`.
+[[nodiscard]] std::string_view editOpKindName(EditOpKind kind) noexcept;
+
+/// One edit, tagged by `kind`; only the fields of the matching builder
+/// are meaningful.  Edges are named structurally (src, dst, edge kind),
+/// not by edge id — the id space is an implementation detail of the
+/// resident graph that an edit stream cannot know.
+struct EditOp {
+  EditOpKind kind = EditOpKind::kAddNode;
+  OpKind op_kind = OpKind::kAdd;  ///< kAddNode
+  std::string name;               ///< kAddNode (optional label)
+  NodeId node;                    ///< kRemoveNode
+  NodeId src;                     ///< kAddEdge / kRemoveEdge
+  NodeId dst;                     ///< kAddEdge / kRemoveEdge
+  EdgeKind edge_kind = EdgeKind::kData;  ///< kAddEdge / kRemoveEdge
+
+  [[nodiscard]] static EditOp addNode(OpKind op, std::string name = {});
+  [[nodiscard]] static EditOp removeNode(NodeId node);
+  [[nodiscard]] static EditOp addEdge(NodeId src, NodeId dst,
+                                      EdgeKind kind = EdgeKind::kData);
+  [[nodiscard]] static EditOp removeEdge(NodeId src, NodeId dst,
+                                         EdgeKind kind = EdgeKind::kData);
+};
+
+/// A batch of edits, applied in order.
+struct EditDelta {
+  std::vector<EditOp> ops;
+
+  [[nodiscard]] bool empty() const noexcept { return ops.empty(); }
+};
+
+/// One rejected op: its index into EditDelta::ops plus the graph's reason.
+struct RejectedOp {
+  std::size_t index = 0;
+  std::string reason;
+};
+
+/// What applyDelta changed — the seed set for incremental re-analysis.
+struct AppliedDelta {
+  /// Every node incident to an accepted edit (endpoints of added/removed
+  /// edges, added/removed nodes), deduplicated, ascending.
+  std::vector<NodeId> touched_nodes;
+  std::vector<NodeId> added_nodes;
+  std::vector<NodeId> removed_nodes;
+  std::vector<EdgeId> added_edge_ids;
+  std::vector<EdgeId> removed_edge_ids;
+  /// Endpoint/kind copies of the removed edges (the graph keeps them
+  /// addressable through edge(), but consumers want them in one place).
+  std::vector<Edge> removed_edges;
+  std::vector<RejectedOp> rejected;
+  /// True when the CSR side re-lowered instead of patching.
+  bool relowered = false;
+
+  /// Did anything structural happen?
+  [[nodiscard]] bool any() const noexcept {
+    return !added_nodes.empty() || !removed_nodes.empty() ||
+           !added_edge_ids.empty() || !removed_edge_ids.empty();
+  }
+};
+
+/// A patchable CSR snapshot: base arena + overlay.  See file comment.
+class CsrDelta {
+ public:
+  /// Lowers `g` as the base snapshot.  The graph must outlive the delta
+  /// view (rebase() re-reads it).
+  explicit CsrDelta(const Cdfg& g) : g_(&g), base_(g) {}
+
+  CsrDelta(const CsrDelta&) = delete;
+  CsrDelta& operator=(const CsrDelta&) = delete;
+  CsrDelta(CsrDelta&&) noexcept = default;
+  CsrDelta& operator=(CsrDelta&&) noexcept = default;
+
+  [[nodiscard]] const CsrView& base() const noexcept { return base_; }
+  [[nodiscard]] const Cdfg& graph() const noexcept { return *g_; }
+
+  /// Node-id bound of the *current* graph (>= the base snapshot's).
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return g_->nodeCount();
+  }
+
+  /// Operation kind of `v` — base SoA table when snapshotted, builder
+  /// fallback for nodes added since.  Tombstoned nodes keep their kind.
+  [[nodiscard]] OpKind kind(NodeId v) const {
+    return v.value() < base_.nodeCount() ? base_.kind(v)
+                                         : g_->node(v).kind;
+  }
+
+  /// Records `id` (with endpoints/kind `e`) as an overlay half-edge pair.
+  void addEdge(EdgeId id, const Edge& e);
+  /// Forgets `id`: drops it from the overlay when it was added there,
+  /// otherwise tombstones it out of the base arena.
+  void removeEdge(EdgeId id, const Edge& e);
+
+  [[nodiscard]] bool removed(EdgeId id) const {
+    return !removed_.empty() && removed_.count(id.value()) != 0;
+  }
+
+  /// Overlay pressure, for the patch-vs-relower decision.
+  [[nodiscard]] std::size_t overlaySize() const noexcept { return overlay_; }
+  [[nodiscard]] std::size_t removedCount() const noexcept {
+    return removed_.size();
+  }
+
+  /// Re-lowers the graph into a fresh base and clears the overlay.
+  void rebase() {
+    base_ = CsrView(*g_);
+    out_add_.clear();
+    in_add_.clear();
+    removed_.clear();
+    overlay_ = 0;
+  }
+
+  /// Does `sel` span edges of kind `k`?
+  [[nodiscard]] static constexpr bool selAccepts(EdgeSel sel,
+                                                EdgeKind k) noexcept {
+    switch (sel) {
+      case EdgeSel::kData:
+        return k == EdgeKind::kData;
+      case EdgeSel::kControl:
+        return k == EdgeKind::kControl;
+      case EdgeSel::kTemporal:
+        return k == EdgeKind::kTemporal;
+      case EdgeSel::kDataControl:
+        return k != EdgeKind::kTemporal;
+      case EdgeSel::kAll:
+        return true;
+    }
+    return false;
+  }
+
+  /// Visits every live out-edge of `v` matching `sel` as
+  /// fn(NodeId dst, EdgeId id, EdgeKind kind): base segments first (in
+  /// arena order, removed ids skipped), then overlay adds in insertion
+  /// order.  Consumers must reduce order-insensitively.
+  template <typename Fn>
+  void forEachOut(NodeId v, EdgeSel sel, Fn&& fn) const {
+    if (v.value() < base_.nodeCount()) {
+      for (const EdgeKind k : kCsrKindOrder) {
+        if (!selAccepts(sel, k)) {
+          continue;
+        }
+        const auto nodes = base_.successors(v, edgeSelOf(k));
+        const auto ids = base_.outEdges(v, edgeSelOf(k));
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (removed(ids[i])) {
+            continue;
+          }
+          fn(nodes[i], ids[i], k);
+        }
+      }
+    }
+    visitOverlay(out_add_, v, sel, fn);
+  }
+
+  /// In-edge mirror of forEachOut: fn(NodeId src, EdgeId id, EdgeKind).
+  template <typename Fn>
+  void forEachIn(NodeId v, EdgeSel sel, Fn&& fn) const {
+    if (v.value() < base_.nodeCount()) {
+      for (const EdgeKind k : kCsrKindOrder) {
+        if (!selAccepts(sel, k)) {
+          continue;
+        }
+        const auto nodes = base_.predecessors(v, edgeSelOf(k));
+        const auto ids = base_.inEdges(v, edgeSelOf(k));
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (removed(ids[i])) {
+            continue;
+          }
+          fn(nodes[i], ids[i], k);
+        }
+      }
+    }
+    visitOverlay(in_add_, v, sel, fn);
+  }
+
+ private:
+  /// One overlay half-edge: the far endpoint of an added edge.
+  struct AddedHalfEdge {
+    NodeId other;
+    EdgeId id;
+    EdgeKind kind = EdgeKind::kData;
+  };
+  using OverlayMap =
+      std::unordered_map<std::uint32_t, std::vector<AddedHalfEdge>>;
+
+  template <typename Fn>
+  static void visitOverlay(const OverlayMap& side, NodeId v, EdgeSel sel,
+                           Fn&& fn) {
+    if (side.empty()) {
+      return;
+    }
+    const auto it = side.find(v.value());
+    if (it == side.end()) {
+      return;
+    }
+    for (const AddedHalfEdge& h : it->second) {
+      if (selAccepts(sel, h.kind)) {
+        fn(h.other, h.id, h.kind);
+      }
+    }
+  }
+
+  const Cdfg* g_ = nullptr;
+  CsrView base_;
+  OverlayMap out_add_;
+  OverlayMap in_add_;
+  std::unordered_set<std::uint32_t> removed_;
+  std::size_t overlay_ = 0;
+};
+
+/// Applies `delta` to `g`, mirrors the accepted edits into `csr` (patching
+/// or rebasing per the policy in the file comment), and returns the change
+/// summary.  Ops the graph refuses are recorded in `rejected` and skipped.
+AppliedDelta applyDelta(Cdfg& g, CsrDelta& csr, const EditDelta& delta);
+
+}  // namespace locwm::cdfg

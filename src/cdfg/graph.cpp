@@ -20,6 +20,9 @@ std::string_view edgeKindName(EdgeKind kind) noexcept {
 NodeId Cdfg::addNode(OpKind kind, std::string name) {
   const auto id = NodeId(static_cast<NodeId::value_type>(nodes_.size()));
   nodes_.push_back(Node{kind, std::move(name)});
+  if (!node_alive_.empty()) {
+    node_alive_.push_back(1);
+  }
   in_.emplace_back();
   out_.emplace_back();
   return id;
@@ -28,6 +31,8 @@ NodeId Cdfg::addNode(OpKind kind, std::string name) {
 EdgeId Cdfg::addEdge(NodeId src, NodeId dst, EdgeKind kind) {
   checkNode(src);
   checkNode(dst);
+  detail::check<GraphError>(nodeAlive(src) && nodeAlive(dst),
+                            "edge endpoint is a removed node");
   detail::check<GraphError>(src != dst, "self-edge is not allowed");
   if (kind == EdgeKind::kTemporal) {
     detail::check<GraphError>(!hasEdge(src, dst, EdgeKind::kTemporal),
@@ -35,9 +40,68 @@ EdgeId Cdfg::addEdge(NodeId src, NodeId dst, EdgeKind kind) {
   }
   const auto id = EdgeId(static_cast<EdgeId::value_type>(edges_.size()));
   edges_.push_back(Edge{src, dst, kind});
+  if (!edge_alive_.empty()) {
+    edge_alive_.push_back(1);
+  }
   out_[src.value()].push_back(id);
   in_[dst.value()].push_back(id);
   return id;
+}
+
+void Cdfg::removeEdge(EdgeId id) {
+  checkEdge(id);
+  detail::check<GraphError>(edgeAlive(id), "edge already removed");
+  const Edge& e = edges_[id.value()];
+  auto& outs = out_[e.src.value()];
+  outs.erase(std::find(outs.begin(), outs.end(), id));
+  auto& ins = in_[e.dst.value()];
+  ins.erase(std::find(ins.begin(), ins.end(), id));
+  if (edge_alive_.empty()) {
+    edge_alive_.assign(edges_.size(), 1);
+  }
+  edge_alive_[id.value()] = 0;
+  ++dead_edges_;
+}
+
+void Cdfg::removeNode(NodeId id) {
+  checkNode(id);
+  detail::check<GraphError>(nodeAlive(id), "node already removed");
+  // Copy the incident lists: removeEdge mutates them as we go.
+  const std::vector<EdgeId> outs = out_[id.value()];
+  for (const EdgeId e : outs) {
+    removeEdge(e);
+  }
+  const std::vector<EdgeId> ins = in_[id.value()];
+  for (const EdgeId e : ins) {
+    removeEdge(e);
+  }
+  if (node_alive_.empty()) {
+    node_alive_.assign(nodes_.size(), 1);
+  }
+  node_alive_[id.value()] = 0;
+  ++dead_nodes_;
+}
+
+EdgeId Cdfg::findEdge(NodeId src, NodeId dst, EdgeKind kind) const {
+  checkNode(src);
+  checkNode(dst);
+  for (const EdgeId e : out_[src.value()]) {
+    const Edge& ed = edges_[e.value()];
+    if (ed.dst == dst && ed.kind == kind) {
+      return e;
+    }
+  }
+  return EdgeId::invalid();
+}
+
+bool Cdfg::nodeAlive(NodeId id) const {
+  checkNode(id);
+  return node_alive_.empty() || node_alive_[id.value()] != 0;
+}
+
+bool Cdfg::edgeAlive(EdgeId id) const {
+  checkEdge(id);
+  return edge_alive_.empty() || edge_alive_[id.value()] != 0;
 }
 
 const Node& Cdfg::node(NodeId id) const {
@@ -123,8 +187,11 @@ std::vector<NodeId> Cdfg::allNodes() const {
 
 std::vector<EdgeId> Cdfg::allEdges() const {
   std::vector<EdgeId> result;
-  result.reserve(edges_.size());
+  result.reserve(edgeCount());
   for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edge_alive_.empty() && edge_alive_[i] == 0) {
+      continue;
+    }
     result.emplace_back(static_cast<EdgeId::value_type>(i));
   }
   return result;
@@ -133,6 +200,9 @@ std::vector<EdgeId> Cdfg::allEdges() const {
 std::vector<EdgeId> Cdfg::temporalEdges() const {
   std::vector<EdgeId> result;
   for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edge_alive_.empty() && edge_alive_[i] == 0) {
+      continue;
+    }
     if (edges_[i].kind == EdgeKind::kTemporal) {
       result.emplace_back(static_cast<EdgeId::value_type>(i));
     }
@@ -168,9 +238,21 @@ Cdfg Cdfg::stripTemporalEdges() const {
   for (const Node& n : nodes_) {
     out.addNode(n.kind, n.name);
   }
-  for (const Edge& e : edges_) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edge_alive_.empty() && edge_alive_[i] == 0) {
+      continue;
+    }
+    const Edge& e = edges_[i];
     if (e.kind != EdgeKind::kTemporal) {
       out.addEdge(e.src, e.dst, e.kind);
+    }
+  }
+  // Tombstones carry over so node ids keep lining up with the source graph.
+  if (!node_alive_.empty()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (node_alive_[i] == 0) {
+        out.removeNode(NodeId(static_cast<NodeId::value_type>(i)));
+      }
     }
   }
   return out;
@@ -182,7 +264,11 @@ void Cdfg::checkAcyclic() const {
 
 std::vector<NodeId> Cdfg::topologicalOrder(bool includeTemporal) const {
   std::vector<std::size_t> indegree(nodes_.size(), 0);
-  for (const Edge& e : edges_) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edge_alive_.empty() && edge_alive_[i] == 0) {
+      continue;
+    }
+    const Edge& e = edges_[i];
     if (e.kind == EdgeKind::kTemporal && !includeTemporal) {
       continue;
     }
@@ -221,6 +307,11 @@ std::vector<NodeId> Cdfg::topologicalOrder(bool includeTemporal) const {
 void Cdfg::checkNode(NodeId id) const {
   detail::check<GraphError>(id.isValid() && id.value() < nodes_.size(),
                             "node id out of range");
+}
+
+void Cdfg::checkEdge(EdgeId id) const {
+  detail::check<GraphError>(id.isValid() && id.value() < edges_.size(),
+                            "edge id out of range");
 }
 
 }  // namespace locwm::cdfg

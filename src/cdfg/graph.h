@@ -13,9 +13,15 @@
 //                       scheduled strictly before its destination.
 //
 // The graph owns its nodes and edges; ids are dense indices and remain valid
-// for the lifetime of the graph (no removal — watermark "removal" is
-// modelled by constructing a new graph without the temporal edges, see
-// stripTemporalEdges()).
+// for the lifetime of the graph.  Removal (the edit-delta API of delta.h
+// needs it) is by *tombstone*: removeEdge/removeNode detach the element but
+// never compact the tables, so every id handed out stays addressable —
+// node(id) still reports kind and label for diagnostics — while adjacency,
+// allEdges(), temporalEdges() and the traversal helpers see only live
+// elements.  A tombstoned node is indistinguishable from an isolated one to
+// every analysis that skips degree-0 nodes; text IO (io.h) flattens
+// tombstones back to isolated nodes.  nodeCount() stays the id-table bound
+// (analyses size their arrays by it); edgeCount() counts live edges.
 #pragma once
 
 #include <cstdint>
@@ -69,15 +75,47 @@ class Cdfg {
   /// temporal edges (a watermark constraint is a set).
   EdgeId addEdge(NodeId src, NodeId dst, EdgeKind kind = EdgeKind::kData);
 
+  /// Tombstones one edge: detaches it from both endpoints' adjacency.  The
+  /// id stays valid for edge() lookups (endpoints readable for reports) but
+  /// the edge no longer participates in any traversal.  Ids are not reused.
+  void removeEdge(EdgeId id);
+
+  /// Tombstones a node: removes every live incident edge, then marks the
+  /// node dead.  Its id remains addressable (node() still reports kind and
+  /// label) but it is excluded from live accounting; addEdge to or from a
+  /// dead node throws.
+  void removeNode(NodeId id);
+
+  /// First live edge (src, dst, kind), or EdgeId::invalid() when none.
+  [[nodiscard]] EdgeId findEdge(NodeId src, NodeId dst, EdgeKind kind) const;
+
+  [[nodiscard]] bool nodeAlive(NodeId id) const;
+  [[nodiscard]] bool edgeAlive(EdgeId id) const;
+
+  /// Id-table bound: dense node ids live in [0, nodeCount()), tombstones
+  /// included — analyses size per-node arrays by this.
   [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
-  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_.size(); }
+  /// Live (non-tombstoned) edges.  Edge *ids* range over [0, edgeTableSize()).
+  [[nodiscard]] std::size_t edgeCount() const noexcept {
+    return edges_.size() - dead_edges_;
+  }
+  /// Live (non-tombstoned) nodes.
+  [[nodiscard]] std::size_t liveNodeCount() const noexcept {
+    return nodes_.size() - dead_nodes_;
+  }
+  /// Edge-id bound (dead slots included).
+  [[nodiscard]] std::size_t edgeTableSize() const noexcept {
+    return edges_.size();
+  }
 
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] const Edge& edge(EdgeId id) const;
 
-  /// The dense node/edge tables, in id order.  These back bulk consumers —
-  /// CSR lowering (csr.h), IO — that would otherwise pay a bounds check per
-  /// element; element i corresponds to NodeId(i) / EdgeId(i).
+  /// The dense node/edge tables, in id order, TOMBSTONES INCLUDED.  These
+  /// back bulk consumers — CSR lowering (csr.h), IO — that would otherwise
+  /// pay a bounds check per element; element i corresponds to NodeId(i) /
+  /// EdgeId(i).  Consumers of edges() must skip !edgeAlive(i) entries when
+  /// the graph may carry removals.
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
     return nodes_;
   }
@@ -106,11 +144,12 @@ class Cdfg {
   /// Successors over *data* edges only (the value consumers).
   [[nodiscard]] std::vector<NodeId> dataSuccessors(NodeId id) const;
 
-  /// Iteration over all node ids [0, nodeCount).
+  /// Iteration over all node ids [0, nodeCount), tombstones included (the
+  /// id space stays dense; callers that care filter with nodeAlive()).
   [[nodiscard]] std::vector<NodeId> allNodes() const;
-  /// Iteration over all edge ids [0, edgeCount).
+  /// Ids of all *live* edges, in insertion order.
   [[nodiscard]] std::vector<EdgeId> allEdges() const;
-  /// Ids of all temporal edges, in insertion order.
+  /// Ids of all live temporal edges, in insertion order.
   [[nodiscard]] std::vector<EdgeId> temporalEdges() const;
 
   /// True if an edge (src, dst) of the given kind exists.
@@ -137,11 +176,18 @@ class Cdfg {
 
  private:
   void checkNode(NodeId id) const;
+  void checkEdge(EdgeId id) const;
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> in_;
   std::vector<std::vector<EdgeId>> out_;
+  /// Alive bitmaps, allocated lazily on the first removal (empty = all
+  /// alive): the common no-removal graph pays nothing for the feature.
+  std::vector<char> node_alive_;
+  std::vector<char> edge_alive_;
+  std::size_t dead_nodes_ = 0;
+  std::size_t dead_edges_ = 0;
 };
 
 }  // namespace locwm::cdfg

@@ -1,0 +1,272 @@
+#include "check/baseline.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace locwm::check {
+
+namespace {
+
+/// Composite key, matching Report's dedupe index.
+std::string keyOf(const std::string& code, const std::string& artifact,
+                  const std::string& location) {
+  std::string key;
+  key.reserve(code.size() + artifact.size() + location.size() + 2);
+  key += code;
+  key += '\x1f';
+  key += artifact;
+  key += '\x1f';
+  key += location;
+  return key;
+}
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("baseline parse error: " + why);
+}
+
+/// Minimal JSON scanner over the documented baseline shape.  Not a general
+/// JSON parser: objects, arrays, strings (with escapes), and integers are
+/// all the format uses.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("dangling escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4U;
+            if (h >= '0' && h <= '9') {
+              value += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value += static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              value += static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00XX for control bytes; anything wider
+          // would have been written raw (UTF-8 passthrough).
+          if (value > 0xFF) {
+            fail("unsupported \\u escape beyond U+00FF");
+          }
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  long parseInt() {
+    skipWs();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail("expected number");
+    }
+    long value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + (text_[pos_++] - '0');
+    }
+    return neg ? -value : value;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Baseline Baseline::fromReport(const Report& report) {
+  Baseline b;
+  for (const Diagnostic& d : report.diagnostics()) {
+    b.keys_.insert(keyOf(d.code, d.artifact, d.location));
+  }
+  return b;
+}
+
+Baseline Baseline::parse(const std::string& text) {
+  Baseline b;
+  Scanner s(text);
+  s.expect('{');
+  bool saw_version = false;
+  bool first = true;
+  while (s.peek() != '}') {
+    if (!first) {
+      s.expect(',');
+    }
+    first = false;
+    const std::string field = s.parseString();
+    s.expect(':');
+    if (field == "schema_version") {
+      if (s.parseInt() != 1) {
+        fail("unsupported schema_version");
+      }
+      saw_version = true;
+    } else if (field == "findings") {
+      s.expect('[');
+      while (s.peek() != ']') {
+        if (s.peek() == ',') {
+          s.expect(',');
+        }
+        s.expect('{');
+        std::string code;
+        std::string artifact;
+        std::string location;
+        bool obj_first = true;
+        while (s.peek() != '}') {
+          if (!obj_first) {
+            s.expect(',');
+          }
+          obj_first = false;
+          const std::string name = s.parseString();
+          s.expect(':');
+          const std::string value = s.parseString();
+          if (name == "code") {
+            code = value;
+          } else if (name == "artifact") {
+            artifact = value;
+          } else if (name == "location") {
+            location = value;
+          } else {
+            fail("unknown finding field '" + name + "'");
+          }
+        }
+        s.expect('}');
+        if (code.empty()) {
+          fail("finding without a code");
+        }
+        b.keys_.insert(keyOf(code, artifact, location));
+      }
+      s.expect(']');
+    } else {
+      fail("unknown field '" + field + "'");
+    }
+  }
+  s.expect('}');
+  if (!saw_version) {
+    fail("missing schema_version");
+  }
+  return b;
+}
+
+std::string Baseline::toJson() const {
+  // Deterministic: one line per finding, sorted by the composite key.
+  std::vector<std::string> sorted(keys_.begin(), keys_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{\"schema_version\": 1, \"findings\": [";
+  bool first = true;
+  for (const std::string& key : sorted) {
+    const std::size_t a = key.find('\x1f');
+    const std::size_t b = key.find('\x1f', a + 1);
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n  {\"code\": ";
+    out += obs::jsonString(key.substr(0, a));
+    out += ", \"artifact\": ";
+    out += obs::jsonString(key.substr(a + 1, b - a - 1));
+    out += ", \"location\": ";
+    out += obs::jsonString(key.substr(b + 1));
+    out += '}';
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool Baseline::contains(const Diagnostic& d) const {
+  return keys_.count(keyOf(d.code, d.artifact, d.location)) != 0;
+}
+
+Report Baseline::filterNew(const Report& report) const {
+  Report out;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!contains(d)) {
+      out.add(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace locwm::check

@@ -64,6 +64,38 @@ bool BitRows::intersects(std::size_t a, std::size_t b) const {
   return false;
 }
 
+void BitRows::clearRow(std::size_t row) {
+  std::uint64_t* r = bits_.data() + row * words_per_row_;
+  std::fill(r, r + words_per_row_, 0);
+}
+
+void BitRows::copyRowFrom(const BitRows& other, std::size_t dst,
+                          std::size_t src) {
+  std::uint64_t* d = bits_.data() + dst * words_per_row_;
+  const std::uint64_t* s = other.bits_.data() + src * other.words_per_row_;
+  std::copy(s, s + words_per_row_, d);
+}
+
+bool BitRows::unionRowFrom(const BitRows& other, std::size_t dst,
+                           std::size_t src) {
+  std::uint64_t* d = bits_.data() + dst * words_per_row_;
+  const std::uint64_t* s = other.bits_.data() + src * other.words_per_row_;
+  bool changed = false;
+  for (std::size_t i = 0; i < words_per_row_; ++i) {
+    const std::uint64_t merged = d[i] | s[i];
+    changed |= merged != d[i];
+    d[i] = merged;
+  }
+  return changed;
+}
+
+bool BitRows::rowEquals(const BitRows& other, std::size_t a,
+                        std::size_t b) const {
+  const std::uint64_t* ra = bits_.data() + a * words_per_row_;
+  const std::uint64_t* rb = other.bits_.data() + b * other.words_per_row_;
+  return std::equal(ra, ra + words_per_row_, rb);
+}
+
 // ---------------------------------------------------------------------------
 // Closure / reachability wrappers
 

@@ -234,6 +234,15 @@ class BitRows {
   [[nodiscard]] std::size_t popcount(std::size_t row) const;
   /// True when the rows share at least one set bit.
   [[nodiscard]] bool intersects(std::size_t a, std::size_t b) const;
+  /// Clears every bit of a row.
+  void clearRow(std::size_t row);
+  /// rows[dst] = other.rows[src] (same bit width required).
+  void copyRowFrom(const BitRows& other, std::size_t dst, std::size_t src);
+  /// rows[dst] |= other.rows[src]; returns true iff rows[dst] changed.
+  bool unionRowFrom(const BitRows& other, std::size_t dst, std::size_t src);
+  /// rows[a] == other.rows[b], bit for bit.
+  [[nodiscard]] bool rowEquals(const BitRows& other, std::size_t a,
+                               std::size_t b) const;
 
   [[nodiscard]] std::size_t rowCount() const noexcept { return rows_; }
   [[nodiscard]] std::size_t memoryBytes() const noexcept {

@@ -74,4 +74,50 @@ inline Diagnostic diag(std::string code, Severity severity,
   return d;
 }
 
+/// True for operations whose effect escapes the dataflow graph — they are
+/// live even without a path to a primary output.
+inline bool isSideEffecting(cdfg::OpKind kind) noexcept {
+  return kind == cdfg::OpKind::kStore || kind == cdfg::OpKind::kBranch;
+}
+
+// LW6xx diagnostic builders, shared between the one-shot semantic pass
+// (rules_semantic.cpp) and the incremental engine (incremental.cpp).  The
+// byte-identical-report guarantee of the incremental engine depends on
+// both sides emitting exactly these strings.
+
+inline Diagnostic lw601Diag(const std::string& artifact, const cdfg::Edge& e) {
+  return diag("LW601", Severity::kWarning, artifact,
+              edgeRef(e.src.value(), e.dst.value(), e.kind),
+              "temporal edge is implied by the transitive precedence of "
+              "the remaining constraints",
+              "a redundant constraint inflates the claimed Pc without "
+              "adding evidence; re-embed without it");
+}
+
+inline Diagnostic lw602Diag(const std::string& artifact, const cdfg::Edge& e,
+                            std::uint32_t critical) {
+  return diag("LW602", Severity::kInfo, artifact,
+              edgeRef(e.src.value(), e.dst.value(), e.kind),
+              "temporal edge stretches the dependence-only critical path "
+              "(" + std::to_string(critical) + " steps)",
+              "zero-slack constraints cost latency and are easy to spot; "
+              "prefer pairs with overlapping lifetimes");
+}
+
+inline Diagnostic lw603Diag(const std::string& artifact, const cdfg::Cdfg& g,
+                            cdfg::NodeId n) {
+  return diag("LW603", Severity::kWarning, artifact, nodeRef(g, n),
+              "operation is dead: no output or side effect consumes it",
+              "dead operations dilute localities and survive no "
+              "optimizing re-synthesis");
+}
+
+inline Diagnostic lw604Diag(const std::string& artifact, const cdfg::Cdfg& g,
+                            cdfg::NodeId n) {
+  return diag("LW604", Severity::kWarning, artifact, nodeRef(g, n),
+              "operation is unreachable: no input or constant feeds it",
+              "an operation without producers computes an undefined "
+              "value");
+}
+
 }  // namespace locwm::check::detail

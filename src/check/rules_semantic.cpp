@@ -20,13 +20,7 @@ namespace {
 
 using cdfg::NodeId;
 using cdfg::OpKind;
-using detail::diag;
-
-/// True for operations whose effect escapes the dataflow graph — they are
-/// live even without a path to a primary output.
-bool isSideEffecting(OpKind kind) noexcept {
-  return kind == OpKind::kStore || kind == OpKind::kBranch;
-}
+using detail::isSideEffecting;
 
 /// LW601: a temporal edge implied by the *rest* of the precedence relation
 /// (other temporal edges included) constrains nothing.  LW104 already
@@ -78,14 +72,8 @@ void checkRedundantTemporal(Report& r, const cdfg::Cdfg& g,
     implied_at[i] = implied ? 1 : 0;
   });
   for (std::size_t i = 0; i < temporal.size(); ++i) {
-    const cdfg::Edge& e = g.edge(temporal[i]);
     if (implied_at[i] != 0) {
-      r.add(diag("LW601", Severity::kWarning, artifact,
-                 detail::edgeRef(e.src.value(), e.dst.value(), e.kind),
-                 "temporal edge is implied by the transitive precedence of "
-                 "the remaining constraints",
-                 "a redundant constraint inflates the claimed Pc without "
-                 "adding evidence; re-embed without it"));
+      r.add(detail::lw601Diag(artifact, g.edge(temporal[i])));
     }
   }
 }
@@ -109,12 +97,7 @@ void checkStretchingTemporal(Report& r, const cdfg::Cdfg& g,
   for (const cdfg::EdgeId te : g.temporalEdges()) {
     const cdfg::Edge& e = g.edge(te);
     if (slack.asap[e.src.value()] + 1 > slack.alap[e.dst.value()]) {
-      r.add(diag("LW602", Severity::kInfo, artifact,
-                 detail::edgeRef(e.src.value(), e.dst.value(), e.kind),
-                 "temporal edge stretches the dependence-only critical path "
-                 "(" + std::to_string(slack.critical) + " steps)",
-                 "zero-slack constraints cost latency and are easy to spot; "
-                 "prefer pairs with overlapping lifetimes"));
+      r.add(detail::lw602Diag(artifact, e, slack.critical));
     }
   }
 }
@@ -154,15 +137,9 @@ void checkLiveness(Report& r, const cdfg::Cdfg& g, const cdfg::CsrView& view,
       continue;  // LW105's finding
     }
     if (!live.reached(n)) {
-      r.add(diag("LW603", Severity::kWarning, artifact, detail::nodeRef(g, n),
-                 "operation is dead: no output or side effect consumes it",
-                 "dead operations dilute localities and survive no "
-                 "optimizing re-synthesis"));
+      r.add(detail::lw603Diag(artifact, g, n));
     } else if (!reachable.reached(n)) {
-      r.add(diag("LW604", Severity::kWarning, artifact, detail::nodeRef(g, n),
-                 "operation is unreachable: no input or constant feeds it",
-                 "an operation without producers computes an undefined "
-                 "value"));
+      r.add(detail::lw604Diag(artifact, g, n));
     }
   }
 }

@@ -120,6 +120,47 @@ grep -Eq 'LW70[0-9]' tamper.out
 grep -q '"version": "2.1.0"' lint.sarif
 grep -q '"version": "2.1.0"' diff.sarif
 
+# Lint baseline ratchet: --update-baseline records today's findings, and
+# the same run is then clean under the baseline — even one that fails
+# without it — while the baseline file itself is machine-readable.
+"$LW" lint broken.cdfg --baseline base.json --update-baseline \
+    > /dev/null 2>&1
+grep -q '"schema_version"' base.json
+grep -q 'LW101' base.json
+"$LW" lint broken.cdfg --baseline base.json --werror
+
+# Incremental delta: replay an ndjson edit stream, verifying the resident
+# analyses against the full recompute after every commit.  The add-node op
+# exercises the full-rebuild path; the trailing commit is implicit.
+cat > edits.ndjson <<'EOF'
+{"op": "add-edge", "src": 0, "dst": 1, "kind": "temporal"}
+{"op": "commit"}
+{"op": "remove-edge", "src": 0, "dst": 1, "kind": "temporal"}
+{"op": "commit"}
+{"op": "add-node", "kind": "add", "name": "fresh"}
+EOF
+"$LW" delta core.cdfg edits.ndjson --verify --json -o delta.cdfg \
+    > delta.out 2> /dev/null
+grep -q '"verified": true' delta.out
+grep -q '"full_rebuild": true' delta.out
+"$LW" info delta.cdfg
+
+# ...and the edit stream defaults to stdin.
+printf '{"op": "add-edge", "src": 0, "dst": 1, "kind": "temporal"}\n' \
+    | "$LW" delta core.cdfg -q > /dev/null 2>&1
+
+# Diff resume: the first run writes the state file, the second reuses
+# every certificate without re-running the shape matcher — with the same
+# watermark verdict.
+"$LW" diff core.cdfg marked.cdfg cert.wmc.0 cert.wmc.1 \
+    --resume dstate.txt > resume1.out
+grep -q 'locwm-diffstate v1' dstate.txt
+grep -q 'no prior state' resume1.out
+"$LW" diff core.cdfg marked.cdfg cert.wmc.0 cert.wmc.1 \
+    --resume dstate.txt > resume2.out
+grep -q 'prior state reused; 2 certificate(s) reused, 0 matched' resume2.out
+grep -q 'LW706' resume2.out
+
 # ...validated structurally when python3 and the repo checkout are around,
 # as is the OpenMetrics exposition (required families per ISSUE 7).
 if [ -n "$SRC" ] && command -v python3 > /dev/null 2>&1; then

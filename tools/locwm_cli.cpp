@@ -19,6 +19,7 @@
 // `--metrics FILE` writes an OpenMetrics text exposition, `--events FILE`
 // streams ndjson telemetry events, `--report` prints the per-pass
 // wall-time table to stderr at exit.  See docs/OBSERVABILITY.md.
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -44,11 +45,15 @@
 #endif
 
 #include "cdfg/analysis.h"
+#include "cdfg/delta.h"
 #include "cdfg/dot.h"
 #include "cdfg/io.h"
+#include "check/baseline.h"
 #include "check/differ.h"
+#include "check/incremental.h"
 #include "check/linter.h"
 #include "check/pass_audit.h"
+#include "check/rules.h"
 #include "core/certificate_io.h"
 #include "core/tm_wm.h"
 #include "obs/events.h"
@@ -121,17 +126,40 @@ void note(const char* format, ...) {
       "  detect-tm FILE COVER CERT... -i ID -n NONCE [--lib FILE]\n"
       "                                 scan a template cover\n"
       "  lint FILE... [--json] [--sarif] [--werror] [--lib FILE]\n"
+      "       [--baseline FILE] [--update-baseline]\n"
       "                                 statically check artifacts; kinds\n"
       "                                 are sniffed (design, schedule,\n"
       "                                 cover, binding, library, cert).\n"
       "                                 Order matters: a design provides\n"
-      "                                 context for later artifacts.  See\n"
+      "                                 context for later artifacts.\n"
+      "                                 --baseline suppresses known\n"
+      "                                 findings (ratchet); add\n"
+      "                                 --update-baseline to regenerate\n"
+      "                                 the file from this run.  See\n"
       "                                 docs/STATIC_ANALYSIS.md\n"
       "  diff ORIGINAL MARKED [CERT...] [--json] [--sarif] [--werror]\n"
-      "                                 prove MARKED is ORIGINAL plus\n"
+      "       [--resume FILE]           prove MARKED is ORIGINAL plus\n"
       "                                 watermark temporal edges only;\n"
       "                                 certificates attribute the extra\n"
-      "                                 edges (LW7xx diagnostics)\n"
+      "                                 edges (LW7xx diagnostics).\n"
+      "                                 --resume reuses/writes a state\n"
+      "                                 file so repeated diffs re-match\n"
+      "                                 only certificates whose edges\n"
+      "                                 were touched since the last run\n"
+      "  delta DESIGN [EDITS] [-o FILE] [--verify] [--json]\n"
+      "                                 apply an ndjson edit stream (from\n"
+      "                                 EDITS or stdin) to the design with\n"
+      "                                 the incremental analysis engine,\n"
+      "                                 reporting per-commit repair stats\n"
+      "                                 and the final LW6xx report.  Ops:\n"
+      "                                 {\"op\":\"add-node\",\"kind\":K,\n"
+      "                                 \"name\":S}, {\"op\":\"remove-node\",\n"
+      "                                 \"node\":N}, {\"op\":\"add-edge\",\n"
+      "                                 \"src\":A,\"dst\":B,\"kind\":K},\n"
+      "                                 {\"op\":\"remove-edge\",...},\n"
+      "                                 {\"op\":\"commit\"}.  --verify\n"
+      "                                 cross-checks every commit against\n"
+      "                                 a full recompute\n"
       "\n"
       "  version                        print version and build info\n"
       "\n"
@@ -229,7 +257,8 @@ struct Args {
 
 bool isBooleanFlag(const std::string& name) {
   return name == "-q" || name == "--quiet" || name == "--report" ||
-         name == "--json" || name == "--werror" || name == "--sarif";
+         name == "--json" || name == "--werror" || name == "--sarif" ||
+         name == "--verify" || name == "--update-baseline";
 }
 
 Args parseArgs(int argc, char** argv, int first) {
@@ -640,7 +669,38 @@ int cmdLint(const Args& args) {
   for (const std::string& path : args.positional) {
     linter.lintFile(path);
   }
-  const check::Report& report = linter.report();
+  check::Report report = linter.report();
+
+  // Baseline ratchet: report only findings the baseline doesn't know.
+  const auto baseline_path = args.get("--baseline");
+  if (args.has("--update-baseline")) {
+    if (!baseline_path) {
+      die("--update-baseline needs --baseline FILE");
+    }
+    saveText(*baseline_path, check::Baseline::fromReport(report).toJson());
+    note("baseline updated: %zu finding(s) recorded in %s\n",
+         report.diagnostics().size(), baseline_path->c_str());
+    return 0;
+  }
+  if (baseline_path) {
+    std::ifstream in(*baseline_path);
+    if (!in) {
+      die("cannot open baseline '" + *baseline_path + "'");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    check::Baseline baseline;
+    try {
+      baseline = check::Baseline::parse(buffer.str());
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+    const std::size_t before = report.diagnostics().size();
+    report = baseline.filterNew(report);
+    note("baseline: %zu of %zu finding(s) suppressed\n",
+         before - report.diagnostics().size(), before);
+  }
+
   if (args.has("--sarif")) {
     std::fputs(report.renderSarif().c_str(), stdout);
   } else if (args.has("--json")) {
@@ -667,8 +727,34 @@ int cmdDiff(const Args& args) {
     }
     certs.push_back(wm::parseSchedCertificate(in));
   }
-  const check::DiffResult diff = check::diffDesigns(
-      original, marked, certs, args.positional[0], args.positional[1]);
+  check::DiffResult diff;
+  if (const auto state_path = args.get("--resume")) {
+    check::DiffResumeState prior;
+    bool have_prior = false;
+    if (std::ifstream in(*state_path); in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        prior = check::parseDiffState(buffer.str());
+        have_prior = true;
+      } catch (const std::exception& e) {
+        die(e.what());
+      }
+    }
+    check::DiffResumeState next;
+    diff = check::resumeDiff(original, marked, certs,
+                             have_prior ? &prior : nullptr, &next,
+                             args.positional[0], args.positional[1]);
+    saveText(*state_path, check::diffStateToString(next));
+    note("resume: %s; %zu certificate(s) reused, %zu matched\n",
+         diff.resumed ? "prior state reused"
+                      : (have_prior ? "prior state stale, full diff"
+                                    : "no prior state, full diff"),
+         diff.certs_reused, diff.certs_matched);
+  } else {
+    diff = check::diffDesigns(original, marked, certs, args.positional[0],
+                              args.positional[1]);
+  }
   if (args.has("--sarif")) {
     std::fputs(diff.report.renderSarif().c_str(), stdout);
   } else if (args.has("--json")) {
@@ -682,6 +768,263 @@ int cmdDiff(const Args& args) {
        diff.extra_temporal.size(), diff.explained, certs.size());
   const bool fail = diff.report.hasErrors() ||
                     (args.has("--werror") && diff.report.hasWarnings());
+  return fail ? 1 : 0;
+}
+
+// --- `locwm delta`: ndjson edit stream against the incremental engine ---
+
+/// Parses one flat ndjson object ({"key": "string" | number, ...}) into
+/// key/value pairs (numbers kept as their literal text).  The edit
+/// vocabulary needs nothing deeper.  Blank lines yield an empty list.
+std::vector<std::pair<std::string, std::string>> parseEditLine(
+    const std::string& line, std::size_t lineno) {
+  const auto fail = [lineno](const std::string& why) {
+    die("delta: line " + std::to_string(lineno) + ": " + why);
+  };
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::size_t pos = 0;
+  const auto skipWs = [&] {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  const auto parseString = [&]() -> std::string {
+    ++pos;  // opening quote, checked by the caller
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+      char c = line[pos++];
+      if (c == '\\') {
+        if (pos >= line.size()) {
+          fail("dangling escape");
+        }
+        c = line[pos++];
+        if (c == 'n') {
+          c = '\n';
+        } else if (c == 't') {
+          c = '\t';
+        } else if (c != '"' && c != '\\' && c != '/') {
+          fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos >= line.size()) {
+      fail("unterminated string");
+    }
+    ++pos;  // closing quote
+    return out;
+  };
+  skipWs();
+  if (pos == line.size()) {
+    return fields;
+  }
+  if (line[pos] != '{') {
+    fail("expected '{'");
+  }
+  ++pos;
+  skipWs();
+  if (pos < line.size() && line[pos] == '}') {
+    return fields;
+  }
+  for (;;) {
+    skipWs();
+    if (pos >= line.size() || line[pos] != '"') {
+      fail("expected field name");
+    }
+    const std::string key = parseString();
+    skipWs();
+    if (pos >= line.size() || line[pos] != ':') {
+      fail("expected ':'");
+    }
+    ++pos;
+    skipWs();
+    std::string value;
+    if (pos < line.size() && line[pos] == '"') {
+      value = parseString();
+    } else {
+      while (pos < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[pos])) != 0 ||
+                                   line[pos] == '-' || line[pos] == '+')) {
+        value += line[pos++];
+      }
+      if (value.empty()) {
+        fail("expected string or number value");
+      }
+    }
+    fields.emplace_back(key, value);
+    skipWs();
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < line.size() && line[pos] == '}') {
+      return fields;
+    }
+    fail("expected ',' or '}'");
+  }
+}
+
+int cmdDelta(const Args& args) {
+  if (args.positional.empty()) {
+    die("delta: which design?");
+  }
+  cdfg::Cdfg g = loadDesign(args.positional[0]);
+  const bool verify = args.has("--verify");
+  const bool json = args.has("--json");
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.positional.size() > 1) {
+    file.open(args.positional[1]);
+    if (!file) {
+      die("cannot open edit stream '" + args.positional[1] + "'");
+    }
+    in = &file;
+  }
+
+  check::delta::IncrementalAnalysis engine(std::move(g), args.positional[0]);
+
+  cdfg::EditDelta batch;
+  std::vector<std::size_t> batch_lines;  // ops[i] came from line ...
+  std::size_t lineno = 0;
+  std::size_t commits = 0;
+  std::size_t rejected_total = 0;
+
+  const auto commit = [&] {
+    if (batch.empty()) {
+      return;
+    }
+    ++commits;
+    cdfg::AppliedDelta applied;
+    const check::delta::DeltaStats stats = engine.applyDelta(batch, &applied);
+    for (const cdfg::RejectedOp& rej : applied.rejected) {
+      std::fprintf(stderr, "locwm: delta: line %zu: rejected: %s\n",
+                   batch_lines[rej.index], rej.reason.c_str());
+    }
+    rejected_total += applied.rejected.size();
+    if (verify) {
+      const check::Report oracle =
+          check::checkSemantics(engine.graph(), engine.artifact());
+      if (oracle.renderText() != engine.semanticReportText()) {
+        die("delta: incremental report diverged from full recompute after "
+            "commit " +
+            std::to_string(commits));
+      }
+    }
+    if (json) {
+      std::printf(
+          "{\"commit\": %zu, \"accepted\": %zu, \"rejected\": %zu, "
+          "\"asap\": %zu, \"alap\": %zu, \"reach\": %zu, "
+          "\"closure_rows\": %zu, \"lw601\": %zu, \"lw602\": %zu, "
+          "\"nodes\": %zu, \"ranks_rebuilt\": %s, \"relowered\": %s, "
+          "\"full_rebuild\": %s, \"report_rebuilt\": %s%s}\n",
+          commits, stats.accepted_ops, stats.rejected_ops,
+          stats.asap_recomputed, stats.alap_recomputed,
+          stats.reach_recomputed, stats.closure_rows, stats.lw601_evals,
+          stats.lw602_evals, stats.node_evals,
+          stats.ranks_rebuilt ? "true" : "false",
+          stats.relowered ? "true" : "false",
+          stats.full_rebuild ? "true" : "false",
+          stats.report_rebuilt ? "true" : "false",
+          verify ? ", \"verified\": true" : "");
+    } else {
+      note("commit %zu: %zu op(s), %zu rejected; repaired asap %zu, "
+           "alap %zu, reach %zu, closure rows %zu, lw601 %zu, lw602 %zu, "
+           "node verdicts %zu%s%s%s\n",
+           commits, stats.accepted_ops, stats.rejected_ops,
+           stats.asap_recomputed, stats.alap_recomputed,
+           stats.reach_recomputed, stats.closure_rows, stats.lw601_evals,
+           stats.lw602_evals, stats.node_evals,
+           stats.full_rebuild ? " (full rebuild)" : "",
+           stats.relowered ? " (relowered)" : "",
+           verify ? " [verified]" : "");
+    }
+    batch = cdfg::EditDelta{};
+    batch_lines.clear();
+  };
+
+  const auto number = [](const std::string& value, const char* what,
+                         std::size_t at) -> std::uint32_t {
+    try {
+      return static_cast<std::uint32_t>(std::stoul(value));
+    } catch (const std::exception&) {
+      die("delta: line " + std::to_string(at) + ": " + what +
+          " needs a number, got '" + value + "'");
+    }
+  };
+
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    const auto fields = parseEditLine(line, lineno);
+    if (fields.empty()) {
+      continue;
+    }
+    const auto get = [&fields](const char* key) -> std::optional<std::string> {
+      for (const auto& [k, v] : fields) {
+        if (k == key) {
+          return v;
+        }
+      }
+      return std::nullopt;
+    };
+    const std::string op = get("op").value_or("");
+    if (op == "commit") {
+      commit();
+      continue;
+    }
+    if (op == "add-node") {
+      const std::string kind_name = get("kind").value_or("");
+      const auto kind = cdfg::opFromName(kind_name);
+      if (!kind) {
+        die("delta: line " + std::to_string(lineno) +
+            ": unknown operation kind '" + kind_name + "'");
+      }
+      batch.ops.push_back(
+          cdfg::EditOp::addNode(*kind, get("name").value_or("")));
+    } else if (op == "remove-node") {
+      batch.ops.push_back(cdfg::EditOp::removeNode(cdfg::NodeId(
+          number(get("node").value_or(""), "\"node\"", lineno))));
+    } else if (op == "add-edge" || op == "remove-edge") {
+      const std::string kind_name = get("kind").value_or("data");
+      cdfg::EdgeKind kind = cdfg::EdgeKind::kData;
+      if (kind_name == "control") {
+        kind = cdfg::EdgeKind::kControl;
+      } else if (kind_name == "temporal") {
+        kind = cdfg::EdgeKind::kTemporal;
+      } else if (kind_name != "data") {
+        die("delta: line " + std::to_string(lineno) +
+            ": unknown edge kind '" + kind_name + "'");
+      }
+      const cdfg::NodeId src(
+          number(get("src").value_or(""), "\"src\"", lineno));
+      const cdfg::NodeId dst(
+          number(get("dst").value_or(""), "\"dst\"", lineno));
+      batch.ops.push_back(op == "add-edge"
+                              ? cdfg::EditOp::addEdge(src, dst, kind)
+                              : cdfg::EditOp::removeEdge(src, dst, kind));
+    } else {
+      die("delta: line " + std::to_string(lineno) + ": unknown op '" + op +
+          "'");
+    }
+    batch_lines.push_back(lineno);
+  }
+  commit();  // implicit trailing commit
+
+  const check::Report& report = engine.semanticReport();
+  if (!json && (!report.empty() || !g_quiet)) {
+    std::fputs(engine.semanticReportText().c_str(), stdout);
+  }
+  note("%zu commit(s), %zu rejected op(s); design now %zu live node(s), "
+       "%zu edge(s)\n",
+       commits, rejected_total, engine.graph().liveNodeCount(),
+       engine.graph().edgeCount());
+  if (const auto out = args.get("-o")) {
+    saveText(*out, cdfg::printToString(engine.graph()));
+  }
+  const bool fail =
+      report.hasErrors() || (args.has("--werror") && report.hasWarnings());
   return fail ? 1 : 0;
 }
 
@@ -740,6 +1083,9 @@ int runCommand(const std::string& cmd, const Args& args) {
   }
   if (cmd == "diff") {
     return cmdDiff(args);
+  }
+  if (cmd == "delta") {
+    return cmdDelta(args);
   }
   usage();
 }

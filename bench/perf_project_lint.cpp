@@ -1,0 +1,170 @@
+// PERF-PROJECT — cold vs warm workspace analysis (`locwm lint
+// --project`) over a generated 500-artifact workspace: 250 random DFG
+// designs plus one ASAP schedule each, pinned to their design by an
+// explicit manifest.  The cold run fills the persistent analysis cache;
+// the warm runs must serve 100% of their probes from it and be at least
+// 5x faster (ISSUE 9 acceptance), with the report byte-identical across
+// cold/warm.  Not a paper table; documents the screen-then-verify shape
+// ROADMAP item 2's corpus scanner builds on.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cdfg/io.h"
+#include "cdfg/random_dfg.h"
+#include "check/project.h"
+#include "check/workspace.h"
+#include "rt/rt.h"
+
+namespace {
+
+using namespace locwm;
+namespace fs = std::filesystem;
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  const auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Parses `--artifacts N` (design/schedule files in total; default 500).
+std::size_t artifactsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--artifacts") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 500;
+}
+
+/// An ASAP schedule text (unit latency): step = longest-path depth.
+/// Satisfies every dependence and leaves no makespan slack, so a healthy
+/// pair checks clean.
+std::string asapScheduleText(const cdfg::Cdfg& g) {
+  const std::vector<cdfg::NodeId> topo = g.topologicalOrder();
+  std::vector<std::uint32_t> step(g.nodeCount(), 0);
+  for (const cdfg::NodeId u : topo) {
+    for (const cdfg::EdgeId e : g.outEdges(u)) {
+      const cdfg::NodeId v = g.edge(e).dst;
+      step[v.value()] = std::max(step[v.value()], step[u.value()] + 1);
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+    out += std::to_string(i) + " " + std::to_string(step[i]) + "\n";
+  }
+  return out;
+}
+
+void writeFile(const fs::path& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::applyThreadsFlag(argc, argv);
+  const std::uint64_t seed = bench::seedArg(argc, argv, /*fallback=*/7);
+  const std::size_t artifacts = artifactsArg(argc, argv);
+  const std::size_t pairs = std::max<std::size_t>(1, artifacts / 2);
+  bench::JsonReport json("perf_project_lint", argc, argv);
+  bench::banner("PERF-PROJECT: cold vs warm workspace analysis",
+                "workspace analyzer (docs/STATIC_ANALYSIS.md, \"Workspace "
+                "analysis\")");
+
+  // Generate the workspace: pairs of design + ASAP schedule, an explicit
+  // manifest pinning every reference.
+  const fs::path dir = fs::temp_directory_path() / "locwm_perf_project";
+  if (std::getenv("LOCWM_BENCH_KEEP") == nullptr) fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string manifest = "locwm-workspace v1\n";
+  char name[64];
+  for (std::size_t p = 0; p < pairs; ++p) {
+    cdfg::RandomDfgOptions options;
+    options.operations = 96 + (p % 7) * 16;
+    options.inputs = 8;
+    options.width = 12;
+    const cdfg::Cdfg g = cdfg::randomDfg(options, seed + p);
+    std::snprintf(name, sizeof name, "d%04zu.cdfg", p);
+    const std::string design = name;
+    writeFile(dir / design, cdfg::printToString(g));
+    std::snprintf(name, sizeof name, "s%04zu.sched", p);
+    const std::string sched = name;
+    writeFile(dir / sched, asapScheduleText(g));
+    manifest += "artifact " + design + "\n";
+    manifest += "artifact " + sched + " design=" + design + "\n";
+  }
+  const fs::path manifest_path = dir / "ws.manifest";
+  writeFile(manifest_path, manifest);
+
+  check::ProjectOptions options;
+  options.cache_dir = (dir / ".locwm-cache").string();
+  std::size_t findings = 0;
+  const auto run = [&](check::ProjectStats* stats) {
+    check::Workspace ws =
+        check::Workspace::fromManifestFile(manifest_path.string());
+    const check::ProjectResult result = check::checkProject(ws, options);
+    if (stats != nullptr) {
+      *stats = result.stats;
+    }
+    findings = result.report.diagnostics().size();
+    return result.report.renderText();
+  };
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  check::ProjectStats cold_stats;
+  const std::string cold_report = run(&cold_stats);
+  const double cold_ms = millisSince(cold_start);
+
+  double warm_ms = -1.0;
+  check::ProjectStats warm_stats;
+  std::string warm_report;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto warm_start = std::chrono::steady_clock::now();
+    warm_report = run(&warm_stats);
+    const double ms = millisSince(warm_start);
+    if (warm_ms < 0 || ms < warm_ms) {
+      warm_ms = ms;
+    }
+  }
+
+  const bool identical = cold_report == warm_report;
+  const double hit_pct = warm_stats.hitRatePct();
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : -1.0;
+  const bool meets_target = speedup >= 5.0;
+
+  std::printf("%10s %10s %9s %9s %8s %10s %6s\n", "artifacts", "findings",
+              "cold_ms", "warm_ms", "speedup", "hit_pct", "ok");
+  bench::rule(68);
+  std::printf("%10zu %10zu %9.2f %9.2f %7.1fx %9.1f%% %6s\n", 2 * pairs,
+              findings, cold_ms, warm_ms, speedup, hit_pct,
+              identical && meets_target ? "yes" : "NO");
+
+  json.row({{"seed", seed},
+            {"artifacts", static_cast<std::uint64_t>(2 * pairs)},
+            {"findings", static_cast<std::uint64_t>(findings)},
+            {"cold_ms", cold_ms},
+            {"warm_ms", warm_ms},
+            {"speedup", speedup},
+            {"cache_hit_pct", hit_pct},
+            {"identical", identical},
+            {"meets_target", meets_target}});
+
+  if (std::getenv("LOCWM_BENCH_KEEP") == nullptr) fs::remove_all(dir);
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: cold and warm reports differ\n");
+    return 1;
+  }
+  if (warm_stats.cache_hits != warm_stats.cache_probes) {
+    std::fprintf(stderr, "FAIL: warm run missed the cache (%zu/%zu)\n",
+                 warm_stats.cache_hits, warm_stats.cache_probes);
+    return 1;
+  }
+  return 0;
+}

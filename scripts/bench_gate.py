@@ -104,6 +104,21 @@ CONFIG = {
             "p99_ms": {"kind": "lower_better", "tol": WALL_TOL},
         },
     },
+    "perf_project_lint": {
+        "key": ("artifacts",),
+        "metrics": {
+            "seed": {"kind": "exact"},
+            "findings": {"kind": "exact"},
+            "cache_hit_pct": {"kind": "exact"},
+            # The ISSUE 9 acceptance invariants: byte-identical cold/warm
+            # reports and the >= 5x warm speedup must never regress
+            # silently.
+            "identical": {"kind": "exact"},
+            "meets_target": {"kind": "exact"},
+            "cold_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "warm_ms": {"kind": "lower_better", "tol": WALL_TOL},
+        },
+    },
 }
 
 

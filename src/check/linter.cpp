@@ -12,6 +12,7 @@
 #include "cdfg/io.h"
 #include "check/differ.h"
 #include "check/internal.h"
+#include "check/workspace.h"
 #include "obs/obs.h"
 #include "rt/rt.h"
 #include "core/certificate_io.h"
@@ -24,33 +25,6 @@ namespace locwm::check {
 namespace {
 
 using detail::diag;
-
-/// First line that is neither blank nor a '#' comment, comment stripped.
-std::string firstMeaningfulLine(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) {
-      line.resize(hash);
-    }
-    for (char c : line) {
-      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-        return line;
-      }
-    }
-  }
-  return {};
-}
-
-/// True when the line is "<uint> <uint>" — the schedule entry shape.
-bool looksLikeScheduleEntry(const std::string& line) {
-  std::istringstream ls(line);
-  std::uint32_t node = 0;
-  std::uint32_t step = 0;
-  std::string trailing;
-  return (ls >> node >> step) && !(ls >> trailing);
-}
 
 }  // namespace
 
@@ -70,37 +44,49 @@ void Linter::lintFile(const std::string& path) {
 }
 
 void Linter::lintText(const std::string& text, const std::string& name) {
-  const std::string header = firstMeaningfulLine(text);
-  std::istringstream hs(header);
-  std::string word;
-  hs >> word;
-
+  const SniffResult sniff = sniffArtifact(text);
   try {
-    if (word == "cdfg") {
-      lintDesign(text, name);
-    } else if (word == "tmcover") {
-      lintCover(text, name);
-    } else if (word == "tmlib") {
-      options_.library = tm::parseLibraryString(text);
-    } else if (word == "registers") {
-      lintBinding(text, name);
-    } else if (word == "locwm-cert") {
-      std::string version;
-      std::string kind;
-      hs >> version >> kind;
-      lintCertificate(text, name, kind);
-    } else if (looksLikeScheduleEntry(header)) {
-      lintSchedule(text, name);
-    } else if (word.empty()) {
-      report_.add(diag("LW002", Severity::kError, name, {},
-                       "artifact is empty",
-                       "expected a design, schedule, cover, binding, "
-                       "library, or certificate"));
-    } else {
-      report_.add(diag("LW002", Severity::kError, name, "'" + word + "'",
-                       "artifact kind cannot be recognized",
-                       "expected a design, schedule, cover, binding, "
-                       "library, or certificate"));
+    switch (sniff.kind) {
+      case ArtifactKind::kDesign:
+        lintDesign(text, name);
+        break;
+      case ArtifactKind::kCover:
+        lintCover(text, name);
+        break;
+      case ArtifactKind::kLibrary:
+        options_.library = tm::parseLibraryString(text);
+        break;
+      case ArtifactKind::kBinding:
+        lintBinding(text, name);
+        break;
+      case ArtifactKind::kCertSched:
+        lintCertificate(text, name, "sched");
+        break;
+      case ArtifactKind::kCertTm:
+        lintCertificate(text, name, "tm");
+        break;
+      case ArtifactKind::kCertReg:
+        lintCertificate(text, name, "reg");
+        break;
+      case ArtifactKind::kSchedule:
+        lintSchedule(text, name);
+        break;
+      case ArtifactKind::kManifest:
+        report_.add(diag("LW002", Severity::kError, name, {},
+                         "artifact is a workspace manifest",
+                         "lint the workspace it describes with "
+                         "--manifest instead"));
+        break;
+      case ArtifactKind::kUnknown:
+      case ArtifactKind::kUnreadable:
+        if (sniff.header_word == "locwm-cert") {
+          lintCertificate(text, name, sniff.cert_kind);
+        } else if (sniff.empty) {
+          report_.add(emptyArtifactDiag(name));
+        } else {
+          report_.add(unknownKindDiag(name, sniff));
+        }
+        break;
     }
   } catch (const Error& e) {
     report_.add(diag("LW001", Severity::kError, name, {}, e.what(),
@@ -133,10 +119,11 @@ void Linter::lintSchedule(const std::string& text, const std::string& name) {
                      "pass the design file before the schedule"));
     return;
   }
+  const cdfg::Cdfg& design = *design_;
   std::vector<sched::ScheduleParseIssue> issues;
   std::istringstream is(text);
-  sched::Schedule s = sched::parseSchedule(is, design_->nodeCount(), issues);
-  report_.merge(checkSchedule(*design_, s, issues, name));
+  sched::Schedule s = sched::parseSchedule(is, design.nodeCount(), issues);
+  report_.merge(checkSchedule(design, s, issues, name));
   schedule_ = std::move(s);
 }
 
@@ -147,11 +134,12 @@ void Linter::lintCover(const std::string& text, const std::string& name) {
                      "pass the design file before the cover"));
     return;
   }
+  const cdfg::Cdfg& design = *design_;
   std::vector<tm::CoverParseIssue> issues;
   std::istringstream is(text);
   const std::vector<tm::Matching> cover =
-      tm::parseCover(is, options_.library, design_->nodeCount(), issues);
-  report_.merge(checkCover(*design_, options_.library, cover, issues, name));
+      tm::parseCover(is, options_.library, design.nodeCount(), issues);
+  report_.merge(checkCover(design, options_.library, cover, issues, name));
 }
 
 void Linter::lintBinding(const std::string& text, const std::string& name) {
@@ -162,11 +150,13 @@ void Linter::lintBinding(const std::string& text, const std::string& name) {
                      "binding"));
     return;
   }
+  const cdfg::Cdfg& design = *design_;
+  const sched::Schedule& schedule = *schedule_;
   // Lenient binding parsing needs the lifetime table; if the schedule is
   // broken the table cannot be derived and the binding is uncheckable.
   regbind::LifetimeTable table;
   try {
-    table = regbind::computeLifetimes(*design_, *schedule_);
+    table = regbind::computeLifetimes(design, schedule);
   } catch (const Error& e) {
     report_.add(diag("LW402", Severity::kError, name, {},
                      std::string("value lifetimes cannot be derived: ") +
@@ -177,7 +167,7 @@ void Linter::lintBinding(const std::string& text, const std::string& name) {
   std::vector<regbind::BindingParseIssue> issues;
   std::istringstream is(text);
   const regbind::Binding binding = regbind::parseBinding(is, table, issues);
-  report_.merge(checkBinding(*design_, *schedule_, binding, issues, name));
+  report_.merge(checkBinding(design, schedule, binding, issues, name));
 }
 
 void Linter::lintCertificate(const std::string& text, const std::string& name,
@@ -209,15 +199,16 @@ void Linter::checkLocalityOverlap(const wm::WatermarkCertificate& cert,
   if (!design_ || cert.constraints.empty()) {
     return;
   }
+  const cdfg::Cdfg& design = *design_;
   std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> anchors;
-  for (const cdfg::EdgeId e : design_->temporalEdges()) {
-    const cdfg::Edge& ed = design_->edge(e);
+  for (const cdfg::EdgeId e : design.temporalEdges()) {
+    const cdfg::Edge& ed = design.edge(e);
     anchors.emplace_back(ed.src, ed.dst);
   }
   if (anchors.empty()) {
     return;
   }
-  const ShapeMatch match = matchCertificateShape(*design_, anchors, cert);
+  const ShapeMatch match = matchCertificateShape(design, anchors, cert);
   if (!match.matched) {
     return;
   }

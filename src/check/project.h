@@ -1,0 +1,85 @@
+// Cross-artifact ("link-time") analysis of a workspace — CLI command
+// `locwm lint --project`.
+//
+// checkProject() runs the full pipeline over a loaded Workspace:
+//
+//   1. digest every artifact (SHA-256 of its bytes);
+//   2. per-artifact *self* analysis (sniff, lenient parse, the LW0-6xx
+//      rules that need no context, metadata extraction), sharded onto
+//      rt::Pool and served from the persistent cache when the artifact's
+//      digest is unchanged;
+//   3. reference resolution: explicit manifest references, then
+//      compatibility-based inference (LW801/LW802/LW803);
+//   4. *pair* analysis of each artifact against its resolved context
+//      (schedule/cover/binding rule packs, the LW804 precedence-closure
+//      check, the LW805 locality-existence check), also sharded + cached;
+//   5. ring rules over the whole collection (LW806-LW809);
+//   6. deterministic merge: load report, then per-artifact findings in
+//      path order (self, resolution, pair), then ring findings.
+//
+// The report is byte-identical at any thread count and across cold/warm
+// cache runs — parallel stages write into per-artifact slots that are
+// merged serially in index order, and cache entries replay the exact
+// diagnostics the live analysis would emit (paths participate in every
+// cache key, so replayed artifact names are always current).
+//
+// Cache layout (docs/STATIC_ANALYSIS.md has the full story): one JSON
+// file per entry under the cache directory, `self-<key>.json` /
+// `pair-<key>.json`, keyed by SHA-256 over the entry kind, the rule-set
+// version, the artifact path + content digest, and (for pair entries)
+// every context artifact's path + digest.  Any mismatch — edited file,
+// renamed file, new rule-set — simply misses; stale entries are never
+// wrong, only dead weight.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "check/diagnostics.h"
+#include "check/workspace.h"
+#include "tm/template.h"
+
+namespace locwm::check {
+
+/// Options of the workspace analyzer.
+struct ProjectOptions {
+  /// Directory for persistent analysis-cache entries (created on demand).
+  /// Empty disables caching.
+  std::string cache_dir;
+  /// Library covers are checked against when the workspace has none.
+  tm::TemplateLibrary library = tm::TemplateLibrary::basicDsp();
+};
+
+/// Cache effectiveness counters of one run.
+struct ProjectStats {
+  std::size_t artifacts = 0;     ///< artifacts analyzed
+  std::size_t cache_probes = 0;  ///< cache lookups attempted
+  std::size_t cache_hits = 0;    ///< lookups served from the cache
+  std::size_t cache_stores = 0;  ///< entries (re)written this run
+
+  /// Hit percentage over the probes (100 on a fully warm run; 0 when the
+  /// cache is disabled and nothing was probed).
+  [[nodiscard]] double hitRatePct() const noexcept {
+    return cache_probes == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_probes);
+  }
+};
+
+/// Outcome of one workspace analysis.
+struct ProjectResult {
+  Report report;
+  ProjectStats stats;
+};
+
+/// Analyzes `ws` as described above.  Mutates the workspace in place:
+/// digests, metadata, and resolved reference indices are filled in.
+[[nodiscard]] ProjectResult checkProject(Workspace& ws,
+                                         const ProjectOptions& options = {});
+
+/// The rule-set version string baked into every cache key; changes
+/// whenever the rule catalogue does, invalidating all prior entries.
+[[nodiscard]] std::string ruleSetVersion();
+
+}  // namespace locwm::check

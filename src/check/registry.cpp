@@ -138,6 +138,41 @@ const std::vector<RuleInfo>& allRules() {
        "a supplied certificate's shape and constraints match nothing in "
        "the marked design",
        "§III"},
+      {"LW801", Severity::kError, "workspace",
+       "a workspace manifest entry is malformed: bad header/directive, "
+       "duplicate artifact, or a reference that is malformed, names no "
+       "workspace artifact, or targets the wrong artifact kind",
+       "§IV-A"},
+      {"LW802", Severity::kError, "workspace",
+       "a dangling reference: no compatible (or no parseable) target "
+       "artifact exists in the workspace",
+       "§IV-A"},
+      {"LW803", Severity::kWarning, "workspace",
+       "an ambiguous reference: several compatible targets exist and the "
+       "lexicographically first is assumed",
+       "§IV-A"},
+      {"LW804", Severity::kError, "workspace",
+       "a schedule contradicts its design's transitive precedence closure: "
+       "an operation starts before a transitive predecessor",
+       "§IV-A"},
+      {"LW805", Severity::kError, "workspace",
+       "a certificate's locality cannot exist in the design it references",
+       "§III"},
+      {"LW806", Severity::kWarning, "workspace",
+       "a certificate is a byte-identical duplicate of another one in the "
+       "ring and adds no evidence",
+       "§III"},
+      {"LW807", Severity::kError, "workspace",
+       "two different certificates draw the same key-stream context, "
+       "making them mutually forgeable",
+       "§III"},
+      {"LW808", Severity::kWarning, "workspace",
+       "an orphaned design or library is referenced by nothing in the "
+       "workspace",
+       "§IV-A"},
+      {"LW809", Severity::kWarning, "workspace",
+       "several distinct bindings claim the same schedule",
+       "§IV-A"},
   };
   return kRules;
 }

@@ -1,0 +1,401 @@
+#include "check/workspace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cdfg/error.h"
+#include "check/internal.h"
+
+namespace locwm::check {
+namespace {
+
+namespace fs = std::filesystem;
+using detail::diag;
+
+/// True when the line is "<uint> <uint>" — the schedule entry shape.
+bool looksLikeScheduleEntry(const std::string& line) {
+  std::istringstream ls(line);
+  std::uint32_t node = 0;
+  std::uint32_t step = 0;
+  std::string trailing;
+  return (ls >> node >> step) && !(ls >> trailing);
+}
+
+/// True when any '/'-separated component of `rel` is hidden (leading '.').
+bool hasHiddenComponent(const std::string& rel) {
+  std::size_t start = 0;
+  while (start < rel.size()) {
+    if (rel[start] == '.') {
+      return true;
+    }
+    const std::size_t slash = rel.find('/', start);
+    if (slash == std::string::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view artifactKindName(ArtifactKind kind) noexcept {
+  switch (kind) {
+    case ArtifactKind::kDesign:
+      return "design";
+    case ArtifactKind::kSchedule:
+      return "schedule";
+    case ArtifactKind::kCover:
+      return "cover";
+    case ArtifactKind::kBinding:
+      return "binding";
+    case ArtifactKind::kLibrary:
+      return "library";
+    case ArtifactKind::kCertSched:
+      return "sched-certificate";
+    case ArtifactKind::kCertTm:
+      return "tm-certificate";
+    case ArtifactKind::kCertReg:
+      return "reg-certificate";
+    case ArtifactKind::kManifest:
+      return "manifest";
+    case ArtifactKind::kUnknown:
+      return "unknown";
+    case ArtifactKind::kUnreadable:
+      return "unreadable";
+  }
+  return "unknown";
+}
+
+SniffResult sniffArtifact(const std::string& text) {
+  SniffResult r;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t line_end = eol == std::string::npos ? text.size() : eol;
+    // Strip a '#' comment, then find the first non-whitespace byte.
+    std::size_t end = line_end;
+    for (std::size_t i = pos; i < line_end; ++i) {
+      if (text[i] == '#') {
+        end = i;
+        break;
+      }
+    }
+    std::size_t first = pos;
+    while (first < end &&
+           std::isspace(static_cast<unsigned char>(text[first])) != 0) {
+      ++first;
+    }
+    if (first < end) {
+      r.empty = false;
+      r.first_byte = text[first];
+      r.first_offset = first;
+      const std::string line = text.substr(first, end - first);
+      std::istringstream ls(line);
+      ls >> r.header_word;
+      if (r.header_word == "cdfg") {
+        r.kind = ArtifactKind::kDesign;
+      } else if (r.header_word == "tmcover") {
+        r.kind = ArtifactKind::kCover;
+      } else if (r.header_word == "tmlib") {
+        r.kind = ArtifactKind::kLibrary;
+      } else if (r.header_word == "registers") {
+        r.kind = ArtifactKind::kBinding;
+      } else if (r.header_word == "locwm-workspace") {
+        r.kind = ArtifactKind::kManifest;
+      } else if (r.header_word == "locwm-cert") {
+        std::string version;
+        ls >> version >> r.cert_kind;
+        if (r.cert_kind == "sched") {
+          r.kind = ArtifactKind::kCertSched;
+        } else if (r.cert_kind == "tm") {
+          r.kind = ArtifactKind::kCertTm;
+        } else if (r.cert_kind == "reg") {
+          r.kind = ArtifactKind::kCertReg;
+        }  // else: kUnknown, cert_kind records what defeated us
+      } else if (looksLikeScheduleEntry(line)) {
+        r.kind = ArtifactKind::kSchedule;
+      }
+      return r;
+    }
+    if (eol == std::string::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+  return r;
+}
+
+std::string sniffDetail(const SniffResult& sniff) {
+  if (sniff.empty) {
+    return {};
+  }
+  static const char kHex[] = "0123456789abcdef";
+  const auto byte = static_cast<unsigned char>(sniff.first_byte);
+  std::string out = "first non-whitespace byte ";
+  if (std::isprint(byte) != 0) {
+    out += '\'';
+    out += sniff.first_byte;
+    out += "' (";
+  } else {
+    out += '(';
+  }
+  out += "0x";
+  out += kHex[byte >> 4];
+  out += kHex[byte & 0xF];
+  out += ") at offset " + std::to_string(sniff.first_offset);
+  return out;
+}
+
+Diagnostic emptyArtifactDiag(const std::string& artifact) {
+  return diag("LW002", Severity::kError, artifact, {}, "artifact is empty",
+              "expected a design, schedule, cover, binding, library, or "
+              "certificate");
+}
+
+Diagnostic unknownKindDiag(const std::string& artifact,
+                           const SniffResult& sniff) {
+  std::string word = sniff.header_word;
+  if (word.size() > 40) {  // binary junk: keep the diagnostic readable
+    word.resize(40);
+    word += "...";
+  }
+  return diag("LW002", Severity::kError, artifact, "'" + word + "'",
+              "artifact kind cannot be recognized; " + sniffDetail(sniff),
+              "expected a design, schedule, cover, binding, library, or "
+              "certificate");
+}
+
+Workspace Workspace::fromDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw Error("workspace directory is not readable: " + dir);
+  }
+  Workspace ws;
+  ws.root_ = dir;
+  // Collect relative paths first and sort so the load (and every
+  // diagnostic order derived from it) is independent of directory
+  // enumeration order.
+  std::vector<std::string> rels;
+  for (fs::recursive_directory_iterator it(dir, ec), last; !ec && it != last;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const std::string rel = fs::relative(it->path(), dir, ec).generic_string();
+    if (ec || rel.empty() || hasHiddenComponent(rel)) {
+      continue;
+    }
+    rels.push_back(rel);
+  }
+  std::sort(rels.begin(), rels.end());
+  for (const std::string& rel : rels) {
+    ws.addFromFile(rel, (fs::path(dir) / rel).string());
+  }
+  // Directory mode skips workspace manifests: the caller chose directory
+  // inference, and a manifest is not itself a lintable artifact.
+  std::erase_if(ws.artifacts_, [](const WorkspaceArtifact& a) {
+    return !a.text.empty() && sniffArtifact(a.text).kind == ArtifactKind::kManifest;
+  });
+  return ws;
+}
+
+Workspace Workspace::fromManifestFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw Error("workspace manifest is not readable: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string base = fs::path(path).parent_path().string();
+  return fromManifestText(buffer.str(), path, base.empty() ? "." : base);
+}
+
+Workspace Workspace::fromManifestText(const std::string& text,
+                                      const std::string& name,
+                                      const std::string& base_dir) {
+  Workspace ws;
+  ws.root_ = base_dir;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  // References parsed before their target's "artifact" line are legal, so
+  // unknown-reference checking waits until the whole manifest is read.
+  struct PendingRef {
+    std::size_t artifact;  // index into ws.artifacts_ load order
+    std::string path;
+    std::size_t line;
+  };
+  std::vector<PendingRef> refs;
+  std::vector<std::string> load_order;  // display paths, manifest order
+  for (; std::getline(is, line); ) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    const std::string at = "line " + std::to_string(lineno);
+    if (!saw_header) {
+      std::string version;
+      std::string trailing;
+      if (word != "locwm-workspace" || !(ls >> version) ||
+          version != "v1" || (ls >> trailing)) {
+        ws.load_report_.add(diag(
+            "LW801", Severity::kError, name, at,
+            "manifest must start with a 'locwm-workspace v1' header",
+            "see docs/STATIC_ANALYSIS.md for the workspace manifest format"));
+        return ws;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word != "artifact") {
+      ws.load_report_.add(diag(
+          "LW801", Severity::kError, name, at,
+          "unknown manifest directive '" + word + "'",
+          "every manifest entry is 'artifact <path> [design=..] "
+          "[schedule=..] [library=..]'"));
+      continue;
+    }
+    std::string path;
+    if (!(ls >> path)) {
+      ws.load_report_.add(diag("LW801", Severity::kError, name, at,
+                               "artifact entry is missing its path", {}));
+      continue;
+    }
+    if (ws.indexOfUnsorted(path) >= 0) {
+      ws.load_report_.add(diag(
+          "LW801", Severity::kError, name, at,
+          "duplicate artifact '" + path + "'",
+          "each workspace path may be listed once"));
+      continue;
+    }
+    WorkspaceArtifact entry;
+    bool ok = true;
+    std::string opt;
+    while (ls >> opt) {
+      const std::size_t eq = opt.find('=');
+      const std::string key = eq == std::string::npos ? opt : opt.substr(0, eq);
+      if (eq == std::string::npos || eq + 1 >= opt.size() ||
+          (key != "design" && key != "schedule" && key != "library")) {
+        ws.load_report_.add(diag(
+            "LW801", Severity::kError, name, at,
+            "malformed reference '" + opt + "' on artifact '" + path + "'",
+            "references are design=<path>, schedule=<path>, or "
+            "library=<path>"));
+        ok = false;
+        break;
+      }
+      const std::string target = opt.substr(eq + 1);
+      std::optional<std::string>& slot = key == "design" ? entry.ref_design
+                                         : key == "schedule"
+                                             ? entry.ref_schedule
+                                             : entry.ref_library;
+      if (slot) {
+        ws.load_report_.add(diag(
+            "LW801", Severity::kError, name, at,
+            "artifact '" + path + "' names two " + key + " references", {}));
+        ok = false;
+        break;
+      }
+      slot = target;
+      refs.push_back({load_order.size(), target, lineno});
+    }
+    if (!ok) {
+      continue;
+    }
+    const std::string file = (fs::path(base_dir) / path).string();
+    const std::size_t index = ws.artifacts_.size();
+    ws.addFromFile(path, file);
+    entry.path = std::move(ws.artifacts_[index].path);
+    entry.file = std::move(ws.artifacts_[index].file);
+    entry.text = std::move(ws.artifacts_[index].text);
+    entry.meta = ws.artifacts_[index].meta;
+    ws.artifacts_[index] = std::move(entry);
+    load_order.push_back(ws.artifacts_[index].path);
+  }
+  if (!saw_header && ws.load_report_.empty()) {
+    ws.load_report_.add(diag(
+        "LW801", Severity::kError, name, {},
+        "manifest must start with a 'locwm-workspace v1' header",
+        "see docs/STATIC_ANALYSIS.md for the workspace manifest format"));
+  }
+  // Unknown-reference check, against the full path set.
+  for (const PendingRef& ref : refs) {
+    if (ws.indexOfUnsorted(ref.path) < 0) {
+      ws.load_report_.add(diag(
+          "LW801", Severity::kError, name,
+          "line " + std::to_string(ref.line),
+          "reference '" + ref.path + "' names no artifact of the workspace",
+          "references use the target's manifest path, verbatim"));
+    }
+  }
+  ws.sortArtifacts();
+  return ws;
+}
+
+void Workspace::addArtifactText(std::string path, std::string text) {
+  WorkspaceArtifact a;
+  a.path = std::move(path);
+  a.text = std::move(text);
+  artifacts_.push_back(std::move(a));
+  sortArtifacts();
+}
+
+void Workspace::addFromFile(std::string display, const std::string& file) {
+  WorkspaceArtifact a;
+  a.path = std::move(display);
+  a.file = file;
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    a.meta.kind = ArtifactKind::kUnreadable;
+    load_report_.add(diag("LW001", Severity::kError, a.path, {},
+                          "cannot open file",
+                          "check the path and permissions"));
+  } else {
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    a.text = buffer.str();
+  }
+  artifacts_.push_back(std::move(a));
+}
+
+void Workspace::sortArtifacts() {
+  std::sort(artifacts_.begin(), artifacts_.end(),
+            [](const WorkspaceArtifact& a, const WorkspaceArtifact& b) {
+              return a.path < b.path;
+            });
+}
+
+std::ptrdiff_t Workspace::indexOf(const std::string& path) const {
+  const auto it = std::lower_bound(
+      artifacts_.begin(), artifacts_.end(), path,
+      [](const WorkspaceArtifact& a, const std::string& p) {
+        return a.path < p;
+      });
+  if (it == artifacts_.end() || it->path != path) {
+    return -1;
+  }
+  return it - artifacts_.begin();
+}
+
+std::ptrdiff_t Workspace::indexOfUnsorted(const std::string& path) const {
+  for (std::size_t i = 0; i < artifacts_.size(); ++i) {
+    if (artifacts_[i].path == path) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace locwm::check

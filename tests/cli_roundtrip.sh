@@ -94,6 +94,69 @@ if "$LW" lint core.sched > /dev/null 2>&1; then
   exit 1
 fi
 
+# ...zero artifacts is a usage error: usage on stderr, exit 2, empty stdout.
+RC=0
+"$LW" lint > zerolint.out 2> zerolint.err || RC=$?
+test "$RC" -eq 2
+test ! -s zerolint.out
+grep -q 'which artifacts' zerolint.err
+grep -q 'usage: locwm' zerolint.err
+
+# ...an unrecognized artifact names the byte and offset that defeated
+# sniffing.
+printf '\n  @garbage here\n' > junk.txt
+if "$LW" lint junk.txt > junk.out 2>&1; then
+  echo "lint accepted an unrecognizable artifact" >&2
+  exit 1
+fi
+grep -q 'LW002' junk.out
+grep -q "first non-whitespace byte '@' (0x40) at offset 3" junk.out
+
+# Workspace analysis: the whole directory lints through the manifest with
+# a cold run filling the cache and a warm run serving 100% from it, both
+# byte-identical — as is an uncached run at a different thread count.
+mkdir ws
+cp marked.cdfg published.cdfg core.sched pub.sched reg.bind lib.tml \
+   tm.cover ws/
+cat > ws/ws.manifest <<'EOF'
+locwm-workspace v1
+artifact marked.cdfg
+artifact published.cdfg
+artifact core.sched design=marked.cdfg
+artifact pub.sched design=published.cdfg
+artifact reg.bind schedule=pub.sched
+artifact tm.cover design=published.cdfg library=lib.tml
+artifact lib.tml
+EOF
+"$LW" lint --manifest ws/ws.manifest --cache ws.cache > ws-cold.out
+grep -q '(0.0%)' ws-cold.out
+"$LW" lint --manifest ws/ws.manifest --cache ws.cache > ws-warm.out
+grep -q '(100.0%)' ws-warm.out
+sed '$d' ws-cold.out > ws-cold.rep
+sed '$d' ws-warm.out > ws-warm.rep
+cmp ws-cold.rep ws-warm.rep
+"$LW" lint --manifest ws/ws.manifest --no-cache --threads 2 > ws-t2.out
+sed '$d' ws-t2.out > ws-t2.rep
+cmp ws-cold.rep ws-t2.rep
+
+# ...directory mode infers the references (and the manifest is skipped as
+# an artifact): with two same-size designs the inference is ambiguous, and
+# the analyzer says so instead of guessing silently.  The aggregated SARIF
+# spans the whole workspace either way.
+"$LW" lint --project ws --no-cache > ws-dir.out 2>&1 || true
+grep -q 'LW803' ws-dir.out
+"$LW" lint --project ws --no-cache --sarif -q > ws.sarif || true
+grep -q '"version": "2.1.0"' ws.sarif
+
+# ...a dangling workspace reference is a stable LW8xx error.
+printf '99999 0\n' > ws/stray.sched
+if "$LW" lint --project ws --no-cache > ws-bad.out 2>&1; then
+  echo "workspace lint accepted a dangling reference" >&2
+  exit 1
+fi
+grep -q 'LW802' ws-bad.out
+rm ws/stray.sched
+
 # Differential verification: the marked design is the original plus the
 # certificates' temporal edges and nothing else (exit 0, watermark infos
 # only)...
@@ -164,7 +227,7 @@ grep -q 'LW706' resume2.out
 # ...validated structurally when python3 and the repo checkout are around,
 # as is the OpenMetrics exposition (required families per ISSUE 7).
 if [ -n "$SRC" ] && command -v python3 > /dev/null 2>&1; then
-  python3 "$SRC/scripts/check_sarif.py" lint.sarif diff.sarif
+  python3 "$SRC/scripts/check_sarif.py" lint.sarif diff.sarif ws.sarif
   python3 "$SRC/scripts/check_metrics.py" metrics.txt \
       --require locwm_rt_lane_utilization_pct \
       --require locwm_mem_peak_rss_kib \

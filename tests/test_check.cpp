@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cdfg/graph.h"
@@ -19,7 +22,10 @@
 #include "check/diagnostics.h"
 #include "check/linter.h"
 #include "check/pass_audit.h"
+#include "check/project.h"
 #include "check/rules.h"
+#include "check/workspace.h"
+#include "rt/rt.h"
 #include "core/certificate_io.h"
 #include "core/pass_audit.h"
 #include "core/sched_wm.h"
@@ -647,6 +653,216 @@ TEST(CheckRender, SummaryCountsMatchSeverities) {
 }
 
 // ---------------------------------------------------------------------------
+// Workspace analysis (LW8xx): cross-artifact rules over an in-memory
+// workspace, plus the analysis cache's determinism contract.
+
+/// Runs checkProject (no cache) over in-memory artifacts.
+check::ProjectResult projectCheck(
+    const std::vector<std::pair<std::string, std::string>>& artifacts) {
+  check::Workspace ws;
+  for (const auto& [path, text] : artifacts) {
+    ws.addArtifactText(path, text);
+  }
+  return check::checkProject(ws);
+}
+
+// A 3-node chain with one interior op: input(0) -> add(1) -> output(2).
+const char* const kTinyDesign =
+    "cdfg v1\n"
+    "node 0 input\n"
+    "node 1 add\n"
+    "node 2 output\n"
+    "edge 0 1 data\n"
+    "edge 1 2 data\n";
+
+// A sched certificate whose 2-add shape fits kChainDesign/kTinyDesign.
+const char* const kRingCertA =
+    "locwm-cert v1 sched\n"
+    "context ring/0\n"
+    "params 2 96 4\n"
+    "root-rank 1\n"
+    "constraint 1 0\n"
+    "shape-begin\n"
+    "cdfg v1\n"
+    "node 0 add\n"
+    "node 1 add\n"
+    "edge 0 1 data\n"
+    "shape-end\n";
+
+TEST(CheckProject, CleanWorkspaceHasNoFindings) {
+  const auto result = projectCheck({{"design.cdfg", kChainDesign},
+                                    {"sched.txt", "0 0\n1 1\n2 2\n3 3\n"}});
+  EXPECT_FALSE(result.report.hasErrors()) << result.report.renderText();
+  EXPECT_FALSE(result.report.hasWarnings()) << result.report.renderText();
+}
+
+TEST(CheckProject, LW801MalformedManifest) {
+  const check::Workspace ws = check::Workspace::fromManifestText(
+      "locwm-workspace v1\nwidget a.cdfg\n", "ws.manifest", ".");
+  EXPECT_TRUE(hasCode(ws.loadReport(), "LW801"))
+      << ws.loadReport().renderText();
+  const check::Workspace bad_header = check::Workspace::fromManifestText(
+      "cdfg v1\n", "ws.manifest", ".");
+  EXPECT_TRUE(hasCode(bad_header.loadReport(), "LW801"));
+}
+
+TEST(CheckProject, LW801WrongKindReference) {
+  check::Workspace ws;
+  ws.addArtifactText("design.cdfg", kChainDesign);
+  ws.addArtifactText("sched.txt", "0 0\n1 1\n2 2\n3 3\n");
+  auto& sched =
+      ws.artifacts()[static_cast<std::size_t>(ws.indexOf("sched.txt"))];
+  sched.ref_design = "sched.txt";  // a schedule is no design
+  const auto result = check::checkProject(ws);
+  EXPECT_TRUE(hasCode(result.report, "LW801"))
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW802DanglingReference) {
+  const auto result = projectCheck(
+      {{"design.cdfg", kChainDesign}, {"sched.txt", "9 0\n"}});
+  EXPECT_TRUE(hasCode(result.report, "LW802"))
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW803AmbiguousReference) {
+  const auto result = projectCheck({{"a.cdfg", kChainDesign},
+                                    {"b.cdfg", kTinyDesign},
+                                    {"sched.txt", "0 0\n1 1\n2 2\n"}});
+  EXPECT_TRUE(hasCode(result.report, "LW803"))
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW804PrecedenceClosureViolation) {
+  // Node 1 is unassigned, so no *direct* edge check can see that the
+  // schedule starts the output (step 0) before the input (step 5); only
+  // the transitive closure 0 -> 1 -> 2 does.
+  const auto result = projectCheck(
+      {{"design.cdfg", kTinyDesign}, {"sched.txt", "0 5\n2 0\n"}});
+  EXPECT_TRUE(hasCode(result.report, "LW804"))
+      << result.report.renderText();
+  EXPECT_FALSE(hasCode(result.report, "LW202"));
+}
+
+TEST(CheckProject, LW805LocalityCannotExist) {
+  const char* const cert =
+      "locwm-cert v1 sched\n"
+      "context ring/0\n"
+      "params 2 96 4\n"
+      "root-rank 1\n"
+      "constraint 1 0\n"
+      "shape-begin\n"
+      "cdfg v1\n"
+      "node 0 cmul\n"  // kChainDesign has no cmul
+      "node 1 add\n"
+      "edge 0 1 data\n"
+      "shape-end\n";
+  const auto result =
+      projectCheck({{"design.cdfg", kChainDesign}, {"mark.cert", cert}});
+  EXPECT_TRUE(hasCode(result.report, "LW805"))
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW806DuplicateCertificate) {
+  const auto result = projectCheck({{"design.cdfg", kChainDesign},
+                                    {"a.cert", kRingCertA},
+                                    {"b.cert", kRingCertA}});
+  EXPECT_EQ(countCode(result.report, "LW806"), 1u)
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW807CollidingCertificateKeys) {
+  std::string other = kRingCertA;
+  const auto pos = other.find("root-rank 1");
+  ASSERT_NE(pos, std::string::npos);
+  other.replace(pos, 11, "root-rank 0");  // same context, new content
+  const auto result = projectCheck({{"design.cdfg", kChainDesign},
+                                    {"a.cert", kRingCertA},
+                                    {"b.cert", other}});
+  EXPECT_TRUE(hasCode(result.report, "LW807"))
+      << result.report.renderText();
+  EXPECT_FALSE(hasCode(result.report, "LW806"));
+}
+
+TEST(CheckProject, LW808OrphanedDesign) {
+  check::Workspace ws;
+  ws.addArtifactText("a.cdfg", kChainDesign);
+  ws.addArtifactText("b.cdfg", kTinyDesign);
+  ws.addArtifactText("sched.txt", "0 0\n1 1\n2 2\n3 3\n");
+  auto& sched =
+      ws.artifacts()[static_cast<std::size_t>(ws.indexOf("sched.txt"))];
+  sched.ref_design = "a.cdfg";
+  const auto result = check::checkProject(ws);
+  EXPECT_EQ(countCode(result.report, "LW808"), 1u)
+      << result.report.renderText();
+}
+
+TEST(CheckProject, LW809ConflictingBindings) {
+  const auto result = projectCheck({{"design.cdfg", kChainDesign},
+                                    {"sched.txt", "0 0\n1 1\n2 2\n3 3\n"},
+                                    {"x.bind", "registers 2\n1 0\n2 1\n"},
+                                    {"y.bind", "registers 2\n1 1\n2 0\n"}});
+  EXPECT_TRUE(hasCode(result.report, "LW809"))
+      << result.report.renderText();
+}
+
+TEST(CheckProject, CacheDeterminismColdWarmEditAcrossThreads) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "locwm-project-cache-test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&](const char* name, const std::string& text) {
+    std::ofstream os(dir / name, std::ios::binary | std::ios::trunc);
+    os << text;
+  };
+  write("a.cdfg", kChainDesign);
+  write("b.cdfg", kTinyDesign);
+  write("sched.txt", "0 0\n1 1\n2 2\n");  // ambiguous: LW803 + LW808
+  write("ring.cert", kRingCertA);
+  const std::string cache = (dir / ".locwm-cache").string();
+  const auto run = [&](std::size_t threads, bool use_cache,
+                       check::ProjectStats* stats = nullptr) {
+    rt::setThreadCount(threads);
+    check::Workspace ws = check::Workspace::fromDirectory(dir.string());
+    check::ProjectOptions options;
+    if (use_cache) {
+      options.cache_dir = cache;
+    }
+    const check::ProjectResult result = check::checkProject(ws, options);
+    if (stats != nullptr) {
+      *stats = result.stats;
+    }
+    return result.report.renderText();
+  };
+  const std::string cold = run(1, true);
+  check::ProjectStats warm_stats;
+  const std::string warm2 = run(2, true, &warm_stats);
+  const std::string warm8 = run(8, true);
+  EXPECT_EQ(cold, warm2);
+  EXPECT_EQ(cold, warm8);
+  EXPECT_EQ(cold, run(4, false)) << "cache must not change the report";
+  EXPECT_EQ(warm_stats.cache_hits, warm_stats.cache_probes);
+  EXPECT_GT(warm_stats.cache_probes, 0u);
+  // Editing one artifact invalidates exactly its entries; the warm
+  // post-edit report must match a fresh uncached run byte for byte.
+  write("sched.txt", "9 0\n");  // now dangling: LW802
+  const std::string edited_warm = run(8, true);
+  const std::string edited_fresh = run(1, false);
+  EXPECT_EQ(edited_warm, edited_fresh);
+  EXPECT_NE(cold, edited_warm);
+  rt::setThreadCount(0);  // restore automatic sizing for other tests
+  fs::remove_all(dir);
+}
+
+TEST(CheckProject, RuleSetVersionTracksCatalogue) {
+  const std::string v = check::ruleSetVersion();
+  EXPECT_NE(v.find(std::to_string(check::allRules().size())),
+            std::string::npos)
+      << v;
+}
+
+// ---------------------------------------------------------------------------
 // Rule registry: the catalogue is the documented, stable API surface.
 
 TEST(CheckRegistry, CataloguesEveryCodeOnceInOrder) {
@@ -657,7 +873,8 @@ TEST(CheckRegistry, CataloguesEveryCodeOnceInOrder) {
       "LW301", "LW302", "LW303", "LW304", "LW401", "LW402", "LW403",
       "LW501", "LW502", "LW503", "LW504", "LW505", "LW601", "LW602",
       "LW603", "LW604", "LW605", "LW606", "LW701", "LW702", "LW703",
-      "LW704", "LW705", "LW706", "LW707"};
+      "LW704", "LW705", "LW706", "LW707", "LW801", "LW802", "LW803",
+      "LW804", "LW805", "LW806", "LW807", "LW808", "LW809"};
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].code, expected[i]);

@@ -23,6 +23,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -53,6 +54,8 @@
 #include "check/incremental.h"
 #include "check/linter.h"
 #include "check/pass_audit.h"
+#include "check/project.h"
+#include "check/workspace.h"
 #include "check/rules.h"
 #include "core/certificate_io.h"
 #include "core/tm_wm.h"
@@ -99,7 +102,9 @@ void note(const char* format, ...) {
 }
 
 [[noreturn]] void usage() {
-  std::puts(
+  // Usage is a diagnostic (exit 2), so it belongs on stderr: piping the
+  // tool's real output stays clean when invoked wrongly.
+  std::fputs(
       "usage: locwm <command> [args]\n"
       "\n"
       "commands:\n"
@@ -137,6 +142,19 @@ void note(const char* format, ...) {
       "                                 --update-baseline to regenerate\n"
       "                                 the file from this run.  See\n"
       "                                 docs/STATIC_ANALYSIS.md\n"
+      "  lint --project DIR | --manifest FILE [--cache DIR] [--no-cache]\n"
+      "       [--json] [--sarif] [--werror] [--lib FILE]\n"
+      "                                 cross-artifact workspace analysis:\n"
+      "                                 loads every artifact of a\n"
+      "                                 directory (or the manifest's\n"
+      "                                 list), resolves references\n"
+      "                                 between them, and runs the LW8xx\n"
+      "                                 rules on top of the per-artifact\n"
+      "                                 ones.  Results are cached under\n"
+      "                                 DIR/.locwm-cache (override with\n"
+      "                                 --cache) keyed by content digest,\n"
+      "                                 so warm re-runs skip unchanged\n"
+      "                                 artifacts\n"
       "  diff ORIGINAL MARKED [CERT...] [--json] [--sarif] [--werror]\n"
       "       [--resume FILE]           prove MARKED is ORIGINAL plus\n"
       "                                 watermark temporal edges only;\n"
@@ -190,7 +208,8 @@ void note(const char* format, ...) {
       "environment:\n"
       "  LOCWM_CHECK_PASSES=1           audit every embed/detect pass\n"
       "                                 product with the lint rules\n"
-      "                                 (findings go to stderr)");
+      "                                 (findings go to stderr)\n",
+      stderr);
   std::exit(2);
 }
 
@@ -258,7 +277,8 @@ struct Args {
 bool isBooleanFlag(const std::string& name) {
   return name == "-q" || name == "--quiet" || name == "--report" ||
          name == "--json" || name == "--werror" || name == "--sarif" ||
-         name == "--verify" || name == "--update-baseline";
+         name == "--verify" || name == "--update-baseline" ||
+         name == "--no-cache";
 }
 
 Args parseArgs(int argc, char** argv, int first) {
@@ -654,22 +674,55 @@ int cmdVerifyCert(const Args& args) {
 }
 
 int cmdLint(const Args& args) {
-  if (args.positional.empty()) {
-    die("lint: which artifacts?");
+  const auto project_dir = args.get("--project");
+  const auto manifest_path = args.get("--manifest");
+  const bool project_mode =
+      project_dir.has_value() || manifest_path.has_value();
+  if (!project_mode && args.positional.empty()) {
+    std::fprintf(stderr, "locwm: lint: which artifacts?\n\n");
+    usage();  // exits 2
   }
-  check::LintOptions options;
+  tm::TemplateLibrary library = tm::TemplateLibrary::basicDsp();
   if (const auto path = args.get("--lib")) {
     std::ifstream in(*path);
     if (!in) {
       die("cannot open template library '" + *path + "'");
     }
-    options.library = tm::parseLibrary(in);
+    library = tm::parseLibrary(in);
   }
-  check::Linter linter(std::move(options));
-  for (const std::string& path : args.positional) {
-    linter.lintFile(path);
+  check::Report report;
+  check::ProjectStats project_stats;
+  if (project_mode) {
+    if (!args.positional.empty()) {
+      die("lint: --project/--manifest and positional artifacts are "
+          "mutually exclusive");
+    }
+    try {
+      check::Workspace ws =
+          manifest_path
+              ? check::Workspace::fromManifestFile(*manifest_path)
+              : check::Workspace::fromDirectory(project_dir.value_or("."));
+      check::ProjectOptions options;
+      options.library = std::move(library);
+      if (!args.has("--no-cache")) {
+        options.cache_dir = args.get("--cache").value_or(
+            (std::filesystem::path(ws.root()) / ".locwm-cache").string());
+      }
+      check::ProjectResult result = check::checkProject(ws, options);
+      report = std::move(result.report);
+      project_stats = result.stats;
+    } catch (const Error& e) {
+      die(e.what());
+    }
+  } else {
+    check::LintOptions options;
+    options.library = std::move(library);
+    check::Linter linter(std::move(options));
+    for (const std::string& path : args.positional) {
+      linter.lintFile(path);
+    }
+    report = linter.report();
   }
-  check::Report report = linter.report();
 
   // Baseline ratchet: report only findings the baseline doesn't know.
   const auto baseline_path = args.get("--baseline");
@@ -707,6 +760,13 @@ int cmdLint(const Args& args) {
     std::fputs(report.renderJson().c_str(), stdout);
   } else if (!report.empty() || !g_quiet) {
     std::fputs(report.renderText().c_str(), stdout);
+  }
+  if (project_mode) {
+    note("project: %zu artifact(s), %zu finding(s), cache %zu/%zu hit(s) "
+         "(%.1f%%)\n",
+         project_stats.artifacts, report.diagnostics().size(),
+         project_stats.cache_hits, project_stats.cache_probes,
+         project_stats.hitRatePct());
   }
   const bool fail =
       report.hasErrors() || (args.has("--werror") && report.hasWarnings());

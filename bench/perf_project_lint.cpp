@@ -1,11 +1,12 @@
 // PERF-PROJECT — cold vs warm workspace analysis (`locwm lint
 // --project`) over a generated 500-artifact workspace: 250 random DFG
-// designs plus one ASAP schedule each, pinned to their design by an
-// explicit manifest.  The cold run fills the persistent analysis cache;
-// the warm runs must serve 100% of their probes from it and be at least
-// 5x faster (ISSUE 9 acceptance), with the report byte-identical across
-// cold/warm.  Not a paper table; documents the screen-then-verify shape
-// ROADMAP item 2's corpus scanner builds on.
+// designs plus one list schedule each (the shared scan::corpus fixture,
+// also used by test_scan and disc_corpus_scan), pinned to their design
+// by an explicit manifest.  The cold run fills the persistent analysis
+// cache; the warm runs must serve 100% of their probes from it and be at
+// least 5x faster (ISSUE 9 acceptance), with the report byte-identical
+// across cold/warm.  Not a paper table; documents the screen-then-verify
+// shape ROADMAP item 2's corpus scanner builds on.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -16,11 +17,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "cdfg/io.h"
-#include "cdfg/random_dfg.h"
 #include "check/project.h"
 #include "check/workspace.h"
 #include "rt/rt.h"
+#include "scan/corpus.h"
 
 namespace {
 
@@ -42,25 +42,6 @@ std::size_t artifactsArg(int argc, char** argv) {
   return 500;
 }
 
-/// An ASAP schedule text (unit latency): step = longest-path depth.
-/// Satisfies every dependence and leaves no makespan slack, so a healthy
-/// pair checks clean.
-std::string asapScheduleText(const cdfg::Cdfg& g) {
-  const std::vector<cdfg::NodeId> topo = g.topologicalOrder();
-  std::vector<std::uint32_t> step(g.nodeCount(), 0);
-  for (const cdfg::NodeId u : topo) {
-    for (const cdfg::EdgeId e : g.outEdges(u)) {
-      const cdfg::NodeId v = g.edge(e).dst;
-      step[v.value()] = std::max(step[v.value()], step[u.value()] + 1);
-    }
-  }
-  std::string out;
-  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
-    out += std::to_string(i) + " " + std::to_string(step[i]) + "\n";
-  }
-  return out;
-}
-
 void writeFile(const fs::path& path, const std::string& text) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   os << text;
@@ -78,27 +59,23 @@ int main(int argc, char** argv) {
                 "workspace analyzer (docs/STATIC_ANALYSIS.md, \"Workspace "
                 "analysis\")");
 
-  // Generate the workspace: pairs of design + ASAP schedule, an explicit
-  // manifest pinning every reference.
+  // Generate the workspace from the shared random-corpus fixture
+  // (scan/corpus.h, the same generator test_scan and disc_corpus_scan
+  // use): pairs of design + list schedule, an explicit manifest pinning
+  // every reference.
   const fs::path dir = fs::temp_directory_path() / "locwm_perf_project";
   if (std::getenv("LOCWM_BENCH_KEEP") == nullptr) fs::remove_all(dir);
-  fs::create_directories(dir);
+  scan::CorpusSpec spec;
+  spec.designs = pairs;
+  spec.ops_min = 96;
+  spec.ops_max = 192;
+  const scan::BuiltCorpus corpus = scan::buildRandomCorpus(spec, seed);
+  scan::writeCorpus(corpus, dir.string());
   std::string manifest = "locwm-workspace v1\n";
-  char name[64];
-  for (std::size_t p = 0; p < pairs; ++p) {
-    cdfg::RandomDfgOptions options;
-    options.operations = 96 + (p % 7) * 16;
-    options.inputs = 8;
-    options.width = 12;
-    const cdfg::Cdfg g = cdfg::randomDfg(options, seed + p);
-    std::snprintf(name, sizeof name, "d%04zu.cdfg", p);
-    const std::string design = name;
-    writeFile(dir / design, cdfg::printToString(g));
-    std::snprintf(name, sizeof name, "s%04zu.sched", p);
-    const std::string sched = name;
-    writeFile(dir / sched, asapScheduleText(g));
-    manifest += "artifact " + design + "\n";
-    manifest += "artifact " + sched + " design=" + design + "\n";
+  for (const scan::CorpusItem& item : corpus.items) {
+    manifest += "artifact " + item.path + "\n";
+    manifest +=
+        "artifact " + item.schedule_path + " design=" + item.path + "\n";
   }
   const fs::path manifest_path = dir / "ws.manifest";
   writeFile(manifest_path, manifest);

@@ -104,6 +104,32 @@ CONFIG = {
             "p99_ms": {"kind": "lower_better", "tol": WALL_TOL},
         },
     },
+    "disc_corpus_scan": {
+        "key": ("designs", "certs"),
+        "metrics": {
+            "seed": {"kind": "exact"},
+            "threads": {"kind": "exact"},
+            # Soundness invariants (ISSUE 10 acceptance): the pre-filter
+            # must find exactly the pairs the exact scan finds, including
+            # every planted one.  Pinned exactly — any drift is a recall
+            # bug, not noise.
+            "planted": {"kind": "exact"},
+            "matched_planted": {"kind": "exact"},
+            "recall_planted": {"kind": "exact"},
+            "match_rows_equal": {"kind": "exact"},
+            "matches": {"kind": "exact"},
+            "pruned_pairs": {"kind": "exact"},
+            "survivor_pairs": {"kind": "exact"},
+            "precision": {"kind": "exact"},
+            "pre_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            "exact_ms": {"kind": "lower_better", "tol": WALL_TOL},
+            # Wall-clock ratio on one machine: far more stable than the
+            # raw times, so the default tolerance applies.  meets_target
+            # (>= 10x) is NOT pinned — the CI config is smaller than the
+            # acceptance corpus and may legitimately hover near the bar.
+            "speedup": {"kind": "higher_better"},
+        },
+    },
     "perf_project_lint": {
         "key": ("artifacts",),
         "metrics": {

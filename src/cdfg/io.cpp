@@ -30,14 +30,16 @@ std::string printToString(const Cdfg& g) {
 
 namespace {
 
-Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
+Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues,
+               const std::string& source = {}) {
   Cdfg g;
   std::string line;
   std::size_t lineno = 0;
   bool sawHeader = false;
+  const std::string where = source.empty() ? "" : source + ": ";
   auto fail = [&](const std::string& why) -> void {
-    throw ParseError("cdfg parse error at line " + std::to_string(lineno) +
-                     ": " + why);
+    throw ParseError(where + "cdfg parse error at line " +
+                     std::to_string(lineno) + ": " + why);
   };
   while (std::getline(is, line)) {
     ++lineno;
@@ -100,18 +102,19 @@ Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
           fail("edge references undeclared node");
         }
         issues->push_back(
-            {ParseIssue::Kind::kDanglingEdge, lineno, src, dst, kind});
+            {ParseIssue::Kind::kDanglingEdge, lineno, src, dst, kind,
+             source});
         continue;
       }
       if (issues && src == dst) {
         issues->push_back(
-            {ParseIssue::Kind::kSelfEdge, lineno, src, dst, kind});
+            {ParseIssue::Kind::kSelfEdge, lineno, src, dst, kind, source});
         continue;
       }
       if (issues && kind == EdgeKind::kTemporal &&
           g.hasEdge(NodeId(src), NodeId(dst), EdgeKind::kTemporal)) {
-        issues->push_back(
-            {ParseIssue::Kind::kDuplicateTemporal, lineno, src, dst, kind});
+        issues->push_back({ParseIssue::Kind::kDuplicateTemporal, lineno,
+                           src, dst, kind, source});
         continue;
       }
       g.addEdge(NodeId(src), NodeId(dst), kind);
@@ -120,7 +123,7 @@ Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
     }
   }
   if (!sawHeader) {
-    throw ParseError("cdfg parse error: empty input");
+    throw ParseError(where + "cdfg parse error: empty input");
   }
   if (!issues) {
     g.checkAcyclic();
@@ -128,7 +131,8 @@ Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
     try {
       g.checkAcyclic();
     } catch (const GraphError&) {
-      issues->push_back({ParseIssue::Kind::kCycle, 0, 0, 0, EdgeKind::kData});
+      issues->push_back(
+          {ParseIssue::Kind::kCycle, 0, 0, 0, EdgeKind::kData, source});
     }
   }
   return g;
@@ -138,8 +142,9 @@ Cdfg parseImpl(std::istream& is, std::vector<ParseIssue>* issues) {
 
 Cdfg parse(std::istream& is) { return parseImpl(is, nullptr); }
 
-Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues) {
-  return parseImpl(is, &issues);
+Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues,
+           const std::string& source) {
+  return parseImpl(is, &issues, source);
 }
 
 Cdfg parseString(const std::string& text) {
@@ -147,9 +152,10 @@ Cdfg parseString(const std::string& text) {
   return parse(is);
 }
 
-Cdfg parseString(const std::string& text, std::vector<ParseIssue>& issues) {
+Cdfg parseString(const std::string& text, std::vector<ParseIssue>& issues,
+                 const std::string& source) {
   std::istringstream is(text);
-  return parse(is, issues);
+  return parse(is, issues, source);
 }
 
 }  // namespace locwm::cdfg

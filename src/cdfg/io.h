@@ -42,6 +42,11 @@ struct ParseIssue {
   std::uint32_t src = 0;
   std::uint32_t dst = 0;
   EdgeKind edge_kind = EdgeKind::kData;
+  /// Source artifact the issue was found in (the `source` argument of the
+  /// lenient parse; empty when parsing anonymous text).  Carried on the
+  /// issue itself so multi-file consumers — project lint, corpus scan —
+  /// stay attributable without a side table.
+  std::string path;
 };
 
 /// Parses a graph from the text format.  Throws ParseError on malformed
@@ -51,12 +56,16 @@ struct ParseIssue {
 /// Lenient parse for static analysis: structural violations (dangling or
 /// self edges, duplicate temporal edges, cycles) are recorded in `issues`
 /// instead of throwing; offending edges are dropped, cyclic edge sets are
-/// kept.  Syntax errors still throw ParseError.
-[[nodiscard]] Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues);
+/// kept.  Syntax errors still throw ParseError.  `source` names the
+/// artifact being parsed: it is stamped on every recorded issue and
+/// prefixed to thrown ParseError messages.
+[[nodiscard]] Cdfg parse(std::istream& is, std::vector<ParseIssue>& issues,
+                         const std::string& source = {});
 
 /// Parses a graph from a string.
 [[nodiscard]] Cdfg parseString(const std::string& text);
 [[nodiscard]] Cdfg parseString(const std::string& text,
-                               std::vector<ParseIssue>& issues);
+                               std::vector<ParseIssue>& issues,
+                               const std::string& source = {});
 
 }  // namespace locwm::cdfg

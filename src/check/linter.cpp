@@ -97,7 +97,7 @@ void Linter::lintText(const std::string& text, const std::string& name) {
 
 void Linter::lintDesign(const std::string& text, const std::string& name) {
   std::vector<cdfg::ParseIssue> issues;
-  cdfg::Cdfg g = cdfg::parseString(text, issues);
+  cdfg::Cdfg g = cdfg::parseString(text, issues, name);
   // The structural and semantic rule packs only read the parsed graph;
   // evaluate them concurrently into local reports and merge in the fixed
   // structural-then-semantic order so diagnostics render identically.
@@ -122,7 +122,8 @@ void Linter::lintSchedule(const std::string& text, const std::string& name) {
   const cdfg::Cdfg& design = *design_;
   std::vector<sched::ScheduleParseIssue> issues;
   std::istringstream is(text);
-  sched::Schedule s = sched::parseSchedule(is, design.nodeCount(), issues);
+  sched::Schedule s =
+      sched::parseSchedule(is, design.nodeCount(), issues, name);
   report_.merge(checkSchedule(design, s, issues, name));
   schedule_ = std::move(s);
 }
@@ -138,7 +139,7 @@ void Linter::lintCover(const std::string& text, const std::string& name) {
   std::vector<tm::CoverParseIssue> issues;
   std::istringstream is(text);
   const std::vector<tm::Matching> cover =
-      tm::parseCover(is, options_.library, design.nodeCount(), issues);
+      tm::parseCover(is, options_.library, design.nodeCount(), issues, name);
   report_.merge(checkCover(design, options_.library, cover, issues, name));
 }
 
@@ -166,7 +167,8 @@ void Linter::lintBinding(const std::string& text, const std::string& name) {
   }
   std::vector<regbind::BindingParseIssue> issues;
   std::istringstream is(text);
-  const regbind::Binding binding = regbind::parseBinding(is, table, issues);
+  const regbind::Binding binding =
+      regbind::parseBinding(is, table, issues, name);
   report_.merge(checkBinding(design, schedule, binding, issues, name));
 }
 
@@ -175,15 +177,15 @@ void Linter::lintCertificate(const std::string& text, const std::string& name,
   std::istringstream is(text);
   if (kind == "sched") {
     const wm::WatermarkCertificate cert =
-        wm::parseSchedCertificate(is, wm::CertValidation::kLenient);
+        wm::parseSchedCertificate(is, wm::CertValidation::kLenient, name);
     report_.merge(checkCertificate(cert, name));
     checkLocalityOverlap(cert, name);
   } else if (kind == "tm") {
     report_.merge(checkCertificate(
-        wm::parseTmCertificate(is, wm::CertValidation::kLenient), name));
+        wm::parseTmCertificate(is, wm::CertValidation::kLenient, name), name));
   } else if (kind == "reg") {
     report_.merge(checkCertificate(
-        wm::parseRegCertificate(is, wm::CertValidation::kLenient), name));
+        wm::parseRegCertificate(is, wm::CertValidation::kLenient, name), name));
   } else {
     report_.add(diag("LW001", Severity::kError, name, "'" + kind + "'",
                      "unknown certificate kind",

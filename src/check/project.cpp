@@ -594,7 +594,7 @@ CacheEntry selfAnalyze(const std::string& text, const std::string& path,
     switch (sniff.kind) {
       case ArtifactKind::kDesign: {
         std::vector<cdfg::ParseIssue> issues;
-        const cdfg::Cdfg g = cdfg::parseString(text, issues);
+        const cdfg::Cdfg g = cdfg::parseString(text, issues, path);
         m.usable = true;
         m.node_count = static_cast<std::uint32_t>(g.nodeCount());
         for (std::size_t i = 0; i < g.nodeCount(); ++i) {
@@ -630,7 +630,8 @@ CacheEntry selfAnalyze(const std::string& text, const std::string& path,
       case ArtifactKind::kCertSched: {
         std::istringstream is(text);
         const wm::WatermarkCertificate cert =
-            wm::parseSchedCertificate(is, wm::CertValidation::kLenient);
+            wm::parseSchedCertificate(is, wm::CertValidation::kLenient,
+                                      path);
         m.usable = true;
         m.cert_context = cert.context;
         m.shape_nodes = static_cast<std::uint32_t>(cert.shape.nodeCount());
@@ -641,7 +642,7 @@ CacheEntry selfAnalyze(const std::string& text, const std::string& path,
       case ArtifactKind::kCertTm: {
         std::istringstream is(text);
         const wm::TmCertificate cert =
-            wm::parseTmCertificate(is, wm::CertValidation::kLenient);
+            wm::parseTmCertificate(is, wm::CertValidation::kLenient, path);
         m.usable = true;
         m.cert_context = cert.context;
         m.shape_nodes = static_cast<std::uint32_t>(cert.shape.nodeCount());
@@ -652,7 +653,7 @@ CacheEntry selfAnalyze(const std::string& text, const std::string& path,
       case ArtifactKind::kCertReg: {
         std::istringstream is(text);
         const wm::RegCertificate cert =
-            wm::parseRegCertificate(is, wm::CertValidation::kLenient);
+            wm::parseRegCertificate(is, wm::CertValidation::kLenient, path);
         m.usable = true;
         m.cert_context = cert.context;
         m.shape_nodes = static_cast<std::uint32_t>(cert.shape.nodeCount());
@@ -822,7 +823,9 @@ std::string refNoun(ArtifactKind kind) {
 }  // namespace
 
 std::string ruleSetVersion() {
-  return "lw" + std::to_string(allRules().size()) + ".v1";
+  // v2: parse-error diagnostics carry the source path, so cached entries
+  // rendered under v1 would differ textually.
+  return "lw" + std::to_string(allRules().size()) + ".v2";
 }
 
 ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
@@ -1164,7 +1167,7 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
     try {
       if (need_design[i] != 0) {
         std::vector<cdfg::ParseIssue> issues;
-        designs[i] = cdfg::parseString(arts[i].text, issues);
+        designs[i] = cdfg::parseString(arts[i].text, issues, arts[i].path);
       } else if (need_lib[i] != 0) {
         libs[i] = tm::parseLibraryString(arts[i].text);
       }
@@ -1186,7 +1189,8 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
     try {
       std::vector<sched::ScheduleParseIssue> issues;
       std::istringstream is(arts[i].text);
-      scheds[i] = sched::parseSchedule(is, dsg->nodeCount(), issues);
+      scheds[i] =
+          sched::parseSchedule(is, dsg->nodeCount(), issues, arts[i].path);
     } catch (const Error&) {
     }
   });
@@ -1207,7 +1211,7 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           std::vector<sched::ScheduleParseIssue> issues;
           std::istringstream is(a.text);
           const sched::Schedule s =
-              sched::parseSchedule(is, dsg->nodeCount(), issues);
+              sched::parseSchedule(is, dsg->nodeCount(), issues, a.path);
           out = checkSchedule(*dsg, s, issues, a.path).diagnostics();
           checkPrecedenceClosure(*dsg, s, a.path, out);
           break;
@@ -1228,7 +1232,7 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           std::vector<tm::CoverParseIssue> issues;
           std::istringstream is(a.text);
           const std::vector<tm::Matching> cover =
-              tm::parseCover(is, *lib, dsg->nodeCount(), issues);
+              tm::parseCover(is, *lib, dsg->nodeCount(), issues, a.path);
           out = checkCover(*dsg, *lib, cover, issues, a.path).diagnostics();
           break;
         }
@@ -1252,7 +1256,7 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           std::vector<regbind::BindingParseIssue> issues;
           std::istringstream is(a.text);
           const regbind::Binding binding =
-              regbind::parseBinding(is, table, issues);
+              regbind::parseBinding(is, table, issues, a.path);
           out = checkBinding(*dsg, *sch, binding, issues, a.path)
                     .diagnostics();
           break;
@@ -1265,7 +1269,8 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           }
           std::istringstream is(a.text);
           const wm::WatermarkCertificate cert =
-              wm::parseSchedCertificate(is, wm::CertValidation::kLenient);
+              wm::parseSchedCertificate(is, wm::CertValidation::kLenient,
+                                        a.path);
           checkLocalityExistence(cert, *dsg, a.path, arts[d].path, out);
           break;
         }
@@ -1277,7 +1282,8 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           }
           std::istringstream is(a.text);
           const wm::TmCertificate cert =
-              wm::parseTmCertificate(is, wm::CertValidation::kLenient);
+              wm::parseTmCertificate(is, wm::CertValidation::kLenient,
+                                     a.path);
           checkLocalityExistence(cert, *dsg, a.path, arts[d].path, out);
           break;
         }
@@ -1289,7 +1295,8 @@ ProjectResult checkProject(Workspace& ws, const ProjectOptions& options) {
           }
           std::istringstream is(a.text);
           const wm::RegCertificate cert =
-              wm::parseRegCertificate(is, wm::CertValidation::kLenient);
+              wm::parseRegCertificate(is, wm::CertValidation::kLenient,
+                                      a.path);
           checkLocalityExistence(cert, *dsg, a.path, arts[d].path, out);
           break;
         }

@@ -135,8 +135,10 @@ std::string certificateToString(const RegCertificate& c) {
   return os.str();
 }
 
-WatermarkCertificate parseSchedCertificate(std::istream& is,
-                                           CertValidation validation) {
+namespace {
+
+WatermarkCertificate parseSchedCertImpl(std::istream& is,
+                                        CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "sched") {
     r.fail("not a scheduling-watermark certificate");
@@ -198,13 +200,7 @@ WatermarkCertificate parseSchedCertificate(std::istream& is,
   return cert;
 }
 
-WatermarkCertificate parseSchedCertificate(const std::string& text) {
-  std::istringstream is(text);
-  return parseSchedCertificate(is);
-}
-
-TmCertificate parseTmCertificate(std::istream& is,
-                                 CertValidation validation) {
+TmCertificate parseTmCertImpl(std::istream& is, CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "tm") {
     r.fail("not a template-watermark certificate");
@@ -286,13 +282,8 @@ TmCertificate parseTmCertificate(std::istream& is,
   return cert;
 }
 
-TmCertificate parseTmCertificate(const std::string& text) {
-  std::istringstream is(text);
-  return parseTmCertificate(is);
-}
-
-RegCertificate parseRegCertificate(std::istream& is,
-                                   CertValidation validation) {
+RegCertificate parseRegCertImpl(std::istream& is,
+                                CertValidation validation) {
   Reader r{is};
   if (parseHeader(r) != "reg") {
     r.fail("not a register-binding-watermark certificate");
@@ -352,6 +343,49 @@ RegCertificate parseRegCertificate(std::istream& is,
     }
   }
   return cert;
+}
+
+/// Re-throws a ParseError from `parse()` with the artifact name prefixed,
+/// so a thousand-file corpus scan can attribute the failure.
+template <typename F>
+auto withSource(const std::string& source, F&& parse) {
+  try {
+    return parse();
+  } catch (const ParseError& e) {
+    if (source.empty()) {
+      throw;
+    }
+    throw ParseError(source + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+WatermarkCertificate parseSchedCertificate(std::istream& is,
+                                           CertValidation validation,
+                                           const std::string& source) {
+  return withSource(source, [&] { return parseSchedCertImpl(is, validation); });
+}
+
+WatermarkCertificate parseSchedCertificate(const std::string& text) {
+  std::istringstream is(text);
+  return parseSchedCertificate(is);
+}
+
+TmCertificate parseTmCertificate(std::istream& is, CertValidation validation,
+                                 const std::string& source) {
+  return withSource(source, [&] { return parseTmCertImpl(is, validation); });
+}
+
+TmCertificate parseTmCertificate(const std::string& text) {
+  std::istringstream is(text);
+  return parseTmCertificate(is);
+}
+
+RegCertificate parseRegCertificate(std::istream& is,
+                                   CertValidation validation,
+                                   const std::string& source) {
+  return withSource(source, [&] { return parseRegCertImpl(is, validation); });
 }
 
 RegCertificate parseRegCertificate(const std::string& text) {

@@ -51,20 +51,25 @@ void printCertificate(std::ostream& os, const RegCertificate& cert);
 enum class CertValidation : std::uint8_t { kStrict, kLenient };
 
 /// Parses a scheduling-watermark certificate; throws ParseError on
-/// malformed input or on a tm certificate.
+/// malformed input or on a tm certificate.  `source`, when non-empty,
+/// names the artifact and is prefixed to ParseError messages so failures
+/// stay attributable in a multi-file corpus.
 [[nodiscard]] WatermarkCertificate parseSchedCertificate(
-    std::istream& is, CertValidation validation = CertValidation::kStrict);
+    std::istream& is, CertValidation validation = CertValidation::kStrict,
+    const std::string& source = {});
 [[nodiscard]] WatermarkCertificate parseSchedCertificate(
     const std::string& text);
 
 /// Parses a template-watermark certificate.
 [[nodiscard]] TmCertificate parseTmCertificate(
-    std::istream& is, CertValidation validation = CertValidation::kStrict);
+    std::istream& is, CertValidation validation = CertValidation::kStrict,
+    const std::string& source = {});
 [[nodiscard]] TmCertificate parseTmCertificate(const std::string& text);
 
 /// Parses a register-binding-watermark certificate.
 [[nodiscard]] RegCertificate parseRegCertificate(
-    std::istream& is, CertValidation validation = CertValidation::kStrict);
+    std::istream& is, CertValidation validation = CertValidation::kStrict,
+    const std::string& source = {});
 [[nodiscard]] RegCertificate parseRegCertificate(const std::string& text);
 
 }  // namespace locwm::wm

@@ -6,6 +6,7 @@
 #include "cdfg/error.h"
 #include "cdfg/subgraph.h"
 #include "obs/obs.h"
+#include "rt/rt.h"
 
 namespace locwm::wm {
 
@@ -407,6 +408,49 @@ std::optional<Locality> LocalityDeriver::wholeDesign(
   return result;
 }
 
+std::array<std::uint32_t, cdfg::kOpKindCount> LocalityDeriver::faninKindCounts(
+    NodeId root, std::uint32_t radius) const {
+  std::array<std::uint32_t, cdfg::kOpKindCount> counts{};
+  if (isTransparentKind(csr_.kind(root))) {
+    return counts;
+  }
+  // Mirror of derive()'s Step 1a ball(radius, /*undirected=*/false): a
+  // breadth-first walk over copy-transparent real predecessors.  Membership
+  // is all that matters here, so the per-level sorting derive() does for
+  // determinism of *order* is unnecessary — the counted set is identical.
+  std::vector<bool> seen(csr_.nodeCount(), false);
+  std::vector<NodeId> frontier{root};
+  seen[root.value()] = true;
+  counts[static_cast<std::size_t>(csr_.kind(root))] += 1;
+  for (std::uint32_t d = 0; d < radius && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      for (const NodeId p : realPreds(csr_, v)) {
+        if (!seen[p.value()]) {
+          seen[p.value()] = true;
+          counts[static_cast<std::size_t>(csr_.kind(p))] += 1;
+          next.push_back(p);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return counts;
+}
+
+std::array<std::uint32_t, cdfg::kOpKindCount> LocalityDeriver::realKindCounts()
+    const {
+  std::array<std::uint32_t, cdfg::kOpKindCount> counts{};
+  const std::size_t n = csr_.nodeCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const cdfg::OpKind kind = csr_.kind(NodeId(static_cast<std::uint32_t>(i)));
+    if (!isTransparentKind(kind)) {
+      counts[static_cast<std::size_t>(kind)] += 1;
+    }
+  }
+  return counts;
+}
+
 std::vector<NodeId> LocalityDeriver::candidateRoots() const {
   std::vector<NodeId> roots;
   const std::size_t n = csr_.nodeCount();
@@ -420,6 +464,40 @@ std::vector<NodeId> LocalityDeriver::candidateRoots() const {
     }
   }
   return roots;
+}
+
+std::vector<ShapeHit> scanShapeMatches(const LocalityDeriver& deriver,
+                                       const crypto::AuthorSignature& signature,
+                                       const std::string& context,
+                                       const LocalityParams& params,
+                                       const cdfg::Cdfg& shape,
+                                       std::optional<cdfg::OpKind> root_kind,
+                                       const std::vector<NodeId>& roots) {
+  LOCWM_OBS_SPAN("core.locality.shape_scan");
+  LOCWM_OBS_COUNT("core.locality.shape_scan_roots", roots.size());
+  // Each slot is written by exactly one task; the serial fold below
+  // preserves `roots` order regardless of scheduling.
+  std::vector<std::optional<ShapeHit>> found(roots.size());
+  rt::parallel_for(0, roots.size(), /*grain=*/1, [&](std::size_t i) {
+    const NodeId root = roots[i];
+    if (root_kind.has_value() && deriver.csr().kind(root) != *root_kind) {
+      return;
+    }
+    crypto::KeyedBitstream carve_bits(signature, context + "/carve");
+    const std::optional<Locality> loc =
+        deriver.derive(root, params, carve_bits);
+    if (!loc || !shapeEquals(loc->shape, shape)) {
+      return;
+    }
+    found[i] = ShapeHit{root, loc->nodes};
+  });
+  std::vector<ShapeHit> hits;
+  for (std::optional<ShapeHit>& hit : found) {
+    if (hit.has_value()) {
+      hits.push_back(std::move(*hit));
+    }
+  }
+  return hits;
 }
 
 }  // namespace locwm::wm

@@ -24,13 +24,16 @@
 // the locality must not depend on previously embedded watermarks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cdfg/analysis.h"
 #include "cdfg/csr.h"
 #include "cdfg/graph.h"
+#include "cdfg/operation.h"
 #include "cdfg/ordering.h"
 #include "crypto/bitstream.h"
 
@@ -107,9 +110,46 @@ class LocalityDeriver {
   /// their own.
   [[nodiscard]] const cdfg::CsrView& csr() const noexcept { return csr_; }
 
+  /// Operation-kind histogram of the directed copy-transparent fanin ball
+  /// of `radius` around `root`, root included — exactly the member set of
+  /// derive()'s Step 1a fanin tree To.  Every carve at
+  /// max_distance <= radius selects its nodes from this ball and the
+  /// contracted shape preserves node kinds, so any matched locality's kind
+  /// counts are component-wise <= these.  That superset relation is what
+  /// the corpus-scan pre-filter screens on.  Returns all zeros for
+  /// transparent roots (derive() rejects them outright).
+  [[nodiscard]] std::array<std::uint32_t, cdfg::kOpKindCount> faninKindCounts(
+      cdfg::NodeId root, std::uint32_t radius) const;
+
+  /// Kind histogram over every real (non-transparent) operation — the
+  /// superset any wholeDesign() locality selects from.
+  [[nodiscard]] std::array<std::uint32_t, cdfg::kOpKindCount> realKindCounts()
+      const;
+
  private:
   const cdfg::Cdfg* graph_;
   cdfg::CsrView csr_;
 };
+
+/// One hit found by scanShapeMatches: the root the shape re-derived at and
+/// the matched suspect nodes in canonical-rank order (nodes[i] has rank i).
+struct ShapeHit {
+  cdfg::NodeId root;
+  std::vector<cdfg::NodeId> nodes;
+};
+
+/// The structural core shared by the sched/reg/tm detectors and the corpus
+/// scanner: re-derive the keyed locality at every root in `roots` and
+/// collect those whose shape equals `shape`.  When `root_kind` is set
+/// (certificates that record their anchor's rank), roots of the wrong
+/// operation kind are skipped without deriving; pass nullopt for
+/// certificates with no recorded anchor (rooted tm).  Roots are scanned in
+/// parallel on the rt pool with hits folded back in `roots` order, so the
+/// result is identical to a serial left-to-right scan at any thread count.
+[[nodiscard]] std::vector<ShapeHit> scanShapeMatches(
+    const LocalityDeriver& deriver, const crypto::AuthorSignature& signature,
+    const std::string& context, const LocalityParams& params,
+    const cdfg::Cdfg& shape, std::optional<cdfg::OpKind> root_kind,
+    const std::vector<cdfg::NodeId>& roots);
 
 }  // namespace locwm::wm

@@ -287,38 +287,27 @@ SchedDetector::SchedDetector(const SchedulingWatermarker& marker,
                              const WatermarkCertificate& certificate)
     : certificate_(&certificate) {
   LOCWM_OBS_SPAN("core.sched_wm.detect_scan");
-  const cdfg::OpKind root_kind =
-      certificate.shape.node(NodeId(certificate.root_rank)).kind;
   const LocalityDeriver deriver(suspect);
-  // Every candidate root re-derives its locality independently (the
-  // deriver is stateless, the bitstream is rebuilt per root), so the scan
-  // parallelizes; matches are gathered in root order afterwards, which
-  // keeps matches_ identical to the serial left-to-right scan.
   const std::vector<NodeId> roots = deriver.candidateRoots();
-  std::vector<std::optional<Match>> found(roots.size());
-  rt::parallel_for(0, roots.size(), /*grain=*/1, [&](std::size_t i) {
-    const NodeId root = roots[i];
-    LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", 1);
-    // Cheap pre-filter: a shape match requires the root's operation kind
-    // to equal the certificate root's kind.  The SoA kind table touches
-    // one byte instead of the 40-byte Node with its label string.
-    if (deriver.csr().kind(root) != root_kind) {
-      return;
-    }
-    crypto::KeyedBitstream carve_bits(marker.signature(),
-                                      certificate.context + "/carve");
-    const std::optional<Locality> loc =
-        deriver.derive(root, certificate.locality_params, carve_bits);
-    if (!loc || !shapeEquals(loc->shape, certificate.shape)) {
-      return;
-    }
-    found[i] = Match{root, loc->nodes};
-  });
-  for (std::optional<Match>& m : found) {
-    if (m) {
-      matches_.push_back(std::move(*m));
-    }
-  }
+  LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", roots.size());
+  matches_ = scanShapeMatches(
+      deriver, marker.signature(), certificate.context,
+      certificate.locality_params, certificate.shape,
+      certificate.shape.node(NodeId(certificate.root_rank)).kind, roots);
+  LOCWM_OBS_COUNT("core.sched_wm.detect_shape_matches", matches_.size());
+}
+
+SchedDetector::SchedDetector(const crypto::AuthorSignature& signature,
+                             const LocalityDeriver& deriver,
+                             const WatermarkCertificate& certificate,
+                             const std::vector<NodeId>& roots)
+    : certificate_(&certificate) {
+  LOCWM_OBS_SPAN("core.sched_wm.detect_scan");
+  LOCWM_OBS_COUNT("core.sched_wm.detect_roots_scanned", roots.size());
+  matches_ = scanShapeMatches(
+      deriver, signature, certificate.context, certificate.locality_params,
+      certificate.shape,
+      certificate.shape.node(NodeId(certificate.root_rank)).kind, roots);
   LOCWM_OBS_COUNT("core.sched_wm.detect_shape_matches", matches_.size());
 }
 
@@ -327,7 +316,7 @@ SchedDetectResult SchedDetector::check(const sched::Schedule& schedule) const {
   best.total = certificate_->constraints.size();
   best.root = NodeId::invalid();
   best.shape_matches = matches_.size();
-  for (const Match& m : matches_) {
+  for (const ShapeHit& m : matches_) {
     std::size_t satisfied = 0;
     for (const RankConstraint& c : certificate_->constraints) {
       const NodeId before = m.nodes[c.before_rank];

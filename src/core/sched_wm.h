@@ -158,6 +158,16 @@ class SchedDetector {
                 const cdfg::Cdfg& suspect,
                 const WatermarkCertificate& certificate);
 
+  /// Scan variant for corpus drivers that lower the suspect once: reuses a
+  /// caller-owned deriver and restricts the scan to `roots` (e.g. the
+  /// survivors of a fingerprint pre-filter).  Behaviour is identical to
+  /// the full constructor when `roots` contains every shape-matching root.
+  /// The deriver and certificate must outlive the detector.
+  SchedDetector(const crypto::AuthorSignature& signature,
+                const LocalityDeriver& deriver,
+                const WatermarkCertificate& certificate,
+                const std::vector<cdfg::NodeId>& roots);
+
   /// Evaluates one schedule of the suspect against the certificate.
   [[nodiscard]] SchedDetectResult check(const sched::Schedule& s) const;
 
@@ -166,12 +176,13 @@ class SchedDetector {
     return matches_.size();
   }
 
+  /// The shape matches themselves (root + rank-ordered suspect nodes).
+  [[nodiscard]] const std::vector<ShapeHit>& matches() const noexcept {
+    return matches_;
+  }
+
  private:
-  struct Match {
-    cdfg::NodeId root;
-    std::vector<cdfg::NodeId> nodes;  // rank -> suspect node
-  };
-  std::vector<Match> matches_;
+  std::vector<ShapeHit> matches_;
   const WatermarkCertificate* certificate_;
 };
 

@@ -25,22 +25,24 @@ std::string bindingToString(const LifetimeTable& table,
 namespace {
 
 Binding parseBindingImpl(std::istream& is, const LifetimeTable& table,
-                         std::vector<BindingParseIssue>* issues) {
+                         std::vector<BindingParseIssue>* issues,
+                         const std::string& source = {}) {
   Binding binding;
   binding.reg_of.assign(table.values.size(), 0);
   std::vector<bool> assigned(table.values.size(), false);
   std::string line;
   std::size_t lineno = 0;
   bool have_header = false;
+  const std::string where = source.empty() ? "" : source + ": ";
   const auto fail = [&](const std::string& why) {
-    throw ParseError("binding parse error at line " + std::to_string(lineno) +
-                     ": " + why);
+    throw ParseError(where + "binding parse error at line " +
+                     std::to_string(lineno) + ": " + why);
   };
   const auto reject = [&](const std::string& why) {
     if (!issues) {
       fail(why);
     }
-    issues->push_back({lineno, why});
+    issues->push_back({lineno, why, source});
   };
   while (std::getline(is, line)) {
     ++lineno;
@@ -85,15 +87,18 @@ Binding parseBindingImpl(std::istream& is, const LifetimeTable& table,
     assigned[table.index_of[node]] = true;
   }
   if (!have_header) {
-    throw ParseError("binding parse error: missing 'registers N' header");
+    throw ParseError(where +
+                     "binding parse error: missing 'registers N' header");
   }
   if (issues) {
     for (std::size_t i = 0; i < assigned.size(); ++i) {
       if (!assigned[i]) {
         issues->push_back(
-            {0, "value of node " +
-                    std::to_string(table.values[i].producer.value()) +
-                    " has no register assignment"});
+            {0,
+             "value of node " +
+                 std::to_string(table.values[i].producer.value()) +
+                 " has no register assignment",
+             source});
       }
     }
   }
@@ -107,8 +112,9 @@ Binding parseBinding(std::istream& is, const LifetimeTable& table) {
 }
 
 Binding parseBinding(std::istream& is, const LifetimeTable& table,
-                     std::vector<BindingParseIssue>& issues) {
-  return parseBindingImpl(is, table, &issues);
+                     std::vector<BindingParseIssue>& issues,
+                     const std::string& source) {
+  return parseBindingImpl(is, table, &issues, source);
 }
 
 }  // namespace locwm::regbind

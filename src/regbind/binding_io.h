@@ -35,6 +35,7 @@ void printBinding(std::ostream& os, const LifetimeTable& table,
 struct BindingParseIssue {
   std::size_t line = 0;
   std::string what;
+  std::string path;  ///< source artifact ("" when anonymous)
 };
 
 /// Parses a binding against `table`.  Throws ParseError on a malformed
@@ -48,6 +49,7 @@ struct BindingParseIssue {
 /// `issues` instead of throwing.  Syntax errors still throw.
 [[nodiscard]] Binding parseBinding(std::istream& is,
                                    const LifetimeTable& table,
-                                   std::vector<BindingParseIssue>& issues);
+                                   std::vector<BindingParseIssue>& issues,
+                                   const std::string& source = {});
 
 }  // namespace locwm::regbind

@@ -1,0 +1,267 @@
+#include "scan/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cdfg/error.h"
+#include "cdfg/io.h"
+#include "cdfg/prng.h"
+#include "cdfg/random_dfg.h"
+#include "check/workspace.h"
+#include "core/certificate_io.h"
+#include "core/sched_wm.h"
+#include "sched/list_scheduler.h"
+#include "sched/schedule_io.h"
+#include "sched/timeframes.h"
+
+namespace locwm::scan {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string itemName(const char* prefix, std::size_t i, const char* ext) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%04zu%s", prefix, i, ext);
+  return buf;
+}
+
+std::string readFileOrThrow(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  detail::check<Error>(static_cast<bool>(is),
+                       path.string() + ": cannot open file");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+void writeFileOrThrow(const fs::path& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+  detail::check<Error>(static_cast<bool>(os),
+                       path.string() + ": cannot write file");
+}
+
+/// Extracts the string value of `key` from a flat one-line JSON object
+/// ({"design": "a.cdfg", ...}).  Handles \" and \\ escapes; returns
+/// nullopt when the key is absent.
+std::optional<std::string> jsonField(const std::string& line,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  pos += needle.size();
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == ':' || line[pos] == '\t')) {
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != '"') {
+    return std::nullopt;
+  }
+  ++pos;
+  std::string value;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      value.push_back(line[pos + 1]);
+      pos += 2;
+    } else {
+      value.push_back(line[pos]);
+      ++pos;
+    }
+  }
+  if (pos >= line.size()) {
+    return std::nullopt;  // unterminated string
+  }
+  return value;
+}
+
+}  // namespace
+
+BuiltCorpus buildRandomCorpus(const CorpusSpec& spec, std::uint64_t seed) {
+  detail::check<Error>(spec.ops_min >= 1 && spec.ops_min <= spec.ops_max,
+                       "corpus spec: need 1 <= ops_min <= ops_max");
+  BuiltCorpus out;
+  const std::size_t span = spec.ops_max - spec.ops_min + 1;
+  std::vector<cdfg::Cdfg> graphs;
+  graphs.reserve(spec.designs);
+  for (std::size_t i = 0; i < spec.designs; ++i) {
+    const std::uint64_t si = cdfg::substreamSeed(seed, i);
+    cdfg::RandomDfgOptions options;
+    options.operations = spec.ops_min + si % span;
+    options.inputs = spec.inputs;
+    options.width = spec.width;
+    graphs.push_back(cdfg::randomDfg(options, si));
+  }
+
+  // Embed the ring: entry j lands in design floor(j*designs/ring), or the
+  // next design that accepts it.  Context index j keeps every entry's
+  // bitstream independent even when two entries share a design.
+  for (std::size_t j = 0; j < spec.ring; ++j) {
+    detail::check<Error>(spec.designs > 0,
+                         "corpus spec: ring entries need designs");
+    crypto::AuthorSignature signature;
+    signature.identity = spec.identity;
+    signature.nonce = "ring-" + std::to_string(j);
+    const wm::SchedulingWatermarker marker(signature);
+    const std::size_t target = j * spec.designs / spec.ring;
+    bool planted = false;
+    for (std::size_t attempt = 0; attempt < spec.designs && !planted;
+         ++attempt) {
+      const std::size_t d = (target + attempt) % spec.designs;
+      cdfg::Cdfg& g = graphs[d];
+      wm::SchedWmParams params;
+      params.locality.min_size = 4;
+      params.min_eligible = 2;
+      const sched::TimeFrames tf(g, params.latency);
+      params.deadline = tf.criticalPathSteps() + 3;
+      const std::optional<wm::SchedEmbedResult> r =
+          marker.embed(g, params, /*index=*/j);
+      if (!r.has_value()) {
+        continue;
+      }
+      out.ring.add(signature, "certs/" + itemName("c", j, ".cert"),
+                   r->certificate);
+      out.cert_texts.push_back(wm::certificateToString(r->certificate));
+      out.planted.emplace_back(d, j);
+      planted = true;
+    }
+    detail::check<Error>(planted, "corpus fixture: ring entry " +
+                                      std::to_string(j) +
+                                      " embeds in no design");
+  }
+
+  out.items.reserve(spec.designs);
+  for (std::size_t i = 0; i < spec.designs; ++i) {
+    CorpusItem item;
+    item.path = itemName("d", i, ".cdfg");
+    // Publish the design with its temporal edges stripped (Fig. 1): the
+    // watermark travels only in the schedule order.
+    const cdfg::Cdfg published = graphs[i].stripTemporalEdges();
+    item.design_text = cdfg::printToString(published);
+    if (spec.schedules) {
+      // Schedule the *marked* graph so every embedded constraint holds.
+      const sched::Schedule s = sched::listSchedule(graphs[i]);
+      item.schedule_path = itemName("d", i, ".sched");
+      item.schedule_text = sched::scheduleToString(published, s);
+    }
+    out.items.push_back(std::move(item));
+  }
+  return out;
+}
+
+void writeCorpus(const BuiltCorpus& corpus, const std::string& dir) {
+  const fs::path root(dir);
+  fs::create_directories(root);
+  for (const CorpusItem& item : corpus.items) {
+    writeFileOrThrow(root / item.path, item.design_text);
+    if (!item.schedule_path.empty()) {
+      writeFileOrThrow(root / item.schedule_path, item.schedule_text);
+    }
+  }
+  if (!corpus.ring.entries().empty()) {
+    fs::create_directories(root / "certs");
+    for (std::size_t j = 0; j < corpus.ring.entries().size(); ++j) {
+      writeFileOrThrow(root / corpus.ring.entries()[j].cert_path,
+                       corpus.cert_texts[j]);
+    }
+    writeFileOrThrow(root / "ring.keyring", corpus.ring.toText());
+  }
+}
+
+std::vector<CorpusItem> loadCorpusFromDirectory(const std::string& dir) {
+  const fs::path root(dir);
+  detail::check<Error>(fs::is_directory(root),
+                       dir + ": not a directory");
+  struct Found {
+    std::string rel;
+    std::string text;
+  };
+  std::vector<Found> designs;
+  // stem (parent + filename sans extension) -> schedule
+  std::vector<std::pair<std::string, Found>> schedules;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (!name.empty() && name.front() == '.') {
+      if (it->is_directory()) {
+        it.disable_recursion_pending();  // .locwm-cache and friends
+      }
+      continue;
+    }
+    if (!it->is_regular_file()) {
+      continue;
+    }
+    const std::string text = readFileOrThrow(p);
+    const check::SniffResult sniff = check::sniffArtifact(text);
+    const std::string rel = fs::relative(p, root).string();
+    if (sniff.kind == check::ArtifactKind::kDesign) {
+      designs.push_back({rel, text});
+    } else if (sniff.kind == check::ArtifactKind::kSchedule) {
+      const std::string stem =
+          (fs::path(rel).parent_path() / fs::path(rel).stem()).string();
+      schedules.emplace_back(stem, Found{rel, text});
+    }
+  }
+  std::sort(designs.begin(), designs.end(),
+            [](const Found& a, const Found& b) { return a.rel < b.rel; });
+  std::sort(schedules.begin(), schedules.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CorpusItem> items;
+  items.reserve(designs.size());
+  for (Found& d : designs) {
+    CorpusItem item;
+    const std::string stem =
+        (fs::path(d.rel).parent_path() / fs::path(d.rel).stem()).string();
+    const auto it = std::lower_bound(
+        schedules.begin(), schedules.end(), stem,
+        [](const auto& a, const std::string& key) { return a.first < key; });
+    if (it != schedules.end() && it->first == stem) {
+      item.schedule_path = it->second.rel;
+      item.schedule_text = it->second.text;
+    }
+    item.path = std::move(d.rel);
+    item.design_text = std::move(d.text);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<CorpusItem> loadCorpusFromManifest(
+    const std::string& manifest_path) {
+  std::ifstream is(manifest_path);
+  detail::check<Error>(static_cast<bool>(is),
+                       manifest_path + ": cannot open manifest");
+  const fs::path base = fs::path(manifest_path).parent_path();
+  std::vector<CorpusItem> items;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    const std::optional<std::string> design = jsonField(line, "design");
+    detail::check<ParseError>(
+        design.has_value(),
+        manifest_path + ": line " + std::to_string(lineno) +
+            ": manifest row lacks a \"design\" field");
+    CorpusItem item;
+    item.path = *design;
+    item.design_text = readFileOrThrow(base / *design);
+    if (const std::optional<std::string> sched =
+            jsonField(line, "schedule")) {
+      item.schedule_path = *sched;
+      item.schedule_text = readFileOrThrow(base / *sched);
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace locwm::scan

@@ -1,0 +1,86 @@
+// Corpus plumbing for the fleet scanner, in two halves:
+//
+//  * the *shared random-corpus fixture* — one seeded generator producing
+//    identical design/schedule/key-ring corpora for tests, benches, and CI
+//    smoke runs (previously ad-hoc per bench), with ground-truth planted
+//    (design, certificate) pairs for recall measurement;
+//
+//  * *loaders* turning an on-disk directory or an ndjson manifest into the
+//    in-memory item list scanCorpus() consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scan/keyring.h"
+
+namespace locwm::scan {
+
+/// One scannable corpus entry: a design and (optionally) its schedule.
+/// Texts are held in memory; `path`/`schedule_path` are display names
+/// (relative to the corpus root when loaded from disk).
+struct CorpusItem {
+  std::string path;
+  std::string design_text;
+  std::string schedule_path;  ///< "" when the item has no schedule
+  std::string schedule_text;
+};
+
+/// Parameters of the random fixture.
+struct CorpusSpec {
+  std::size_t designs = 50;
+  /// Per-design operation count, drawn uniformly from [ops_min, ops_max].
+  std::size_t ops_min = 48;
+  std::size_t ops_max = 112;
+  std::size_t inputs = 8;
+  std::size_t width = 12;
+  /// Emit a list schedule per design (required for schedule-level replay).
+  bool schedules = true;
+  /// Scheduling-watermark certificates to embed and ring up.  Entry j is
+  /// planted into design floor(j * designs / ring) (next design on embed
+  /// failure), so marks spread across the corpus.
+  std::size_t ring = 0;
+  std::string identity = "corpus-author";
+};
+
+/// A generated corpus plus everything needed to scan and score it.
+struct BuiltCorpus {
+  std::vector<CorpusItem> items;
+  KeyRing ring;
+  /// Serialized certificate per ring entry (aligned with ring.entries()),
+  /// for writeCorpus and for tests exercising the text round trip.
+  std::vector<std::string> cert_texts;
+  /// Ground truth: (item index, ring entry index) pairs that were embedded
+  /// — the matches a sound scan must find.
+  std::vector<std::pair<std::size_t, std::size_t>> planted;
+};
+
+/// Deterministic function of (spec, seed): every design gets its own
+/// substreamSeed(seed, i) PRNG substream, so the corpus is independent of
+/// generation order and thread count.  Throws Error when a ring entry
+/// cannot be embedded anywhere (pathological specs only).
+[[nodiscard]] BuiltCorpus buildRandomCorpus(const CorpusSpec& spec,
+                                            std::uint64_t seed);
+
+/// Writes a built corpus under `dir`: one `<item.path>` design file and
+/// `<schedule_path>` per item, certificates under `certs/`, and the ring
+/// as `ring.keyring`.  Throws Error on IO failure.
+void writeCorpus(const BuiltCorpus& corpus, const std::string& dir);
+
+/// Scans `dir` recursively for design artifacts (kind-sniffed, hidden
+/// files and `.locwm-cache/` skipped) and pairs each with the schedule
+/// artifact of the same stem in the same directory, if any.  Items are
+/// sorted by path — the canonical corpus order sharding is defined over.
+[[nodiscard]] std::vector<CorpusItem> loadCorpusFromDirectory(
+    const std::string& dir);
+
+/// Loads a corpus from an ndjson manifest: one `{"design": PATH}` or
+/// `{"design": PATH, "schedule": PATH}` object per line, paths relative to
+/// the manifest's directory.  Items keep manifest order.  Throws Error on
+/// malformed lines or unreadable files.
+[[nodiscard]] std::vector<CorpusItem> loadCorpusFromManifest(
+    const std::string& manifest_path);
+
+}  // namespace locwm::scan

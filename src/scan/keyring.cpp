@@ -1,0 +1,287 @@
+#include "scan/keyring.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cdfg/error.h"
+#include "core/certificate_io.h"
+
+namespace locwm::scan {
+
+namespace fs = std::filesystem;
+
+const char* certKindName(CertKind kind) noexcept {
+  switch (kind) {
+    case CertKind::kSched:
+      return "sched";
+    case CertKind::kTm:
+      return "tm";
+    case CertKind::kReg:
+      return "reg";
+  }
+  return "?";
+}
+
+const wm::LocalityParams& KeyRingEntry::localityParams() const {
+  switch (kind) {
+    case CertKind::kTm:
+      return tm->locality_params;
+    case CertKind::kReg:
+      return reg->locality_params;
+    case CertKind::kSched:
+      break;
+  }
+  return sched->locality_params;
+}
+
+namespace {
+
+/// Splits a ring line into tokens: whitespace-separated, double quotes
+/// group, backslash escapes the next character inside quotes.  Returns
+/// nullopt on an unterminated quote.
+std::optional<std::vector<std::string>> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    std::string token;
+    if (line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          token.push_back(line[i + 1]);
+          i += 2;
+        } else if (line[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          token.push_back(line[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return std::nullopt;
+      }
+    } else {
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+        token.push_back(line[i]);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+/// Quotes a token for toText() when it contains whitespace, quotes, or a
+/// '#' (which would read back as a comment).
+std::string quoteToken(const std::string& token) {
+  const bool needs =
+      token.empty() ||
+      token.find_first_of(" \t\"#\\") != std::string::npos;
+  if (!needs) {
+    return token;
+  }
+  std::string out = "\"";
+  for (const char c : token) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Reads the "locwm-cert v1 <kind>" header word of a certificate text.
+std::optional<CertKind> sniffCertKind(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string magic;
+    if (!(ls >> magic)) {
+      continue;
+    }
+    std::string version;
+    std::string kind;
+    if (magic != "locwm-cert" || !(ls >> version >> kind) ||
+        version != "v1") {
+      return std::nullopt;
+    }
+    if (kind == "sched") {
+      return CertKind::kSched;
+    }
+    if (kind == "tm") {
+      return CertKind::kTm;
+    }
+    if (kind == "reg") {
+      return CertKind::kReg;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+KeyRingEntry loadEntry(crypto::AuthorSignature signature,
+                       std::string cert_path, const std::string& resolved) {
+  std::ifstream is(resolved);
+  detail::check<Error>(static_cast<bool>(is),
+                       resolved + ": cannot open certificate");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  const std::optional<CertKind> kind = sniffCertKind(text);
+  detail::check<ParseError>(kind.has_value(),
+                            resolved + ": not a locwm-cert v1 artifact");
+  KeyRingEntry entry;
+  entry.signature = std::move(signature);
+  entry.cert_path = std::move(cert_path);
+  entry.kind = *kind;
+  std::istringstream cs(text);
+  switch (*kind) {
+    case CertKind::kSched:
+      entry.sched = wm::parseSchedCertificate(
+          cs, wm::CertValidation::kStrict, resolved);
+      break;
+    case CertKind::kTm:
+      entry.tm =
+          wm::parseTmCertificate(cs, wm::CertValidation::kStrict, resolved);
+      break;
+    case CertKind::kReg:
+      entry.reg =
+          wm::parseRegCertificate(cs, wm::CertValidation::kStrict, resolved);
+      break;
+  }
+  return entry;
+}
+
+}  // namespace
+
+KeyRing KeyRing::fromFile(const std::string& path) {
+  std::ifstream is(path);
+  detail::check<Error>(static_cast<bool>(is),
+                       path + ": cannot open key ring");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return fromText(buffer.str(), path,
+                  fs::path(path).parent_path().string());
+}
+
+KeyRing KeyRing::fromText(const std::string& text, const std::string& name,
+                          const std::string& base_dir) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  KeyRing ring;
+  const auto fail = [&](const std::string& why) -> void {
+    throw ParseError(name + ": key-ring parse error at line " +
+                     std::to_string(lineno) + ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const std::optional<std::vector<std::string>> tokens = tokenize(line);
+    if (!tokens.has_value()) {
+      fail("unterminated quote");
+    }
+    if (tokens->empty()) {
+      continue;
+    }
+    if (!have_header) {
+      if (tokens->size() != 2 || (*tokens)[0] != "locwm-keyring" ||
+          (*tokens)[1] != "v1") {
+        fail("missing 'locwm-keyring v1' header");
+      }
+      have_header = true;
+      continue;
+    }
+    if ((*tokens)[0] != "key") {
+      fail("unknown directive '" + (*tokens)[0] + "'");
+    }
+    if (tokens->size() != 4) {
+      fail("'key' needs <identity> <nonce> <cert-path>");
+    }
+    crypto::AuthorSignature signature;
+    signature.identity = (*tokens)[1];
+    signature.nonce = (*tokens)[2];
+    const std::string& cert_path = (*tokens)[3];
+    const fs::path rel(cert_path);
+    const std::string resolved =
+        (rel.is_absolute() || base_dir.empty())
+            ? cert_path
+            : (fs::path(base_dir) / rel).string();
+    ring.entries_.push_back(
+        loadEntry(std::move(signature), cert_path, resolved));
+  }
+  if (!have_header) {
+    throw ParseError(name + ": key-ring parse error: empty input");
+  }
+  return ring;
+}
+
+void KeyRing::add(crypto::AuthorSignature signature, std::string cert_path,
+                  wm::WatermarkCertificate cert) {
+  KeyRingEntry entry;
+  entry.signature = std::move(signature);
+  entry.cert_path = std::move(cert_path);
+  entry.kind = CertKind::kSched;
+  entry.sched = std::move(cert);
+  entries_.push_back(std::move(entry));
+}
+
+void KeyRing::add(crypto::AuthorSignature signature, std::string cert_path,
+                  wm::TmCertificate cert) {
+  KeyRingEntry entry;
+  entry.signature = std::move(signature);
+  entry.cert_path = std::move(cert_path);
+  entry.kind = CertKind::kTm;
+  entry.tm = std::move(cert);
+  entries_.push_back(std::move(entry));
+}
+
+void KeyRing::add(crypto::AuthorSignature signature, std::string cert_path,
+                  wm::RegCertificate cert) {
+  KeyRingEntry entry;
+  entry.signature = std::move(signature);
+  entry.cert_path = std::move(cert_path);
+  entry.kind = CertKind::kReg;
+  entry.reg = std::move(cert);
+  entries_.push_back(std::move(entry));
+}
+
+std::string KeyRing::toText() const {
+  std::string out = "locwm-keyring v1\n";
+  for (const KeyRingEntry& entry : entries_) {
+    out += "key " + quoteToken(entry.signature.identity) + ' ' +
+           quoteToken(entry.signature.nonce) + ' ' +
+           quoteToken(entry.cert_path) + '\n';
+  }
+  return out;
+}
+
+std::uint32_t KeyRing::maxRadius() const noexcept {
+  std::uint32_t radius = 0;
+  for (const KeyRingEntry& entry : entries_) {
+    radius = std::max(radius, entry.localityParams().max_distance);
+  }
+  return radius;
+}
+
+}  // namespace locwm::scan

@@ -21,10 +21,12 @@ std::string scheduleToString(const cdfg::Cdfg& g, const Schedule& s) {
 namespace {
 
 Schedule parseScheduleImpl(std::istream& is, std::size_t nodeCount,
-                           std::vector<ScheduleParseIssue>* issues) {
+                           std::vector<ScheduleParseIssue>* issues,
+                           const std::string& source = {}) {
   Schedule s(nodeCount);
   std::string line;
   std::size_t lineno = 0;
+  const std::string where = source.empty() ? "" : source + ": ";
   while (std::getline(is, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
@@ -38,21 +40,21 @@ Schedule parseScheduleImpl(std::istream& is, std::size_t nodeCount,
       continue;  // blank/comment line
     }
     if (!(ls >> step)) {
-      throw ParseError("schedule parse error at line " +
+      throw ParseError(where + "schedule parse error at line " +
                        std::to_string(lineno) + ": missing step");
     }
     std::string trailing;
     if (ls >> trailing) {
-      throw ParseError("schedule parse error at line " +
+      throw ParseError(where + "schedule parse error at line " +
                        std::to_string(lineno) + ": trailing tokens");
     }
     if (node >= nodeCount) {
       if (!issues) {
-        throw ParseError("schedule parse error at line " +
+        throw ParseError(where + "schedule parse error at line " +
                          std::to_string(lineno) + ": node " +
                          std::to_string(node) + " out of range");
       }
-      issues->push_back({lineno, node, step});
+      issues->push_back({lineno, node, step, source});
       continue;
     }
     s.set(cdfg::NodeId(node), step);
@@ -67,8 +69,9 @@ Schedule parseSchedule(std::istream& is, std::size_t nodeCount) {
 }
 
 Schedule parseSchedule(std::istream& is, std::size_t nodeCount,
-                       std::vector<ScheduleParseIssue>& issues) {
-  return parseScheduleImpl(is, nodeCount, &issues);
+                       std::vector<ScheduleParseIssue>& issues,
+                       const std::string& source) {
+  return parseScheduleImpl(is, nodeCount, &issues, source);
 }
 
 Schedule parseScheduleString(const std::string& text, std::size_t nodeCount) {

@@ -29,6 +29,7 @@ struct ScheduleParseIssue {
   std::size_t line = 0;     ///< 1-based source line
   std::uint32_t node = 0;   ///< node index outside [0, nodeCount)
   std::uint32_t step = 0;   ///< step the entry assigned
+  std::string path;         ///< source artifact ("" when anonymous)
 };
 
 /// Parses a schedule for a design with `nodeCount` nodes.  Throws
@@ -36,9 +37,11 @@ struct ScheduleParseIssue {
 /// may be partial; validate() reports unassigned nodes.
 [[nodiscard]] Schedule parseSchedule(std::istream& is, std::size_t nodeCount);
 /// Lenient overload: out-of-range node indices are recorded in `issues`
-/// and skipped instead of throwing.  Syntax errors still throw.
+/// and skipped instead of throwing.  Syntax errors still throw.  `source`
+/// names the artifact: stamped on issues, prefixed to ParseError messages.
 [[nodiscard]] Schedule parseSchedule(std::istream& is, std::size_t nodeCount,
-                                     std::vector<ScheduleParseIssue>& issues);
+                                     std::vector<ScheduleParseIssue>& issues,
+                                     const std::string& source = {});
 [[nodiscard]] Schedule parseScheduleString(const std::string& text,
                                            std::size_t nodeCount);
 

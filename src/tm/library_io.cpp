@@ -153,7 +153,8 @@ namespace {
 std::vector<Matching> parseCoverImpl(std::istream& is,
                                      const TemplateLibrary& lib,
                                      std::size_t nodeCount,
-                                     std::vector<CoverParseIssue>* issues) {
+                                     std::vector<CoverParseIssue>* issues,
+                                     const std::string& source = {}) {
   std::vector<Matching> cover;
   std::string line;
   std::size_t lineno = 0;
@@ -164,7 +165,7 @@ std::vector<Matching> parseCoverImpl(std::istream& is,
     if (!issues) {
       fail(lineno, why);
     }
-    issues->push_back({lineno, why});
+    issues->push_back({lineno, why, source});
   };
   while (std::getline(is, line)) {
     ++lineno;
@@ -256,8 +257,9 @@ std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
 
 std::vector<Matching> parseCover(std::istream& is, const TemplateLibrary& lib,
                                  std::size_t nodeCount,
-                                 std::vector<CoverParseIssue>& issues) {
-  return parseCoverImpl(is, lib, nodeCount, &issues);
+                                 std::vector<CoverParseIssue>& issues,
+                                 const std::string& source) {
+  return parseCoverImpl(is, lib, nodeCount, &issues, source);
 }
 
 std::vector<Matching> parseCoverString(const std::string& text,

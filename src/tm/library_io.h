@@ -43,6 +43,7 @@ void printCover(std::ostream& os, const std::vector<Matching>& cover);
 struct CoverParseIssue {
   std::size_t line = 0;  ///< 1-based source line
   std::string what;      ///< human-readable reason
+  std::string path;      ///< source artifact ("" when anonymous)
 };
 
 /// Parses a cover for a design with `nodeCount` nodes against `lib`
@@ -55,7 +56,7 @@ struct CoverParseIssue {
 /// skipped instead of throwing.  Syntax errors still throw.
 [[nodiscard]] std::vector<Matching> parseCover(
     std::istream& is, const TemplateLibrary& lib, std::size_t nodeCount,
-    std::vector<CoverParseIssue>& issues);
+    std::vector<CoverParseIssue>& issues, const std::string& source = {});
 [[nodiscard]] std::vector<Matching> parseCoverString(
     const std::string& text, const TemplateLibrary& lib,
     std::size_t nodeCount);

@@ -1,0 +1,401 @@
+// Corpus-scan tests: fingerprint encoding, key-ring IO, the shared random
+// corpus fixture, and — the load-bearing ones — the soundness oracle
+// (pruned pairs replayed exactly, zero missed matches) plus determinism
+// pins across thread counts and shard splits.  The CorpusScan suite also
+// runs under ThreadSanitizer at oversubscribed thread counts in CI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdfg/error.h"
+#include "cdfg/io.h"
+#include "cdfg/random_dfg.h"
+#include "core/locality.h"
+#include "core/sched_wm.h"
+#include "rt/rt.h"
+#include "scan/corpus.h"
+#include "scan/fingerprint.h"
+#include "scan/keyring.h"
+#include "scan/scan.h"
+#include "sched/schedule_io.h"
+
+namespace locwm::scan {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- fingerprint unit tests -----------------------------------------------
+
+std::array<std::uint32_t, cdfg::kOpKindCount> counts(
+    std::initializer_list<std::pair<std::size_t, std::uint32_t>> kv) {
+  std::array<std::uint32_t, cdfg::kOpKindCount> c{};
+  for (const auto& [kind, n] : kv) {
+    c[kind] = n;
+  }
+  return c;
+}
+
+TEST(Fingerprint, ThresholdEncodingIsMonotone) {
+  const KindFingerprint small = fingerprintOfCounts(counts({{0, 1}, {3, 2}}));
+  const KindFingerprint big = fingerprintOfCounts(counts({{0, 9}, {3, 2}}));
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  EXPECT_TRUE(small.covers(small));
+  // A kind absent from the container blocks coverage.
+  const KindFingerprint other = fingerprintOfCounts(counts({{5, 1}}));
+  EXPECT_FALSE(big.covers(other));
+}
+
+TEST(Fingerprint, MergeEqualsComponentwiseMax) {
+  const auto a = counts({{0, 2}, {1, 8}});
+  const auto b = counts({{0, 4}, {2, 1}});
+  auto mx = a;
+  for (std::size_t k = 0; k < mx.size(); ++k) {
+    mx[k] = std::max(mx[k], b[k]);
+  }
+  KindFingerprint merged = fingerprintOfCounts(a);
+  merged.merge(fingerprintOfCounts(b));
+  EXPECT_EQ(merged, fingerprintOfCounts(mx));
+}
+
+TEST(Fingerprint, IndexRoundTrip) {
+  cdfg::RandomDfgOptions options;
+  options.operations = 60;
+  const cdfg::Cdfg g = cdfg::randomDfg(options, 11);
+  const wm::LocalityDeriver deriver(g);
+  const DesignIndex index = buildDesignIndex(deriver, 4);
+  const std::optional<DesignIndex> back = parseIndex(indexToString(index));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(index, *back);
+}
+
+TEST(Fingerprint, ParseRejectsMalformed) {
+  cdfg::RandomDfgOptions options;
+  options.operations = 24;
+  const cdfg::Cdfg g = cdfg::randomDfg(options, 3);
+  const wm::LocalityDeriver deriver(g);
+  const std::string good = indexToString(buildDesignIndex(deriver, 3));
+  EXPECT_TRUE(parseIndex(good).has_value());
+  EXPECT_FALSE(parseIndex("").has_value());
+  EXPECT_FALSE(parseIndex("locwm-scanfp v1\nradius 3\n").has_value());
+  EXPECT_FALSE(parseIndex(good + "garbage\n").has_value());
+  EXPECT_FALSE(parseIndex(good + "root 0 0 00 00\n").has_value());
+  // Missing the design line.
+  EXPECT_FALSE(parseIndex("locwm-scanfp v2\nradius 3\n").has_value());
+}
+
+// --- the shared fixture + key-ring IO -------------------------------------
+
+BuiltCorpus smallCorpus(std::uint64_t seed, std::size_t designs = 16,
+                        std::size_t ring = 5) {
+  CorpusSpec spec;
+  spec.designs = designs;
+  spec.ring = ring;
+  spec.ops_min = 40;
+  spec.ops_max = 72;
+  return buildRandomCorpus(spec, seed);
+}
+
+fs::path tempDir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / (std::string("locwm_scan_") + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(KeyRing, RoundTripsThroughDiskWithQuoting) {
+  CorpusSpec spec;
+  spec.designs = 8;
+  spec.ring = 2;
+  spec.identity = "ACME Corp. \"HLS\"";  // forces quoting in toText()
+  const BuiltCorpus corpus = buildRandomCorpus(spec, 21);
+  const fs::path dir = tempDir("keyring");
+  writeCorpus(corpus, dir.string());
+
+  const KeyRing ring = KeyRing::fromFile((dir / "ring.keyring").string());
+  ASSERT_EQ(ring.size(), 2u);
+  for (std::size_t j = 0; j < ring.size(); ++j) {
+    EXPECT_EQ(ring.entries()[j].signature.identity, spec.identity);
+    EXPECT_EQ(ring.entries()[j].signature.nonce,
+              "ring-" + std::to_string(j));
+    EXPECT_EQ(ring.entries()[j].kind, CertKind::kSched);
+    ASSERT_TRUE(ring.entries()[j].sched.has_value());
+  }
+  EXPECT_EQ(ring.toText(), corpus.ring.toText());
+  fs::remove_all(dir);
+}
+
+TEST(KeyRing, RejectsMalformedRings) {
+  EXPECT_THROW(static_cast<void>(KeyRing::fromText("", "t", "")), Error);
+  EXPECT_THROW(
+      static_cast<void>(KeyRing::fromText("locwm-keyring v2\n", "t", "")),
+      Error);
+  EXPECT_THROW(static_cast<void>(KeyRing::fromText(
+                   "locwm-keyring v1\nkeyy a b c\n", "t", "")),
+               Error);
+  EXPECT_THROW(static_cast<void>(KeyRing::fromText(
+                   "locwm-keyring v1\nkey \"unterminated\n", "t", "")),
+               Error);
+  EXPECT_THROW(static_cast<void>(KeyRing::fromText(
+                   "locwm-keyring v1\nkey a b /no/such/cert\n", "t", "")),
+               Error);
+}
+
+// --- satellite 1: lenient parse issues carry the source path --------------
+
+TEST(ParseIssuePaths, DesignAndScheduleIssuesAreStamped) {
+  // A self-edge is a lenient issue, not a throw.
+  const std::string design =
+      "cdfg v1\nnode 0 input a\nnode 1 add b\n"
+      "edge 0 1 data\nedge 1 1 data\n";
+  std::vector<cdfg::ParseIssue> issues;
+  const cdfg::Cdfg g = cdfg::parseString(design, issues, "corpus/x.cdfg");
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().path, "corpus/x.cdfg");
+
+  std::istringstream sched("0 1\n99 2\n");
+  std::vector<sched::ScheduleParseIssue> sched_issues;
+  static_cast<void>(
+      sched::parseSchedule(sched, g.nodeCount(), sched_issues, "x.sched"));
+  ASSERT_FALSE(sched_issues.empty());
+  EXPECT_EQ(sched_issues.front().path, "x.sched");
+
+  // Hard syntax errors prefix the message with the source.
+  try {
+    std::vector<cdfg::ParseIssue> sink;
+    static_cast<void>(cdfg::parseString("not a design", sink, "y.cdfg"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("y.cdfg"), std::string::npos);
+  }
+}
+
+// --- the soundness oracle -------------------------------------------------
+
+std::vector<std::string> matchRowsOf(const std::vector<std::string>& rows) {
+  std::vector<std::string> out;
+  for (const std::string& row : rows) {
+    if (row.find("\"type\":\"match\"") != std::string::npos) {
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+TEST(CorpusScan, OracleZeroMissedMatches) {
+  for (const std::uint64_t seed : {5u, 99u, 1234u}) {
+    const BuiltCorpus corpus = smallCorpus(seed);
+    const ScanResult filtered = scanCorpus(corpus.items, corpus.ring, {});
+    ScanOptions exact;
+    exact.prefilter = false;
+    const ScanResult oracle = scanCorpus(corpus.items, corpus.ring, exact);
+
+    // The match rows must be byte-identical: the screen may only prune
+    // pairs the exact replay would reject anyway.
+    EXPECT_EQ(matchRowsOf(filtered.rows), matchRowsOf(oracle.rows))
+        << "seed " << seed;
+    EXPECT_EQ(filtered.stats.pairs,
+              filtered.stats.pruned_pairs + filtered.stats.survivor_pairs);
+
+    // Every planted (design, certificate) pair surfaces as a found match.
+    for (const auto& [item, entry] : corpus.planted) {
+      const std::string want =
+          "\"cert\":\"" + corpus.ring.entries()[entry].cert_path +
+          "\",\"design\":\"" + corpus.items[item].path + "\",\"found\":true";
+      bool found = false;
+      for (const std::string& row : filtered.rows) {
+        if (row.find(want) != std::string::npos) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "seed " << seed << ": planted pair (item "
+                         << item << ", entry " << entry << ") missed";
+    }
+  }
+}
+
+TEST(CorpusScan, PrunedPairsReplayEmpty) {
+  // Replay every pair WITHOUT a match row through the full exact detector
+  // (all candidate roots): none may produce a shape match.  This is the
+  // direct form of the soundness claim, independent of the scanner's own
+  // exact-replay path.
+  const BuiltCorpus corpus = smallCorpus(7, /*designs=*/10, /*ring=*/4);
+  const ScanResult filtered = scanCorpus(corpus.items, corpus.ring, {});
+  for (std::size_t i = 0; i < corpus.items.size(); ++i) {
+    std::vector<cdfg::ParseIssue> issues;
+    const cdfg::Cdfg g = cdfg::parseString(corpus.items[i].design_text,
+                                           issues, corpus.items[i].path);
+    const wm::LocalityDeriver deriver(g);
+    for (const KeyRingEntry& entry : corpus.ring.entries()) {
+      const std::string key = "\"cert\":\"" + entry.cert_path +
+                              "\",\"design\":\"" + corpus.items[i].path +
+                              "\"";
+      bool reported = false;
+      for (const std::string& row : filtered.rows) {
+        if (row.find(key) != std::string::npos) {
+          reported = true;
+          break;
+        }
+      }
+      if (reported) {
+        continue;
+      }
+      const wm::SchedDetector det(entry.signature, deriver, *entry.sched,
+                                  deriver.candidateRoots());
+      EXPECT_EQ(det.shapeMatches(), 0u)
+          << corpus.items[i].path << " x " << entry.cert_path
+          << ": pruned pair has a shape match — the screen is unsound";
+    }
+  }
+}
+
+// --- determinism pins -----------------------------------------------------
+
+TEST(CorpusScan, RowsIdenticalAcrossThreadCounts) {
+  const BuiltCorpus corpus = smallCorpus(42);
+  std::vector<std::string> reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    rt::setThreadCount(threads);
+    const ScanResult r = scanCorpus(corpus.items, corpus.ring, {});
+    if (reference.empty()) {
+      reference = r.rows;
+    } else {
+      EXPECT_EQ(r.rows, reference) << "threads=" << threads;
+    }
+  }
+  rt::setThreadCount(0);  // restore automatic sizing for other tests
+}
+
+TEST(CorpusScan, ShardSplitsMergeToUnshardedRows) {
+  const BuiltCorpus corpus = smallCorpus(64);
+  const ScanResult full = scanCorpus(corpus.items, corpus.ring, {});
+  for (const std::uint32_t shards : {2u, 3u}) {
+    // Each shard's blocks stay in item order; stitching the shards back
+    // together by walking item indices must reproduce the full output.
+    std::vector<std::vector<std::string>> parts(shards);
+    ScanStats sum;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      ScanOptions options;
+      options.shard_index = s;
+      options.shard_count = shards;
+      ScanResult r = scanCorpus(corpus.items, corpus.ring, options);
+      parts[s] = std::move(r.rows);
+      sum.designs += r.stats.designs;
+      sum.match_pairs += r.stats.match_pairs;
+    }
+    EXPECT_EQ(sum.designs, full.stats.designs);
+    EXPECT_EQ(sum.match_pairs, full.stats.match_pairs);
+    std::vector<std::string> merged;
+    std::vector<std::size_t> cursor(shards, 0);
+    for (std::size_t i = 0; i < corpus.items.size(); ++i) {
+      std::vector<std::string>& rows = parts[i % shards];
+      std::size_t& at = cursor[i % shards];
+      const std::string tag = "\"index\":" + std::to_string(i) + ",";
+      ASSERT_LT(at, rows.size());
+      ASSERT_NE(rows[at].find(tag), std::string::npos);
+      merged.push_back(rows[at++]);  // the design row
+      while (at < rows.size() &&
+             rows[at].find("\"type\":\"match\"") != std::string::npos) {
+        merged.push_back(rows[at++]);
+      }
+    }
+    EXPECT_EQ(merged, full.rows) << shards << " shards";
+  }
+}
+
+// --- satellite 2: the fingerprint cache -----------------------------------
+
+TEST(CorpusScan, CacheColdThenWarm) {
+  const BuiltCorpus corpus = smallCorpus(31, /*designs=*/8, /*ring=*/3);
+  const fs::path dir = tempDir("fpcache");
+  ScanOptions options;
+  options.cache_dir = dir.string();
+
+  const ScanResult cold = scanCorpus(corpus.items, corpus.ring, options);
+  EXPECT_EQ(cold.stats.cache_cold, corpus.items.size());
+  EXPECT_EQ(cold.stats.cache_warm, 0u);
+
+  const ScanResult warm = scanCorpus(corpus.items, corpus.ring, options);
+  EXPECT_EQ(warm.stats.cache_warm, corpus.items.size());
+  EXPECT_EQ(warm.stats.cache_cold, 0u);
+
+  // Identical results modulo the cache provenance tag on design rows.
+  ASSERT_EQ(cold.rows.size(), warm.rows.size());
+  for (std::size_t i = 0; i < cold.rows.size(); ++i) {
+    std::string c = cold.rows[i];
+    const std::size_t at = c.find("\"cache\":\"cold\"");
+    if (at != std::string::npos) {
+      c.replace(at, 14, "\"cache\":\"warm\"");
+    }
+    EXPECT_EQ(c, warm.rows[i]);
+  }
+  EXPECT_EQ(matchRowsOf(cold.rows), matchRowsOf(warm.rows));
+
+  // A corrupt cache entry is a miss, never a wrong answer.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::ofstream os(e.path(), std::ios::binary | std::ios::trunc);
+    os << "locwm-scanfp-entry v1\nissues 0\ngarbage\n";
+  }
+  const ScanResult again = scanCorpus(corpus.items, corpus.ring, options);
+  EXPECT_EQ(again.stats.cache_cold, corpus.items.size());
+  EXPECT_EQ(matchRowsOf(again.rows), matchRowsOf(cold.rows));
+  fs::remove_all(dir);
+}
+
+// --- loaders + end-to-end over the filesystem -----------------------------
+
+TEST(CorpusScan, DirectoryAndManifestLoadersAgree) {
+  const BuiltCorpus corpus = smallCorpus(77, /*designs=*/6, /*ring=*/2);
+  const fs::path dir = tempDir("loaders");
+  writeCorpus(corpus, dir.string());
+
+  std::string manifest;
+  for (const CorpusItem& item : corpus.items) {
+    manifest += "{\"design\": \"" + item.path + "\", \"schedule\": \"" +
+                item.schedule_path + "\"}\n";
+  }
+  {
+    std::ofstream os(dir / "corpus.ndjson", std::ios::binary);
+    os << manifest;
+  }
+
+  const std::vector<CorpusItem> from_dir =
+      loadCorpusFromDirectory(dir.string());
+  const std::vector<CorpusItem> from_manifest =
+      loadCorpusFromManifest((dir / "corpus.ndjson").string());
+  ASSERT_EQ(from_dir.size(), corpus.items.size());
+  ASSERT_EQ(from_manifest.size(), corpus.items.size());
+
+  const KeyRing ring = KeyRing::fromFile((dir / "ring.keyring").string());
+  ScanOptions options;  // no cache: identical rows either way
+  const ScanResult a = scanCorpus(from_dir, ring, options);
+  const ScanResult b = scanCorpus(from_manifest, ring, options);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_GT(a.stats.match_pairs, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(CorpusScan, UnparsableDesignYieldsErrorRow) {
+  BuiltCorpus corpus = smallCorpus(13, /*designs=*/4, /*ring=*/2);
+  corpus.items[1].design_text = "cdfg v1\nnode broken\n";
+  const ScanResult r = scanCorpus(corpus.items, corpus.ring, {});
+  EXPECT_EQ(r.stats.parse_failures, 1u);
+  bool saw_error = false;
+  for (const std::string& row : r.rows) {
+    if (row.find("\"error\":") != std::string::npos) {
+      saw_error = true;
+      EXPECT_NE(row.find(corpus.items[1].path), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+}  // namespace
+}  // namespace locwm::scan

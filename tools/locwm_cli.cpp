@@ -71,6 +71,9 @@
 #include "regbind/binding_io.h"
 #include "regbind/lifetime.h"
 #include "rt/rt.h"
+#include "scan/corpus.h"
+#include "scan/keyring.h"
+#include "scan/scan.h"
 #include "sched/list_scheduler.h"
 #include "sched/schedule_io.h"
 #include "sched/timeframes.h"
@@ -178,6 +181,25 @@ void note(const char* format, ...) {
       "                                 {\"op\":\"commit\"}.  --verify\n"
       "                                 cross-checks every commit against\n"
       "                                 a full recompute\n"
+      "  scan DIR|MANIFEST --keys RING [--json] [-o FILE] [--shard I/N]\n"
+      "       [--cache DIR] [--no-cache] [--no-prefilter]\n"
+      "                                 corpus scan: find every\n"
+      "                                 (design, certificate) match\n"
+      "                                 between the corpus (a directory\n"
+      "                                 or an ndjson manifest of designs)\n"
+      "                                 and a key ring.  Designs are\n"
+      "                                 lowered once and screened by an\n"
+      "                                 O(1) locality-fingerprint\n"
+      "                                 pre-filter (sound: recall 1.0);\n"
+      "                                 only survivors get exact replay.\n"
+      "                                 --json emits one ndjson row block\n"
+      "                                 per design; blocks carry item\n"
+      "                                 indices so --shard I/N outputs\n"
+      "                                 concatenate byte-identically.\n"
+      "                                 Fingerprints are cached under\n"
+      "                                 DIR/.locwm-cache (--cache\n"
+      "                                 overrides, --no-cache disables).\n"
+      "                                 See docs/CORPUS_SCAN.md\n"
       "\n"
       "  version                        print version and build info\n"
       "\n"
@@ -278,7 +300,7 @@ bool isBooleanFlag(const std::string& name) {
   return name == "-q" || name == "--quiet" || name == "--report" ||
          name == "--json" || name == "--werror" || name == "--sarif" ||
          name == "--verify" || name == "--update-baseline" ||
-         name == "--no-cache";
+         name == "--no-cache" || name == "--no-prefilter";
 }
 
 Args parseArgs(int argc, char** argv, int first) {
@@ -1088,6 +1110,77 @@ int cmdDelta(const Args& args) {
   return fail ? 1 : 0;
 }
 
+int cmdScan(const Args& args) {
+  if (args.positional.empty()) {
+    die("scan: which corpus (directory or ndjson manifest)?");
+  }
+  const std::string target = args.positional[0];
+  const std::string ring_path = args.require("--keys", "key-ring file");
+
+  scan::ScanOptions options;
+  options.prefilter = !args.has("--no-prefilter");
+  if (const auto shard = args.get("--shard")) {
+    const std::size_t slash = shard->find('/');
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 0;
+    try {
+      shard_index = std::stoul(shard->substr(0, slash));
+      shard_count =
+          slash == std::string::npos ? 0 : std::stoul(shard->substr(slash + 1));
+    } catch (const std::exception&) {
+      shard_count = 0;
+    }
+    if (shard_count == 0 || shard_index >= shard_count) {
+      die("scan: --shard wants I/N with 0 <= I < N, got '" + *shard + "'");
+    }
+    options.shard_index = static_cast<std::uint32_t>(shard_index);
+    options.shard_count = static_cast<std::uint32_t>(shard_count);
+  }
+  const bool is_dir = std::filesystem::is_directory(target);
+  if (args.has("--no-cache")) {
+    // cache off
+  } else if (const auto cache = args.get("--cache")) {
+    options.cache_dir = *cache;
+  } else if (is_dir) {
+    options.cache_dir =
+        (std::filesystem::path(target) / ".locwm-cache").string();
+  }
+
+  scan::KeyRing ring;
+  std::vector<scan::CorpusItem> items;
+  try {
+    ring = scan::KeyRing::fromFile(ring_path);
+    items = is_dir ? scan::loadCorpusFromDirectory(target)
+                   : scan::loadCorpusFromManifest(target);
+  } catch (const Error& e) {
+    die(e.what());
+  }
+  const scan::ScanResult result = scan::scanCorpus(items, ring, options);
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (const auto path = args.get("-o")) {
+    file.open(*path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      die("cannot write '" + *path + "'");
+    }
+    out = &file;
+  }
+  if (args.has("--json")) {
+    for (const std::string& row : result.rows) {
+      *out << row << '\n';
+    }
+  }
+  const scan::ScanStats& st = result.stats;
+  note("scan: %zu designs, %zu pairs (%zu pruned, %zu survivors), "
+       "%zu matches, %zu candidate roots, cache %zu cold / %zu warm, "
+       "%zu parse failures\n",
+       st.designs, st.pairs, st.pruned_pairs, st.survivor_pairs,
+       st.match_pairs, st.candidate_roots, st.cache_cold, st.cache_warm,
+       st.parse_failures);
+  return st.match_pairs > 0 ? 0 : 1;
+}
+
 int cmdVersion() {
   std::printf("locwm %s (%s, %s)\n", LOCWM_VERSION, LOCWM_GIT_DESCRIBE,
               LOCWM_BUILD_TYPE);
@@ -1146,6 +1239,9 @@ int runCommand(const std::string& cmd, const Args& args) {
   }
   if (cmd == "delta") {
     return cmdDelta(args);
+  }
+  if (cmd == "scan") {
+    return cmdScan(args);
   }
   usage();
 }
